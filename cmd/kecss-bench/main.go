@@ -1,0 +1,70 @@
+// Command kecss-bench regenerates every reproduction experiment E1–E10 and
+// the ablations A1–A4 (see DESIGN.md §4–5 and EXPERIMENTS.md) and prints the
+// result tables.
+//
+// Usage:
+//
+//	kecss-bench            # full tables (minutes)
+//	kecss-bench -quick     # smallest sizes (seconds)
+//	kecss-bench -only E7   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run the reduced-size sweeps")
+		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7,A1); empty = all")
+	)
+	flag.Parse()
+	if err := run(*quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "kecss-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string) error {
+	scale := experiments.Scale{Quick: quick}
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	all := map[string]func(experiments.Scale) (*experiments.Table, error){
+		"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
+		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
+		"E7": experiments.E7, "E8": experiments.E8, "E9": experiments.E9,
+		"E10": experiments.E10,
+		"E11": experiments.E11,
+		"E12": experiments.E12,
+		"E13": experiments.E13,
+		"E14": experiments.E14,
+		"A1":  experiments.AblationVoteThreshold,
+		"A2":  experiments.AblationRounding,
+		"A3":  experiments.AblationPhaseLength,
+		"A4":  experiments.AblationExecutor,
+	}
+	order := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "A1", "A2", "A3", "A4",
+	}
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		tbl, err := all[id](scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tbl.Fprint(os.Stdout)
+	}
+	return nil
+}

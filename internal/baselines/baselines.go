@@ -1,0 +1,400 @@
+// Package baselines implements the comparison algorithms and oracles the
+// experiments measure against:
+//
+//   - the classic sequential greedy set-cover TAP (what the paper's voting
+//     scheme parallelises),
+//   - exact branch-and-bound solvers for TAP and k-ECSS on small instances
+//     (the OPT oracle for approximation-ratio experiments),
+//   - Thurimella's sparse-certificate 2-approximation for unweighted k-ECSS
+//     (k successive maximal spanning forests) [36],
+//   - the O(D)-round 2-approximation for unweighted 2-ECSS [1] that the
+//     paper's 3-ECSS algorithm uses to build its base subgraph H,
+//   - combinatorial lower bounds for large instances.
+package baselines
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// ---------------------------------------------------------------------------
+// Sequential greedy TAP (classic O(log n)-approximation).
+// ---------------------------------------------------------------------------
+
+// GreedyTAP repeatedly adds the non-tree edge maximizing |Ce|/w(e) (exact
+// ratio, ties by edge ID) until every tree edge is covered. Weight-0 edges
+// are all taken first, mirroring the paper's preprocessing.
+func GreedyTAP(g *graph.Graph, tr *tree.Rooted) ([]int, int64, error) {
+	inTree := tr.IsTreeEdge()
+	type cand struct {
+		id int
+		se []int
+	}
+	var cands []cand
+	covered := make(map[int]bool, g.N()-1)
+	for id := range inTree {
+		covered[id] = false
+	}
+	uncovered := len(covered)
+	cover := func(se []int) {
+		for _, t := range se {
+			if !covered[t] {
+				covered[t] = true
+				uncovered--
+			}
+		}
+	}
+	var out []int
+	var weight int64
+	for _, e := range g.Edges() {
+		if inTree[e.ID] {
+			continue
+		}
+		se := tr.PathEdges(e.U, e.V)
+		if e.W == 0 {
+			out = append(out, e.ID)
+			cover(se)
+			continue
+		}
+		cands = append(cands, cand{id: e.ID, se: se})
+	}
+	for uncovered > 0 {
+		bestIdx := -1
+		var bestCe, bestW int64 = 0, 1
+		for i, c := range cands {
+			var ce int64
+			for _, t := range c.se {
+				if !covered[t] {
+					ce++
+				}
+			}
+			if ce == 0 {
+				continue
+			}
+			w := g.Edge(c.id).W
+			cmp := ce*bestW - bestCe*w
+			if cmp > 0 || (cmp == 0 && bestIdx != -1 && c.id < cands[bestIdx].id) {
+				bestIdx, bestCe, bestW = i, ce, w
+			}
+		}
+		if bestIdx == -1 {
+			return nil, 0, fmt.Errorf("baselines: greedy TAP stuck with %d uncovered tree edges", uncovered)
+		}
+		c := cands[bestIdx]
+		out = append(out, c.id)
+		weight += g.Edge(c.id).W
+		cover(c.se)
+	}
+	return out, g.WeightOf(out), nil
+}
+
+// ---------------------------------------------------------------------------
+// Exact TAP via branch and bound (set cover over tree edges).
+// ---------------------------------------------------------------------------
+
+// ExactTAP returns a minimum-weight augmentation of tr in g. It solves the
+// set-cover instance exactly by branch and bound: branch on the uncovered
+// tree edge with the fewest covering candidates. Intended for small
+// instances (oracle for ratio experiments); returns an error if the tree is
+// not augmentable.
+func ExactTAP(g *graph.Graph, tr *tree.Rooted) ([]int, int64, error) {
+	inTree := tr.IsTreeEdge()
+	// Index tree edges 0..T-1.
+	treeIdx := make(map[int]int, len(inTree))
+	var treeIDs []int
+	for _, e := range g.Edges() {
+		if inTree[e.ID] {
+			treeIdx[e.ID] = len(treeIDs)
+			treeIDs = append(treeIDs, e.ID)
+		}
+	}
+	nt := len(treeIDs)
+	words := (nt + 63) / 64
+	type cand struct {
+		id   int
+		w    int64
+		mask []uint64
+	}
+	var cands []cand
+	for _, e := range g.Edges() {
+		if inTree[e.ID] {
+			continue
+		}
+		mask := make([]uint64, words)
+		for _, t := range tr.PathEdges(e.U, e.V) {
+			i := treeIdx[t]
+			mask[i/64] |= 1 << uint(i%64)
+		}
+		cands = append(cands, cand{id: e.ID, w: e.W, mask: mask})
+	}
+	// Candidates covering each tree edge.
+	coverers := make([][]int, nt)
+	for ci, c := range cands {
+		for i := 0; i < nt; i++ {
+			if c.mask[i/64]&(1<<uint(i%64)) != 0 {
+				coverers[i] = append(coverers[i], ci)
+			}
+		}
+	}
+	for i, cs := range coverers {
+		if len(cs) == 0 {
+			return nil, 0, fmt.Errorf("baselines: tree edge %d is not coverable (graph not 2-edge-connected)", treeIDs[i])
+		}
+	}
+	full := make([]uint64, words)
+	for i := 0; i < nt; i++ {
+		full[i/64] |= 1 << uint(i%64)
+	}
+
+	const inf = int64(1) << 62
+	best := inf
+	var bestSet []int
+	cur := make([]int, 0, len(cands))
+	covered := make([]uint64, words)
+
+	allCovered := func() bool {
+		for i := range covered {
+			if covered[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var dfs func(weight int64)
+	dfs = func(weight int64) {
+		if weight >= best {
+			return
+		}
+		if allCovered() {
+			best = weight
+			bestSet = append(bestSet[:0], cur...)
+			return
+		}
+		// Branch on the uncovered tree edge with the fewest coverers.
+		pick, pickCount := -1, 1<<30
+		for i := 0; i < nt; i++ {
+			if covered[i/64]&(1<<uint(i%64)) != 0 {
+				continue
+			}
+			if len(coverers[i]) < pickCount {
+				pick, pickCount = i, len(coverers[i])
+			}
+		}
+		for _, ci := range coverers[pick] {
+			c := cands[ci]
+			saved := make([]uint64, words)
+			copy(saved, covered)
+			for j := range covered {
+				covered[j] |= c.mask[j]
+			}
+			cur = append(cur, c.id)
+			dfs(weight + c.w)
+			cur = cur[:len(cur)-1]
+			copy(covered, saved)
+		}
+	}
+	dfs(0)
+	if best == inf {
+		return nil, 0, fmt.Errorf("baselines: no augmentation found")
+	}
+	sort.Ints(bestSet)
+	return bestSet, best, nil
+}
+
+// ---------------------------------------------------------------------------
+// Exact k-ECSS by bounded enumeration (small instances only).
+// ---------------------------------------------------------------------------
+
+// MaxExactKECSSEdges bounds the instance size ExactKECSS accepts.
+const MaxExactKECSSEdges = 24
+
+// ExactKECSS returns a minimum-weight k-edge-connected spanning subgraph of
+// g by exhaustive enumeration with weight pruning. Only instances with at
+// most MaxExactKECSSEdges edges are accepted.
+func ExactKECSS(g *graph.Graph, k int) ([]int, int64, error) {
+	m := g.M()
+	if m > MaxExactKECSSEdges {
+		return nil, 0, fmt.Errorf("baselines: ExactKECSS limited to %d edges, got %d", MaxExactKECSSEdges, m)
+	}
+	if !g.IsKEdgeConnected(k) {
+		return nil, 0, fmt.Errorf("baselines: input graph is not %d-edge-connected", k)
+	}
+	minEdges := (k*g.N() + 1) / 2
+	const inf = int64(1) << 62
+	best := inf
+	var bestMask uint32
+	weights := make([]int64, m)
+	for i, e := range g.Edges() {
+		weights[i] = e.W
+	}
+	for mask := uint32(0); mask < 1<<uint(m); mask++ {
+		if bits.OnesCount32(mask) < minEdges {
+			continue
+		}
+		var w int64
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				w += weights[i]
+			}
+		}
+		if w >= best {
+			continue
+		}
+		ids := maskToIDs(mask, m)
+		sub, _ := g.SubgraphOf(ids)
+		if sub.IsKEdgeConnected(k) {
+			best = w
+			bestMask = mask
+		}
+	}
+	if best == inf {
+		return nil, 0, fmt.Errorf("baselines: no %d-ECSS found", k)
+	}
+	return maskToIDs(bestMask, m), best, nil
+}
+
+func maskToIDs(mask uint32, m int) []int {
+	ids := make([]int, 0, bits.OnesCount32(mask))
+	for i := 0; i < m; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Thurimella sparse certificates: unweighted k-ECSS 2-approximation [36].
+// ---------------------------------------------------------------------------
+
+// ThurimellaCertificate computes k successive maximal spanning forests
+// F1..Fk (each Fi a spanning forest of G minus the previous forests) and
+// returns their union: a k-edge-connected subgraph (if G is) with at most
+// k(n-1) edges — a 2-approximation for unweighted k-ECSS since any k-ECSS
+// has at least kn/2 edges. Forests are chosen in edge-ID order, matching a
+// deterministic distributed implementation.
+func ThurimellaCertificate(g *graph.Graph, k int) []int {
+	used := make(map[int]bool, k*g.N())
+	var out []int
+	for i := 0; i < k; i++ {
+		uf := graph.NewUnionFind(g.N())
+		for _, e := range g.Edges() {
+			if used[e.ID] {
+				// Edges in earlier forests stay removed but their endpoints
+				// are *not* pre-merged: each forest is maximal in G minus
+				// previous forests.
+				continue
+			}
+			if uf.Union(e.U, e.V) {
+				used[e.ID] = true
+				out = append(out, e.ID)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// O(D)-round 2-approximation for unweighted 2-ECSS [1].
+// ---------------------------------------------------------------------------
+
+// TwoECSSUnweighted2Approx builds a BFS tree from root and augments it with
+// at most n-1 non-tree edges (shallowest-LCA greedy, bottom-up), giving a
+// 2-edge-connected subgraph of at most 2(n-1) < 2·OPT edges whose diameter
+// is O(D). This is the base-subgraph construction the paper's unweighted
+// 3-ECSS algorithm starts from.
+func TwoECSSUnweighted2Approx(g *graph.Graph, root int) ([]int, *tree.Rooted, error) {
+	tr, err := tree.FromBFS(g.BFS(root))
+	if err != nil {
+		return nil, nil, fmt.Errorf("baselines: BFS tree: %w", err)
+	}
+	inTree := tr.IsTreeEdge()
+	n := g.N()
+
+	// bestReach[v]: non-tree edge with an endpoint in subtree(v) whose LCA
+	// is shallowest; computed bottom-up.
+	type reach struct {
+		depth int // depth of the edge's LCA; n means none
+		edge  int
+	}
+	bestReach := make([]reach, n)
+	for v := range bestReach {
+		bestReach[v] = reach{depth: n, edge: -1}
+	}
+	lcaDepth := make(map[int]int)
+	for _, e := range g.Edges() {
+		if inTree[e.ID] {
+			continue
+		}
+		l := tr.LCA(e.U, e.V)
+		lcaDepth[e.ID] = tr.Depth[l]
+		for _, x := range [2]int{e.U, e.V} {
+			if tr.Depth[l] < bestReach[x].depth {
+				bestReach[x] = reach{depth: tr.Depth[l], edge: e.ID}
+			}
+		}
+	}
+	for _, v := range tr.PostOrder() {
+		for _, c := range tr.Children(v) {
+			if bestReach[c].depth < bestReach[v].depth {
+				bestReach[v] = bestReach[c]
+			}
+		}
+	}
+
+	covered := make(map[int]bool, n-1)
+	out := append([]int(nil), tr.EdgeIDs()...)
+	// Vertices by decreasing depth: each uncovered tree edge {v, p(v)} gets
+	// the shallowest-reaching edge from subtree(v).
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if v != tr.Root {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return tr.Depth[order[i]] > tr.Depth[order[j]] })
+	for _, v := range order {
+		te := tr.ParentEdge[v]
+		if covered[te] {
+			continue
+		}
+		r := bestReach[v]
+		if r.edge == -1 || r.depth >= tr.Depth[v] {
+			return nil, nil, fmt.Errorf("baselines: tree edge above %d not coverable (graph not 2-edge-connected)", v)
+		}
+		e := g.Edge(r.edge)
+		out = append(out, r.edge)
+		for _, t := range tr.PathEdges(e.U, e.V) {
+			covered[t] = true
+		}
+	}
+	sort.Ints(out)
+	return out, tr, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lower bounds for large-instance ratio experiments.
+// ---------------------------------------------------------------------------
+
+// DegreeLowerBound returns the degree LP bound on the weight of any k-ECSS:
+// every vertex must keep at least k incident edges, so OPT is at least half
+// the sum over vertices of their k cheapest incident edge weights.
+func DegreeLowerBound(g *graph.Graph, k int) int64 {
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		ws := make([]int64, 0, g.Degree(v))
+		for _, a := range g.Adj(v) {
+			ws = append(ws, g.Edge(a.Edge).W)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for i := 0; i < k && i < len(ws); i++ {
+			total += ws[i]
+		}
+	}
+	return (total + 1) / 2
+}

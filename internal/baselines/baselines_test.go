@@ -1,0 +1,259 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/tree"
+)
+
+func mstTree(t *testing.T, g *graph.Graph) *tree.Rooted {
+	t.Helper()
+	ids, _ := mst.Kruskal(g)
+	tr, err := tree.FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func isAugmentation(g *graph.Graph, tr *tree.Rooted, aug []int) bool {
+	all := append(append([]int(nil), tr.EdgeIDs()...), aug...)
+	sub, _ := g.SubgraphOf(all)
+	return sub.TwoEdgeConnected()
+}
+
+func TestGreedyTAPProducesValidAugmentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomKConnected(15+rng.Intn(15), 2, 20, rng, graph.RandomWeights(rng, 30))
+		tr := mstTree(t, g)
+		aug, w, err := GreedyTAP(g, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isAugmentation(g, tr, aug) {
+			t.Fatalf("trial %d: greedy augmentation invalid", trial)
+		}
+		if w != g.WeightOf(aug) {
+			t.Fatalf("trial %d: weight mismatch", trial)
+		}
+	}
+}
+
+func TestGreedyTAPZeroWeightEdgesTakenFirst(t *testing.T) {
+	// Explicit spanning tree (the path 0-1-2-3) with a zero-weight closing
+	// chord: the chord must be taken in preprocessing, weight stays 0.
+	g := graph.New(4)
+	t01 := g.AddEdge(0, 1, 5)
+	t12 := g.AddEdge(1, 2, 5)
+	t23 := g.AddEdge(2, 3, 5)
+	z := g.AddEdge(3, 0, 0)
+	tr, err := tree.FromEdges(g, []int{t01, t12, t23}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, w, err := GreedyTAP(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 || len(aug) != 1 || aug[0] != z {
+		t.Fatalf("aug=%v w=%d, want just the zero edge", aug, w)
+	}
+}
+
+func TestExactTAPOnKnownInstance(t *testing.T) {
+	// Cycle 0-1-2-3-0 with unit weights: tree is the path, the single
+	// closing edge is the only augmentation.
+	g := graph.Cycle(4, graph.UnitWeights())
+	tr := mstTree(t, g)
+	aug, w, err := ExactTAP(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aug) != 1 || w != 1 {
+		t.Fatalf("aug=%v w=%d, want one unit edge", aug, w)
+	}
+}
+
+func TestExactTAPBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomKConnected(8+rng.Intn(6), 2, 6, rng, graph.RandomWeights(rng, 20))
+		tr := mstTree(t, g)
+		exact, ew, err := ExactTAP(g, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isAugmentation(g, tr, exact) {
+			t.Fatalf("trial %d: exact augmentation invalid", trial)
+		}
+		_, gw, err := GreedyTAP(g, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ew > gw {
+			t.Fatalf("trial %d: exact %d worse than greedy %d", trial, ew, gw)
+		}
+	}
+}
+
+func TestExactTAPErrorsOnBridge(t *testing.T) {
+	// A graph with a bridge: its tree edge cannot be covered.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(2, 3, 1) // bridge
+	tr := mstTree(t, g)
+	if _, _, err := ExactTAP(g, tr); err == nil {
+		t.Fatal("expected error for uncoverable bridge")
+	}
+	if _, _, err := GreedyTAP(g, tr); err == nil {
+		t.Fatal("expected greedy error for uncoverable bridge")
+	}
+}
+
+func TestExactKECSSCycle(t *testing.T) {
+	// The minimum 2-ECSS of a cycle is the cycle itself.
+	g := graph.Cycle(6, graph.UnitWeights())
+	ids, w, err := ExactKECSS(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 6 || w != 6 {
+		t.Fatalf("got %d edges weight %d, want the full cycle", len(ids), w)
+	}
+}
+
+func TestExactKECSSPrunesHeavyEdges(t *testing.T) {
+	// Cycle of weight-1 edges plus an expensive chord: the chord must not
+	// appear in the optimum.
+	g := graph.Cycle(5, graph.UnitWeights())
+	chord := g.AddEdge(0, 2, 100)
+	ids, w, err := ExactKECSS(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Fatalf("weight = %d, want 5", w)
+	}
+	for _, id := range ids {
+		if id == chord {
+			t.Fatal("optimum contains the expensive chord")
+		}
+	}
+}
+
+func TestExactKECSSK3(t *testing.T) {
+	g := graph.Harary(3, 6, graph.UnitWeights())
+	ids, w, err := ExactKECSS(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Harary is minimum-size: ceil(3*6/2) = 9 edges.
+	if len(ids) != 9 || w != 9 {
+		t.Fatalf("got %d edges weight %d, want 9/9", len(ids), w)
+	}
+	sub, _ := g.SubgraphOf(ids)
+	if !sub.IsKEdgeConnected(3) {
+		t.Fatal("result not 3-edge-connected")
+	}
+}
+
+func TestExactKECSSRejectsBigInstance(t *testing.T) {
+	g := graph.Circulant(30, 2, graph.UnitWeights())
+	if _, _, err := ExactKECSS(g, 2); err == nil {
+		t.Fatal("expected size-limit error")
+	}
+}
+
+func TestExactKECSSRejectsUnderConnected(t *testing.T) {
+	g := graph.Cycle(6, graph.UnitWeights())
+	if _, _, err := ExactKECSS(g, 3); err == nil {
+		t.Fatal("expected connectivity error")
+	}
+}
+
+func TestThurimellaCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 3} {
+		for trial := 0; trial < 5; trial++ {
+			g := graph.RandomKConnected(20+rng.Intn(15), k, 25, rng, graph.UnitWeights())
+			cert := ThurimellaCertificate(g, k)
+			if len(cert) > k*(g.N()-1) {
+				t.Fatalf("k=%d: certificate has %d edges, want <= k(n-1)=%d", k, len(cert), k*(g.N()-1))
+			}
+			sub, _ := g.SubgraphOf(cert)
+			if !sub.IsKEdgeConnected(k) {
+				t.Fatalf("k=%d trial %d: certificate not %d-edge-connected", k, trial, k)
+			}
+			// 2-approximation for unweighted: |cert| <= 2 * (kn/2) = kn,
+			// and any k-ECSS has >= kn/2 edges.
+			if 2*len(cert) > 4*(k*g.N()/2)+4 {
+				t.Fatalf("k=%d: certificate too large for 2-approx: %d", k, len(cert))
+			}
+		}
+	}
+}
+
+func TestTwoECSSUnweighted2Approx(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomKConnected(20+rng.Intn(20), 2, 15, rng, graph.UnitWeights())
+		ids, tr, err := TwoECSSUnweighted2Approx(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, _ := g.SubgraphOf(ids)
+		if !sub.TwoEdgeConnected() {
+			t.Fatalf("trial %d: result not 2-edge-connected", trial)
+		}
+		if len(ids) > 2*(g.N()-1) {
+			t.Fatalf("trial %d: %d edges, want <= 2(n-1)=%d", trial, len(ids), 2*(g.N()-1))
+		}
+		if tr.Root != 0 {
+			t.Fatalf("trial %d: root = %d", trial, tr.Root)
+		}
+		// Diameter O(D): the subgraph contains the whole BFS tree.
+		if sd, gd := sub.Diameter(), g.Diameter(); sd > 2*gd+2 {
+			t.Fatalf("trial %d: subgraph diameter %d vs graph %d", trial, sd, gd)
+		}
+	}
+}
+
+func TestTwoECSSUnweighted2ApproxErrorsOnBridge(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(2, 3, 1)
+	if _, _, err := TwoECSSUnweighted2Approx(g, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDegreeLowerBound(t *testing.T) {
+	// Unit cycle: bound = n (each vertex contributes its 2 unit edges / 2).
+	g := graph.Cycle(7, graph.UnitWeights())
+	if got := DegreeLowerBound(g, 2); got != 7 {
+		t.Fatalf("bound = %d, want 7", got)
+	}
+	// The bound never exceeds OPT on exactly solvable instances.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		gg := graph.RandomKConnected(7, 2, 3, rng, graph.RandomWeights(rng, 15))
+		if gg.M() > MaxExactKECSSEdges {
+			continue
+		}
+		_, opt, err := ExactKECSS(gg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := DegreeLowerBound(gg, 2); lb > opt {
+			t.Fatalf("trial %d: lower bound %d exceeds OPT %d", trial, lb, opt)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package congest simulates the synchronous CONGEST model of distributed
+// computing used by the paper: n processors, one per graph vertex,
+// communicating over the graph edges in synchronous rounds, where each edge
+// can carry one O(log n)-bit message in each direction per round.
+//
+// Algorithms are written as per-node Programs. The simulator enforces the
+// model's constraints (bounded message size, one message per edge direction
+// per round) and accounts rounds and messages, which is what the paper's
+// theorems are about.
+package congest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Payload is the content of one CONGEST message: a small constant number of
+// O(log n)-bit fields. IDs, weights, counts and labels in the paper all fit
+// in O(log n) bits, so a Payload of a few int64 fields is a faithful
+// O(log n)-bit message. Kind distinguishes message types within a Program.
+type Payload struct {
+	Kind       int8
+	A, B, C, D int64
+}
+
+// Bits returns the nominal size of the payload in bits, for congestion
+// accounting: 8 bits of kind plus 64 per field.
+func (p Payload) Bits() int { return 8 + 4*64 }
+
+// Message is a payload in transit over one edge in one direction.
+type Message struct {
+	From int // sender vertex
+	To   int // receiver vertex
+	Edge int // graph edge ID it travelled on
+	Payload
+}
+
+// Neighbor describes one incident edge as seen from a node.
+type Neighbor struct {
+	ID     int   // neighbouring vertex id
+	Edge   int   // edge ID
+	Weight int64 // edge weight (known to both endpoints initially, per the model)
+}
+
+// Context is a node's handle to the network during a round. It is only valid
+// during the Init/Round call it was passed to.
+type Context struct {
+	node      int
+	n         int
+	neighbors []Neighbor
+	out       []Message
+	sentOn    map[int]bool // edge IDs already used this round by this node
+}
+
+// Node returns this node's vertex ID.
+func (c *Context) Node() int { return c.node }
+
+// N returns the number of vertices in the network. The paper assumes nodes
+// know n (learnable in O(D) rounds over a BFS tree).
+func (c *Context) N() int { return c.n }
+
+// Neighbors returns the node's incident edges. Callers must not mutate it.
+func (c *Context) Neighbors() []Neighbor { return c.neighbors }
+
+// Send queues a message on the given incident edge. It panics if the edge is
+// not incident to this node or if a second message is sent on the same edge
+// in the same round — both violate the CONGEST model and indicate a bug in
+// the algorithm, not a runtime condition.
+func (c *Context) Send(edge int, p Payload) {
+	var to = -1
+	for _, nb := range c.neighbors {
+		if nb.Edge == edge {
+			to = nb.ID
+			break
+		}
+	}
+	if to == -1 {
+		panic(fmt.Sprintf("congest: node %d sending on non-incident edge %d", c.node, edge))
+	}
+	if c.sentOn[edge] {
+		panic(fmt.Sprintf("congest: node %d sent two messages on edge %d in one round", c.node, edge))
+	}
+	c.sentOn[edge] = true
+	c.out = append(c.out, Message{From: c.node, To: to, Edge: edge, Payload: p})
+}
+
+// SendTo queues a message to the named neighbour. If several parallel edges
+// lead to that neighbour, the lowest-ID unused one is chosen.
+func (c *Context) SendTo(neighbor int, p Payload) {
+	for _, nb := range c.neighbors {
+		if nb.ID == neighbor && !c.sentOn[nb.Edge] {
+			c.Send(nb.Edge, p)
+			return
+		}
+	}
+	panic(fmt.Sprintf("congest: node %d has no free edge to neighbour %d", c.node, neighbor))
+}
+
+// Broadcast sends the same payload on every incident edge not yet used this
+// round.
+func (c *Context) Broadcast(p Payload) {
+	for _, nb := range c.neighbors {
+		if !c.sentOn[nb.Edge] {
+			c.Send(nb.Edge, p)
+		}
+	}
+}
+
+// Program is a distributed algorithm as run by a single node. The simulator
+// creates one Program instance per vertex via a Factory.
+//
+// Init runs before round 1 and may send messages (they arrive in round 1).
+// Round is called once per round with the messages received; it returns true
+// once the node is locally done. A done node still receives messages and has
+// Round called (it may un-done itself by returning false), matching the
+// standard "termination by quiescence" convention.
+type Program interface {
+	Init(ctx *Context)
+	Round(ctx *Context, inbox []Message) bool
+}
+
+// Factory builds the Program for vertex v.
+type Factory func(v int) Program
+
+// Executor abstracts how the per-node round functions run: sequentially
+// (deterministic order, fastest for small graphs) or one goroutine per node
+// (exercises the natural goroutines-as-processors mapping).
+type Executor interface {
+	// RunRound invokes fn(v) for every v in 0..n-1, returning after all
+	// complete. Implementations must not let fn calls race on shared state;
+	// fn itself touches only per-node state.
+	RunRound(n int, fn func(v int))
+}
+
+// SequentialExecutor runs nodes one at a time in vertex order.
+type SequentialExecutor struct{}
+
+// RunRound implements Executor.
+func (SequentialExecutor) RunRound(n int, fn func(v int)) {
+	for v := 0; v < n; v++ {
+		fn(v)
+	}
+}
+
+// ParallelExecutor runs every node in its own goroutine each round, joined
+// by a WaitGroup barrier — the direct goroutines-per-processor embedding of
+// the synchronous model.
+type ParallelExecutor struct{}
+
+// RunRound implements Executor.
+func (ParallelExecutor) RunRound(n int, fn func(v int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			fn(v)
+		}(v)
+	}
+	wg.Wait()
+}
+
+var (
+	_ Executor = SequentialExecutor{}
+	_ Executor = ParallelExecutor{}
+)

@@ -1,0 +1,162 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// floodProgram floods a token from vertex 0; every node records the round in
+// which it first heard the token. The token reaches distance-d vertices in
+// round d+1 of the simulation (Init sends arrive at round 1).
+type floodProgram struct {
+	heardAt int
+	sent    bool
+}
+
+func (f *floodProgram) Init(ctx *Context) {
+	f.heardAt = -1
+	if ctx.Node() == 0 {
+		f.heardAt = 0
+		f.sent = true
+		ctx.Broadcast(Payload{Kind: 1})
+	}
+}
+
+func (f *floodProgram) Round(ctx *Context, inbox []Message) bool {
+	if f.heardAt == -1 && len(inbox) > 0 {
+		f.heardAt = 0 // will be set by the test via metrics; mark as heard
+	}
+	if f.heardAt != -1 && !f.sent {
+		f.sent = true
+		ctx.Broadcast(Payload{Kind: 1})
+	}
+	return f.heardAt != -1
+}
+
+func TestFloodTerminatesInDiameterRounds(t *testing.T) {
+	g := graph.Cycle(10, graph.UnitWeights())
+	for _, exec := range []Executor{SequentialExecutor{}, ParallelExecutor{}} {
+		net := NewNetwork(g, func(int) Program { return &floodProgram{} }, WithExecutor(exec))
+		m, err := net.Run(100)
+		if err != nil {
+			t.Fatalf("%T: %v", exec, err)
+		}
+		d := g.Diameter()
+		// Flood needs exactly D rounds to inform everyone plus <=1 quiesce round.
+		if m.Rounds < d || m.Rounds > d+2 {
+			t.Errorf("%T: rounds = %d, want about D=%d", exec, m.Rounds, d)
+		}
+		for v := 0; v < g.N(); v++ {
+			if net.Program(v).(*floodProgram).heardAt == -1 {
+				t.Errorf("%T: vertex %d never heard the flood", exec, v)
+			}
+		}
+	}
+}
+
+func TestRunErrorsWhenBudgetExhausted(t *testing.T) {
+	g := graph.Cycle(4, graph.UnitWeights())
+	// A program that never finishes.
+	net := NewNetwork(g, func(int) Program { return neverDone{} })
+	if _, err := net.Run(5); err == nil {
+		t.Fatal("expected round-budget error")
+	}
+}
+
+type neverDone struct{}
+
+func (neverDone) Init(*Context)                  {}
+func (neverDone) Round(*Context, []Message) bool { return false }
+
+func TestDoubleSendOnEdgePanics(t *testing.T) {
+	g := graph.Cycle(3, graph.UnitWeights())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double send")
+		}
+	}()
+	NewNetwork(g, func(int) Program { return doubleSender{} })
+}
+
+type doubleSender struct{}
+
+func (doubleSender) Init(ctx *Context) {
+	e := ctx.Neighbors()[0].Edge
+	ctx.Send(e, Payload{})
+	ctx.Send(e, Payload{})
+}
+func (doubleSender) Round(*Context, []Message) bool { return true }
+
+func TestSendOnNonIncidentEdgePanics(t *testing.T) {
+	g := graph.Cycle(4, graph.UnitWeights())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-incident edge")
+		}
+	}()
+	NewNetwork(g, func(v int) Program { return badEdgeSender{} })
+}
+
+type badEdgeSender struct{}
+
+func (badEdgeSender) Init(ctx *Context) {
+	// Edge 2 (between vertices 2 and 3) is not incident to vertices 0.
+	if ctx.Node() == 0 {
+		ctx.Send(2, Payload{})
+	}
+}
+func (badEdgeSender) Round(*Context, []Message) bool { return true }
+
+func TestMessageAccounting(t *testing.T) {
+	g := graph.Cycle(5, graph.UnitWeights())
+	net := NewNetwork(g, func(int) Program { return oneShot{} })
+	m, err := net.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node broadcasts once in Init: 2 messages per node on a cycle.
+	if m.Messages != 10 {
+		t.Errorf("messages = %d, want 10", m.Messages)
+	}
+	if m.Bits != 10*int64(Payload{}.Bits()) {
+		t.Errorf("bits = %d", m.Bits)
+	}
+}
+
+type oneShot struct{}
+
+func (oneShot) Init(ctx *Context)              { ctx.Broadcast(Payload{Kind: 7}) }
+func (oneShot) Round(*Context, []Message) bool { return true }
+
+func TestSendToNeighbor(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	var got []Message
+	net := NewNetwork(g, func(v int) Program {
+		return &captor{target: 1 - v, out: &got, me: v}
+	})
+	if _, err := net.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("captured %d messages, want 2", len(got))
+	}
+}
+
+type captor struct {
+	target int
+	me     int
+	out    *[]Message
+	sent   bool
+}
+
+func (c *captor) Init(ctx *Context) {
+	ctx.SendTo(c.target, Payload{Kind: 3, A: int64(c.me)})
+	c.sent = true
+}
+
+func (c *captor) Round(_ *Context, inbox []Message) bool {
+	*c.out = append(*c.out, inbox...)
+	return true
+}

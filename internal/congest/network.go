@@ -1,0 +1,138 @@
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Metrics accumulates the cost of a simulation: the quantities the paper's
+// theorems bound.
+type Metrics struct {
+	Rounds   int   // synchronous rounds executed
+	Messages int64 // messages delivered
+	Bits     int64 // total message bits (congestion volume)
+}
+
+// Network is one instantiation of the CONGEST model over a communication
+// graph, with one Program per vertex.
+type Network struct {
+	g        *graph.Graph
+	programs []Program
+	ctxs     []*Context
+	inboxes  [][]Message
+	done     []bool
+	exec     Executor
+	metrics  Metrics
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithExecutor selects the round executor. Default: SequentialExecutor.
+func WithExecutor(e Executor) Option {
+	return func(n *Network) { n.exec = e }
+}
+
+// NewNetwork builds a network over g where vertex v runs factory(v).
+// Init is called for every node (messages sent there arrive in round 1).
+func NewNetwork(g *graph.Graph, factory Factory, opts ...Option) *Network {
+	n := &Network{
+		g:        g,
+		programs: make([]Program, g.N()),
+		ctxs:     make([]*Context, g.N()),
+		inboxes:  make([][]Message, g.N()),
+		done:     make([]bool, g.N()),
+		exec:     SequentialExecutor{},
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	for v := 0; v < g.N(); v++ {
+		neighbors := make([]Neighbor, 0, g.Degree(v))
+		for _, a := range g.Adj(v) {
+			neighbors = append(neighbors, Neighbor{ID: a.To, Edge: a.Edge, Weight: g.Edge(a.Edge).W})
+		}
+		n.ctxs[v] = &Context{
+			node:      v,
+			n:         g.N(),
+			neighbors: neighbors,
+			sentOn:    make(map[int]bool),
+		}
+		n.programs[v] = factory(v)
+	}
+	// Init phase: all nodes, sequentially (Init does setup only).
+	for v := 0; v < g.N(); v++ {
+		n.ctxs[v].sentOn = make(map[int]bool)
+		n.programs[v].Init(n.ctxs[v])
+	}
+	n.deliver()
+	return n
+}
+
+// deliver moves every queued outgoing message into its destination inbox and
+// clears per-round send state.
+func (n *Network) deliver() {
+	for v := range n.inboxes {
+		n.inboxes[v] = n.inboxes[v][:0]
+	}
+	for v := range n.ctxs {
+		ctx := n.ctxs[v]
+		for _, m := range ctx.out {
+			n.inboxes[m.To] = append(n.inboxes[m.To], m)
+			n.metrics.Messages++
+			n.metrics.Bits += int64(m.Bits())
+		}
+		ctx.out = ctx.out[:0]
+		ctx.sentOn = make(map[int]bool)
+	}
+}
+
+// Step executes one synchronous round. It returns true if the network has
+// quiesced: every node reported done and no messages are in flight.
+func (n *Network) Step() bool {
+	n.metrics.Rounds++
+	n.exec.RunRound(n.g.N(), func(v int) {
+		n.done[v] = n.programs[v].Round(n.ctxs[v], n.inboxes[v])
+	})
+	n.deliver()
+	allDone := true
+	for v := range n.done {
+		if !n.done[v] {
+			allDone = false
+			break
+		}
+	}
+	inFlight := false
+	for v := range n.inboxes {
+		if len(n.inboxes[v]) > 0 {
+			inFlight = true
+			break
+		}
+	}
+	return allDone && !inFlight
+}
+
+// Run executes rounds until quiescence or maxRounds, returning the metrics.
+// It returns an error if the round budget is exhausted, which in this
+// repository always indicates a non-terminating algorithm bug or an
+// insufficient budget, never a legitimate outcome.
+func (n *Network) Run(maxRounds int) (Metrics, error) {
+	for r := 0; r < maxRounds; r++ {
+		if n.Step() {
+			return n.metrics, nil
+		}
+	}
+	return n.metrics, fmt.Errorf("congest: no quiescence within %d rounds", maxRounds)
+}
+
+// Metrics returns the metrics accumulated so far.
+func (n *Network) Metrics() Metrics { return n.metrics }
+
+// Program returns the program instance running at vertex v, so callers can
+// read its final local state (the standard way a distributed algorithm's
+// output is defined: each vertex knows its part).
+func (n *Network) Program(v int) Program { return n.programs[v] }
+
+// Graph returns the underlying communication graph.
+func (n *Network) Graph() *graph.Graph { return n.g }

@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: the Aug_k covering
+// framework (§2.1, Claim 2.1), the weighted k-ECSS algorithm (§4), the
+// weighted 2-ECSS algorithm (MST + weighted TAP, §3 / Theorem 1.1) and the
+// unweighted 3-ECSS algorithm via cycle space sampling (§5 / Theorem 1.3).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Cut is a minimum edge cut of the subgraph H, represented by the vertex
+// bipartition it induces. A minimum cut of a connected graph separates it
+// into exactly two connected sides, so a new edge covers the cut iff it
+// crosses the bipartition (Definition 2.1 specialises to this for minimum
+// cuts).
+type Cut struct {
+	side []uint64 // bitset over vertices; canonical: vertex 0's side is 0
+}
+
+func newCut(n int, inSide func(v int) bool) Cut {
+	c := Cut{side: make([]uint64, (n+63)/64)}
+	for v := 0; v < n; v++ {
+		if inSide(v) {
+			c.side[v/64] |= 1 << uint(v%64)
+		}
+	}
+	// Canonical orientation: complement if vertex 0 is inside.
+	if c.side[0]&1 != 0 {
+		for i := range c.side {
+			c.side[i] = ^c.side[i]
+		}
+		// Clear padding bits beyond n.
+		if rem := uint(n % 64); rem != 0 {
+			c.side[len(c.side)-1] &= (1 << rem) - 1
+		}
+	}
+	return c
+}
+
+// Key returns a map key identifying the bipartition.
+func (c Cut) Key() string {
+	b := make([]byte, 0, len(c.side)*8)
+	for _, w := range c.side {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// Crosses reports whether the edge {u, v} crosses the bipartition.
+func (c Cut) Crosses(u, v int) bool {
+	return c.contains(u) != c.contains(v)
+}
+
+func (c Cut) contains(v int) bool {
+	return c.side[v/64]&(1<<uint(v%64)) != 0
+}
+
+// EnumerateMinCuts returns every cut of size exactly `size` of the connected
+// graph h, where size must equal h's edge connectivity (the cuts the Aug_k
+// step must cover). It dispatches to exact enumerators for sizes 1 and 2
+// (bridges, cut pairs) and to repeated Karger contraction with verification
+// for size >= 3. rng drives the contraction and is only used for size >= 3.
+func EnumerateMinCuts(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
+	if !h.Connected() {
+		return nil, fmt.Errorf("core: cut enumeration needs a connected graph")
+	}
+	switch {
+	case size <= 0:
+		return nil, fmt.Errorf("core: cut size %d out of range", size)
+	case size == 1:
+		return cutsFromBridges(h), nil
+	case size == 2:
+		return cutsFromCutPairs(h)
+	default:
+		return cutsByContraction(h, size, rng)
+	}
+}
+
+// cutsFromBridges converts each bridge into its bipartition.
+func cutsFromBridges(h *graph.Graph) []Cut {
+	var out []Cut
+	for _, b := range h.Bridges() {
+		rem, _ := h.SubgraphWithout(map[int]bool{b: true})
+		comp, _ := rem.Components()
+		e := h.Edge(b)
+		side := comp[e.U]
+		out = append(out, newCut(h.N(), func(v int) bool { return comp[v] == side }))
+	}
+	return out
+}
+
+// cutsFromCutPairs converts each cut pair into its bipartition.
+func cutsFromCutPairs(h *graph.Graph) ([]Cut, error) {
+	pairs := h.CutPairs()
+	out := make([]Cut, 0, len(pairs))
+	seen := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		rem, _ := h.SubgraphWithout(map[int]bool{p.A: true, p.B: true})
+		comp, count := rem.Components()
+		if count != 2 {
+			// A minimum cut always splits into exactly two components.
+			return nil, fmt.Errorf("core: cut pair %v split graph into %d components", p, count)
+		}
+		e := h.Edge(p.A)
+		side := comp[e.U]
+		c := newCut(h.N(), func(v int) bool { return comp[v] == side })
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// cutsByContraction enumerates minimum cuts of the given size by repeated
+// Karger contraction. Each minimum cut survives a contraction run with
+// probability >= 2/(n(n-1)), so O(n²·log n) runs find all of them w.h.p.;
+// the caller's final connectivity verification catches the (negligible)
+// failure case. Returns an error if h's connectivity is not `size` (then
+// these would not be minimum cuts and the survival bound would not apply).
+func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: contraction enumeration requires rng")
+	}
+	lambda := h.EdgeConnectivityUpTo(size + 1)
+	if lambda > size {
+		return nil, nil // no cuts of this size: already (size+1)-connected
+	}
+	if lambda < size {
+		return nil, fmt.Errorf("core: graph has connectivity %d < requested cut size %d", lambda, size)
+	}
+	n := h.N()
+	trials := 3 * n * n * (bitLen(n) + 1)
+	if trials < 200 {
+		trials = 200
+	}
+	seen := make(map[string]bool)
+	var out []Cut
+	edges := h.Edges()
+	for trial := 0; trial < trials; trial++ {
+		uf := graph.NewUnionFind(n)
+		perm := rng.Perm(len(edges))
+		remaining := n
+		for _, ei := range perm {
+			if remaining <= 2 {
+				break
+			}
+			e := edges[ei]
+			if uf.Union(e.U, e.V) {
+				remaining--
+			}
+		}
+		if remaining != 2 {
+			continue
+		}
+		// Count crossing edges.
+		r0 := uf.Find(0)
+		crossing := 0
+		for _, e := range edges {
+			if (uf.Find(e.U) == r0) != (uf.Find(e.V) == r0) {
+				crossing++
+			}
+		}
+		if crossing != size {
+			continue
+		}
+		c := newCut(n, func(v int) bool { return uf.Find(v) != r0 })
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+func bitLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

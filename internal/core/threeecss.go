@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/congest"
+	"repro/internal/cycles"
+	"repro/internal/graph"
+	"repro/internal/rounds"
+	"repro/internal/tap"
+	"repro/internal/tree"
+)
+
+// ThreeECSSOptions configures the unweighted 3-ECSS solver (§5, Theorem 1.3).
+type ThreeECSSOptions struct {
+	// Rng drives label sampling and candidate activation. Required.
+	Rng *rand.Rand
+	// LabelBits is the circulation width b (default 48; the paper uses
+	// Θ(log n), and 48 makes Property 5.1 failures negligible at any n this
+	// simulator reaches).
+	LabelBits int
+	// PhaseLen is the activation-schedule constant (see AugOptions.PhaseLen).
+	PhaseLen int
+	// Executor selects the simulator executor for the label scans.
+	Executor congest.Executor
+	// MaxIterations caps the loop (0 = generous O(log³ n) default).
+	MaxIterations int
+}
+
+// ThreeECSSResult is the outcome of the 3-ECSS computation.
+type ThreeECSSResult struct {
+	// Edges is the 3-edge-connected spanning subgraph (H ∪ A).
+	Edges []int
+	// Size is the number of edges (the unweighted objective).
+	Size int
+	// Weight is the total edge weight (the §5.4 weighted objective;
+	// equals Size on unit-weight graphs).
+	Weight int64
+	// BaseSize is the size of the 2-edge-connected base subgraph H built by
+	// the O(D)-round 2-approximation of [1].
+	BaseSize int
+	// Iterations is the number of sampling iterations.
+	Iterations int
+	// Rounds combines measured label-scan rounds with the charged O(D)
+	// aggregations (Theorem 1.3: O(D·log³n)).
+	Rounds int64
+	// LabelRoundsMeasured is the simulator-measured part of Rounds.
+	LabelRoundsMeasured int64
+	// CorrectionEdges counts edges added by the exact fallback that runs if
+	// the w.h.p. label-based termination missed a cut pair (expected 0).
+	CorrectionEdges int
+}
+
+// Solve3ECSSUnweighted computes a small 3-edge-connected spanning subgraph
+// of g per §5: build a 2-edge-connected base H with the O(D)-round
+// 2-approximation of [1], then cover all cut pairs of H using cycle space
+// sampling to evaluate cost-effectiveness in O(D) rounds per iteration.
+// Edge weights of g are ignored (the unweighted objective is edge count).
+func Solve3ECSSUnweighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResult, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
+	}
+	if !g.IsKEdgeConnected(3) {
+		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
+	}
+	var acc rounds.Accountant
+	// Base subgraph H: BFS tree + O(D)-round augmentation [1].
+	h, _, err := baselines.TwoECSSUnweighted2Approx(g, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: base 2-ECSS: %w", err)
+	}
+	acc.Charge("base 2-ECSS [1]", 2*int64(g.DiameterEstimate()))
+	return solve3ECSS(g, h, false, opts, &acc)
+}
+
+// Solve3ECSSWeighted is the §5.4 weighted variant: the base H is the §3
+// weighted 2-ECSS (MST + TAP) instead of the BFS-tree 2-approximation, and
+// candidate cost-effectiveness is |Ce|/w(e). Per-iteration cost is governed
+// by the height of H∪A's spanning tree (Θ(hMST) in the worst case, which is
+// why the paper calls the weighted variant slower: O(n·log³n) total).
+func Solve3ECSSWeighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResult, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
+	}
+	if !g.IsKEdgeConnected(3) {
+		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
+	}
+	var acc rounds.Accountant
+	base, err := Solve2ECSS(g, TwoECSSOptions{Rng: opts.Rng})
+	if err != nil {
+		return nil, fmt.Errorf("core: weighted base 2-ECSS: %w", err)
+	}
+	acc.Charge("base weighted 2-ECSS (Thm 1.1)", base.Rounds)
+	return solve3ECSS(g, base.Edges, true, opts, &acc)
+}
+
+// solve3ECSS runs the §5 augmentation loop from the 2-edge-connected base h
+// to 3-edge-connectivity. weighted selects the §5.4 cost-effectiveness
+// |Ce|/w(e); otherwise ρ(e)=|Ce|.
+func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, acc *rounds.Accountant) (*ThreeECSSResult, error) {
+	bits := opts.LabelBits
+	if bits == 0 {
+		bits = 48
+	}
+	n := g.N()
+	logn := int(rounds.Log2Ceil(n)) + 1
+	phaseLen := opts.PhaseLen
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	maxIters := opts.MaxIterations
+	if maxIters == 0 {
+		maxIters = 20*logn*logn*logn + 200
+	}
+	var simOpts []congest.Option
+	if opts.Executor != nil {
+		simOpts = append(simOpts, congest.WithExecutor(opts.Executor))
+	}
+	d := int64(g.DiameterEstimate())
+	res := &ThreeECSSResult{BaseSize: len(h)}
+
+	current := make(map[int]bool, len(h))
+	for _, id := range h {
+		current[id] = true
+	}
+	sel := append([]int(nil), h...)
+
+	mExp := 0
+	for v := 1; v < g.M(); v <<= 1 {
+		mExp++
+	}
+	pExp := mExp
+	prevBest := 1 << 30
+	itersAtThisP := 0
+
+	for {
+		if res.Iterations >= maxIters {
+			return nil, fmt.Errorf("core: 3-ECSS exceeded %d iterations", maxIters)
+		}
+		// Label the current subgraph H ∪ A (genuinely distributed, measured).
+		labeling, labelRounds, err := labelSubgraph(g, sel, bits, opts.Rng, simOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.LabelRoundsMeasured += labelRounds
+		acc.Charge("label scans (measured)", labelRounds)
+		if labeling.ThreeEdgeConnectedWith() {
+			break // Claim 5.10 termination test
+		}
+		res.Iterations++
+
+		// Lines 1–2: cost-effectiveness via Claim 5.8 (unit weights:
+		// ρ(e) = |Ce|), candidates at the maximum rounded value.
+		type cand struct {
+			id int
+			ce int64
+		}
+		const infExp = 1 << 20
+		best := -(1 << 30)
+		var pool []cand
+		for _, e := range g.Edges() {
+			if current[e.ID] {
+				continue
+			}
+			ce := labeling.CoverCount(e.U, e.V)
+			if ce == 0 {
+				continue
+			}
+			exp := infExp // weight-0 edges have infinite cost-effectiveness
+			switch {
+			case !weighted:
+				exp = tap.RoundedExp(ce, 1)
+			case e.W > 0:
+				exp = tap.RoundedExp(ce, e.W)
+			}
+			if exp > best {
+				best = exp
+				pool = pool[:0]
+			}
+			if exp == best {
+				pool = append(pool, cand{id: e.ID, ce: ce})
+			}
+		}
+		acc.Charge("cost-effectiveness aggregation", 2*d)
+		if len(pool) == 0 {
+			// Labels say not 3-edge-connected but no candidate covers
+			// anything: fall through to the exact correction below.
+			break
+		}
+		if best < prevBest {
+			pExp = mExp
+			itersAtThisP = 0
+		}
+		prevBest = best
+
+		// Line 3: every active candidate joins the augmentation directly
+		// (no MST filter in the unweighted §5 variant).
+		for _, c := range pool {
+			if pExp == 0 || opts.Rng.Int63n(1<<uint(pExp)) == 0 {
+				current[c.id] = true
+				sel = append(sel, c.id)
+			}
+		}
+		itersAtThisP++
+		if itersAtThisP >= phaseLen*logn && pExp > 0 {
+			pExp--
+			itersAtThisP = 0
+		}
+	}
+
+	// Exact verification; the label-based termination is w.h.p. only, so on
+	// the (negligible-probability) miss, cover the remaining cut pairs
+	// exactly.
+	for {
+		sub, _ := g.SubgraphOf(sel)
+		if sub.IsKEdgeConnected(3) {
+			break
+		}
+		added, err := coverOneCutPairExactly(g, current, &sel)
+		if err != nil {
+			return nil, err
+		}
+		res.CorrectionEdges += added
+	}
+
+	sort.Ints(sel)
+	res.Edges = sel
+	res.Size = len(sel)
+	res.Weight = g.WeightOf(sel)
+	res.Rounds = acc.Total()
+	return res, nil
+}
+
+// labelSubgraph computes cycle-space labels of the subgraph of g given by
+// edge IDs sel, over a BFS tree of that subgraph, and returns a labeling
+// translated so that CoverCount can be queried with g's vertex IDs.
+func labelSubgraph(g *graph.Graph, sel []int, bits int, rng *rand.Rand, simOpts []congest.Option) (*cycles.Labeling, int64, error) {
+	sub, _ := g.SubgraphOf(sel)
+	tr, err := tree.FromBFS(sub.BFS(0))
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: BFS tree of H∪A: %w", err)
+	}
+	l, err := cycles.ComputeLabels(sub, tr, bits, rng, simOpts...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: labeling H∪A: %w", err)
+	}
+	return l, int64(l.Metrics.Rounds), nil
+}
+
+// coverOneCutPairExactly finds one remaining cut pair of the selected
+// subgraph and adds the smallest-ID crossing edge of g. Returns the number
+// of edges added (always 1 on success).
+func coverOneCutPairExactly(g *graph.Graph, current map[int]bool, sel *[]int) (int, error) {
+	sub, _ := g.SubgraphOf(*sel)
+	pairs := sub.CutPairs()
+	if len(pairs) == 0 {
+		// 2-edge-connected check must have failed for another reason.
+		return 0, fmt.Errorf("core: subgraph not 3-edge-connected but has no cut pairs")
+	}
+	p := pairs[0]
+	rem, _ := sub.SubgraphWithout(map[int]bool{p.A: true, p.B: true})
+	comp, _ := rem.Components()
+	for _, e := range g.Edges() {
+		if current[e.ID] || comp[e.U] == comp[e.V] {
+			continue
+		}
+		current[e.ID] = true
+		*sel = append(*sel, e.ID)
+		return 1, nil
+	}
+	return 0, fmt.Errorf("core: no edge of G covers a remaining cut pair (G not 3-edge-connected?)")
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSolve3ECSSWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomKConnected(14+rng.Intn(10), 3, 18, rng, graph.RandomWeights(rng, 30))
+		res, err := Solve3ECSSWeighted(g, ThreeECSSOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sub, _ := g.SubgraphOf(res.Edges)
+		if !sub.IsKEdgeConnected(3) {
+			t.Fatalf("trial %d: weighted 3-ECSS result not 3-edge-connected", trial)
+		}
+		if res.Weight != g.WeightOf(res.Edges) {
+			t.Fatalf("trial %d: weight %d != recomputed %d", trial, res.Weight, g.WeightOf(res.Edges))
+		}
+		if res.Weight <= 0 || res.Size != len(res.Edges) {
+			t.Fatalf("trial %d: bad bookkeeping: %+v", trial, res)
+		}
+	}
+}
+
+func TestSolve3ECSSWeightedPrefersLightEdges(t *testing.T) {
+	// A 4-edge-connected circulant where one copy of every chord class is
+	// free and the rest expensive: the weighted variant should land well
+	// under the all-expensive weight.
+	rng := rand.New(rand.NewSource(33))
+	g := graph.Circulant(12, 2, func(i int) int64 {
+		if i%2 == 0 {
+			return 1
+		}
+		return 100
+	})
+	_ = rng
+	res, err := Solve3ECSSWeighted(g, ThreeECSSOptions{Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := g.SubgraphOf(res.Edges)
+	if !sub.IsKEdgeConnected(3) {
+		t.Fatal("not 3-edge-connected")
+	}
+	if res.Weight >= g.TotalWeight() {
+		t.Fatalf("weighted variant kept everything: %d >= %d", res.Weight, g.TotalWeight())
+	}
+}
+
+func TestSolve3ECSSWeightedVsUnweightedObjective(t *testing.T) {
+	// On a weighted instance, the weighted variant should not be (much)
+	// heavier than the unweighted one, which ignores weights entirely.
+	rng := rand.New(rand.NewSource(37))
+	g := graph.RandomKConnected(18, 3, 24, rng, graph.RandomWeights(rng, 50))
+	w, err := Solve3ECSSWeighted(g, ThreeECSSOptions{Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Solve3ECSSUnweighted(g, ThreeECSSOptions{Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Weight > 3*u.Weight {
+		t.Fatalf("weighted variant (%d) much heavier than weight-blind one (%d)", w.Weight, u.Weight)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cycles implements the cycle space sampling technique of Pritchard
+// and Thurimella as used in Section 5 of the paper: random b-bit
+// circulations assign each edge of a 2-edge-connected graph a label φ(e)
+// such that, w.h.p., φ(e) = φ(f) iff {e,f} is a cut pair (a 2-edge cut).
+// The labels are computed by a genuine O(height)-round leaf-to-root XOR scan
+// on the CONGEST simulator, and support the cost-effectiveness counting of
+// the paper's unweighted 3-ECSS algorithm (Claims 5.8–5.10).
+package cycles
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Labeling holds the b-bit labels of every edge of a 2-edge-connected graph.
+type Labeling struct {
+	G    *graph.Graph
+	Tree *tree.Rooted
+	Bits int
+	// Phi maps every edge ID of G to its label. Non-tree labels are the
+	// sampled uniform bit strings; tree labels are the XOR of the non-tree
+	// labels covering them.
+	Phi map[int]uint64
+	// Metrics is the simulator cost of the distributed label computation.
+	Metrics congest.Metrics
+}
+
+const (
+	kindShareLabel int8 = iota + 40
+	kindXORUp
+)
+
+// labelProgram performs the distributed label computation of Lemma 5.5:
+// round 1 exchanges the sampled non-tree labels across their edges; then a
+// leaf-to-root convergecast computes φ({v,p(v)}) as the XOR of φ(f) for all
+// f ∈ δ(v) \ {v,p(v)}.
+type labelProgram struct {
+	tr        *tree.Rooted
+	nonTree   map[int]uint64 // labels this node sampled (it is the smaller endpoint)
+	collected map[int]uint64 // all incident non-tree labels, learned round 1
+	pending   int            // children not yet reported
+	shared    bool
+	sentUp    bool
+	upLabel   uint64 // φ of the parent edge once computed
+	acc       uint64
+}
+
+func (p *labelProgram) Init(ctx *congest.Context) {
+	p.collected = make(map[int]uint64, len(ctx.Neighbors()))
+	p.pending = len(p.tr.Children(ctx.Node()))
+	for e, l := range p.nonTree {
+		p.collected[e] = l
+		ctx.Send(e, congest.Payload{Kind: kindShareLabel, A: int64(l)})
+	}
+	p.shared = true
+}
+
+func (p *labelProgram) Round(ctx *congest.Context, inbox []congest.Message) bool {
+	for _, m := range inbox {
+		switch m.Kind {
+		case kindShareLabel:
+			p.collected[m.Edge] = uint64(m.A)
+		case kindXORUp:
+			p.acc ^= uint64(m.A)
+			p.pending--
+		}
+	}
+	v := ctx.Node()
+	if p.pending == 0 && !p.sentUp && v != p.tr.Root {
+		p.sentUp = true
+		label := p.acc
+		for e, l := range p.collected {
+			if e != p.tr.ParentEdge[v] {
+				label ^= l
+			}
+		}
+		p.upLabel = label
+		ctx.Send(p.tr.ParentEdge[v], congest.Payload{Kind: kindXORUp, A: int64(label)})
+	}
+	return p.sentUp || v == p.tr.Root
+}
+
+// ComputeLabels samples a random b-bit circulation of g (which must be
+// connected; 2-edge-connectedness is required for the cut-pair
+// characterization, not for the computation) over the given spanning tree
+// and returns the labels, running the distributed scan on the simulator.
+// bits must be in [1, 64].
+func ComputeLabels(g *graph.Graph, tr *tree.Rooted, bits int, rng *rand.Rand, opts ...congest.Option) (*Labeling, error) {
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("cycles: bits must be in [1,64], got %d", bits)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("cycles: rng is required")
+	}
+	mask := ^uint64(0)
+	if bits < 64 {
+		mask = (1 << uint(bits)) - 1
+	}
+	inTree := tr.IsTreeEdge()
+	// Sample non-tree labels at the smaller endpoint (deterministic owner).
+	owned := make([][]int, g.N())
+	for _, e := range g.Edges() {
+		if inTree[e.ID] {
+			continue
+		}
+		o := e.U
+		if e.V < o {
+			o = e.V
+		}
+		owned[o] = append(owned[o], e.ID)
+	}
+	labels := make(map[int]uint64, g.M())
+	progs := make([]*labelProgram, g.N())
+	net := congest.NewNetwork(g, func(v int) congest.Program {
+		nt := make(map[int]uint64, len(owned[v]))
+		for _, e := range owned[v] {
+			l := rng.Uint64() & mask
+			nt[e] = l
+			labels[e] = l
+		}
+		p := &labelProgram{tr: tr, nonTree: nt}
+		progs[v] = p
+		return p
+	}, opts...)
+	metrics, err := net.Run(tr.Height() + 4)
+	if err != nil {
+		return nil, fmt.Errorf("cycles: label scan did not quiesce: %w", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if v != tr.Root {
+			labels[tr.ParentEdge[v]] = progs[v].upLabel
+		}
+	}
+	return &Labeling{G: g, Tree: tr, Bits: bits, Phi: labels, Metrics: metrics}, nil
+}
+
+// NPhi returns, per label value, the number of edges of G carrying it
+// (the n_φ(t) quantities of §5.3).
+func (l *Labeling) NPhi() map[uint64]int {
+	out := make(map[uint64]int, len(l.Phi))
+	for _, lab := range l.Phi {
+		out[lab]++
+	}
+	return out
+}
+
+// CutPairs returns every unordered pair of edges with equal labels — by
+// Property 5.1 exactly the cut pairs, w.h.p. in the label width.
+func (l *Labeling) CutPairs() []graph.CutPair {
+	byLabel := make(map[uint64][]int)
+	for id, lab := range l.Phi {
+		byLabel[lab] = append(byLabel[lab], id)
+	}
+	var out []graph.CutPair
+	for _, ids := range byLabel {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, graph.CutPair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// ThreeEdgeConnectedWith reports whether the labeled graph is
+// 3-edge-connected according to Claim 5.10: it is iff n_φ(t) = 1 for every
+// tree edge t (no tree edge shares its label with any other edge).
+// One-sided: a true answer is always correct; a false answer is correct
+// w.h.p.
+func (l *Labeling) ThreeEdgeConnectedWith() bool {
+	nphi := l.NPhi()
+	for v := 0; v < l.Tree.N(); v++ {
+		if v == l.Tree.Root {
+			continue
+		}
+		if nphi[l.Phi[l.Tree.ParentEdge[v]]] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverCount returns |S²_e| for a prospective new edge e = {u, v} ∉ G: the
+// number of cut pairs of G that e covers, via Claim 5.8:
+// Σ over labels L on the tree path u..v of n_{L,e}·(n_L − n_{L,e}).
+func (l *Labeling) CoverCount(u, v int) int64 {
+	nphi := l.NPhi()
+	onPath := make(map[uint64]int64)
+	for _, t := range l.Tree.PathEdges(u, v) {
+		onPath[l.Phi[t]]++
+	}
+	var total int64
+	for lab, ne := range onPath {
+		total += ne * (int64(nphi[lab]) - ne)
+	}
+	return total
+}
+
+// CoversPair reports whether adding e = {u, v} covers the specific cut pair
+// {f, f'}: by Corollary 5.7, iff exactly one of f, f' lies on the tree path
+// of e.
+func (l *Labeling) CoversPair(u, v int, pair graph.CutPair) bool {
+	onPath := map[int]bool{}
+	for _, t := range l.Tree.PathEdges(u, v) {
+		onPath[t] = true
+	}
+	return onPath[pair.A] != onPath[pair.B]
+}

@@ -1,0 +1,327 @@
+package graph
+
+import "sort"
+
+// Bridges returns the IDs of all bridge edges (cuts of size 1) using an
+// iterative Tarjan low-link computation. For a multigraph, a parallel pair is
+// never a bridge: the low-link traversal tracks the specific parent edge ID
+// rather than the parent vertex, which handles parallel edges correctly.
+func (g *Graph) Bridges() []int {
+	disc := make([]int, g.n)
+	low := make([]int, g.n)
+	for v := range disc {
+		disc[v] = -1
+	}
+	var bridges []int
+	timer := 0
+
+	type frame struct {
+		v          int
+		parentEdge int
+		arcIdx     int
+	}
+	stack := make([]frame, 0, g.n)
+
+	for start := 0; start < g.n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		stack = append(stack, frame{v: start, parentEdge: -1})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.arcIdx < len(g.adj[top.v]) {
+				a := g.adj[top.v][top.arcIdx]
+				top.arcIdx++
+				if a.Edge == top.parentEdge {
+					continue
+				}
+				if disc[a.To] == -1 {
+					disc[a.To] = timer
+					low[a.To] = timer
+					timer++
+					stack = append(stack, frame{v: a.To, parentEdge: a.Edge})
+				} else if disc[a.To] < low[top.v] {
+					low[top.v] = disc[a.To]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					parent := &stack[len(stack)-1]
+					if low[top.v] < low[parent.v] {
+						low[parent.v] = low[top.v]
+					}
+					if low[top.v] > disc[parent.v] {
+						bridges = append(bridges, top.parentEdge)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(bridges)
+	return bridges
+}
+
+// TwoEdgeConnected reports whether g is connected and has no bridges, i.e.
+// whether g remains connected after the removal of any single edge.
+func (g *Graph) TwoEdgeConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.Connected() && len(g.Bridges()) == 0
+}
+
+// CutPair is an unordered pair of edge IDs whose joint removal disconnects a
+// 2-edge-connected graph. By convention A < B.
+type CutPair struct {
+	A, B int
+}
+
+// CutPairs enumerates every cut pair of g by brute force: for each edge e,
+// remove it and report (e, f) for every bridge f of the remainder. Runs in
+// O(m·(n+m)); intended as the verification oracle for the cycle-space
+// sampling implementation, not as a distributed algorithm.
+//
+// The graph must be 2-edge-connected (so that every size-2 cut is a pair of
+// edges, each individually removable without disconnecting).
+func (g *Graph) CutPairs() []CutPair {
+	seen := make(map[CutPair]bool)
+	var pairs []CutPair
+	for _, e := range g.edges {
+		rem, orig := g.SubgraphWithout(map[int]bool{e.ID: true})
+		for _, b := range rem.Bridges() {
+			a, c := e.ID, orig[b]
+			if a > c {
+				a, c = c, a
+			}
+			p := CutPair{A: a, B: c}
+			if !seen[p] {
+				seen[p] = true
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return pairs
+}
+
+// EdgeConnectivity returns the global edge connectivity λ(g): the minimum
+// number of edges whose removal disconnects g. It fixes s=0 and computes a
+// unit-capacity max-flow to every other vertex (λ = min over t≠s of
+// maxflow(s,t) because any global min cut separates s from some t).
+// Returns 0 for disconnected graphs and n-1... is undefined for n<=1, where
+// it returns a large value (the graph cannot be disconnected).
+func (g *Graph) EdgeConnectivity() int {
+	return g.EdgeConnectivityUpTo(g.M() + 1)
+}
+
+// EdgeConnectivityUpTo returns min(λ(g), cap). Capping lets k-connectivity
+// checks terminate each max-flow after cap augmenting paths.
+func (g *Graph) EdgeConnectivityUpTo(capLimit int) int {
+	if g.n <= 1 {
+		return capLimit
+	}
+	if !g.Connected() {
+		return 0
+	}
+	best := capLimit
+	if d := g.MinDegree(); d < best {
+		best = d
+	}
+	d := newDinic(g)
+	for t := 1; t < g.n && best > 0; t++ {
+		if f := d.maxFlow(0, t, best); f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// IsKEdgeConnected reports whether g remains connected after removal of any
+// k-1 edges.
+func (g *Graph) IsKEdgeConnected(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k == 1 {
+		return g.Connected()
+	}
+	if k == 2 {
+		return g.TwoEdgeConnected()
+	}
+	return g.EdgeConnectivityUpTo(k) >= k
+}
+
+// dinic is a unit-capacity max-flow structure over an undirected graph:
+// every undirected edge becomes a pair of directed arcs with capacity 1 each
+// (the standard reduction for edge connectivity).
+type dinic struct {
+	n     int
+	head  []int
+	next  []int
+	to    []int
+	cap   []int8
+	level []int
+	iter  []int
+}
+
+func newDinic(g *Graph) *dinic {
+	d := &dinic{
+		n:     g.n,
+		head:  make([]int, g.n),
+		next:  make([]int, 0, 4*g.M()),
+		to:    make([]int, 0, 4*g.M()),
+		cap:   make([]int8, 0, 4*g.M()),
+		level: make([]int, g.n),
+		iter:  make([]int, g.n),
+	}
+	for v := range d.head {
+		d.head[v] = -1
+	}
+	addArc := func(u, v int, c int8) {
+		d.to = append(d.to, v)
+		d.cap = append(d.cap, c)
+		d.next = append(d.next, d.head[u])
+		d.head[u] = len(d.to) - 1
+	}
+	for _, e := range g.Edges() {
+		// Undirected unit edge: arc and reverse arc both have capacity 1.
+		addArc(e.U, e.V, 1)
+		addArc(e.V, e.U, 1)
+	}
+	return d
+}
+
+// reset restores all capacities to 1 (valid because the undirected reduction
+// starts every arc at capacity 1).
+func (d *dinic) reset() {
+	for i := range d.cap {
+		d.cap[i] = 1
+	}
+	// Note: arcs are stored in (arc, reverse) pairs at indices (2i, 2i+1)...
+	// for the undirected case both start at 1, so a flat reset is correct.
+}
+
+func (d *dinic) bfs(s, t int) bool {
+	for v := range d.level {
+		d.level[v] = -1
+	}
+	d.level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for a := d.head[v]; a != -1; a = d.next[a] {
+			if d.cap[a] > 0 && d.level[d.to[a]] == -1 {
+				d.level[d.to[a]] = d.level[v] + 1
+				queue = append(queue, d.to[a])
+			}
+		}
+	}
+	return d.level[t] != -1
+}
+
+func (d *dinic) dfs(v, t int) bool {
+	if v == t {
+		return true
+	}
+	for ; d.iter[v] != -1; d.iter[v] = d.next[d.iter[v]] {
+		a := d.iter[v]
+		u := d.to[a]
+		if d.cap[a] > 0 && d.level[u] == d.level[v]+1 && d.dfs(u, t) {
+			d.cap[a]--
+			d.cap[a^1]++
+			return true
+		}
+	}
+	return false
+}
+
+// maxFlow computes the s→t max flow, stopping early once it reaches limit.
+func (d *dinic) maxFlow(s, t, limit int) int {
+	d.reset()
+	flow := 0
+	for flow < limit && d.bfs(s, t) {
+		copy(d.iter, d.head)
+		for flow < limit && d.dfs(s, t) {
+			flow++
+		}
+	}
+	return flow
+}
+
+// GlobalMinCutWeight returns the weight of a global minimum weight edge cut
+// using the Stoer–Wagner algorithm in O(n³). Used as an oracle in tests.
+// The graph must be connected and have at least 2 vertices.
+func (g *Graph) GlobalMinCutWeight() int64 {
+	n := g.n
+	if n < 2 {
+		panic("graph: GlobalMinCutWeight needs at least 2 vertices")
+	}
+	// Dense weight matrix; parallel edges accumulate.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for _, e := range g.edges {
+		w[e.U][e.V] += e.W
+		w[e.V][e.U] += e.W
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	const inf = int64(1) << 62
+	best := inf
+	for len(active) > 1 {
+		// Maximum adjacency (minimum cut phase).
+		inA := make([]bool, n)
+		weightTo := make([]int64, n)
+		var prev, last int
+		for i := 0; i < len(active); i++ {
+			sel := -1
+			for _, v := range active {
+				if !inA[v] && (sel == -1 || weightTo[v] > weightTo[sel]) {
+					sel = v
+				}
+			}
+			inA[sel] = true
+			if i == len(active)-1 {
+				if weightTo[sel] < best {
+					best = weightTo[sel]
+				}
+				// Merge last into prev.
+				last = sel
+				for _, v := range active {
+					if v != last && v != prev {
+						w[prev][v] += w[last][v]
+						w[v][prev] = w[prev][v]
+					}
+				}
+				// Remove last from active.
+				out := active[:0]
+				for _, v := range active {
+					if v != last {
+						out = append(out, v)
+					}
+				}
+				active = out
+				break
+			}
+			prev = sel
+			for _, v := range active {
+				if !inA[v] {
+					weightTo[v] += w[sel][v]
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// WeightFn produces the weight of the i-th generated edge. Generators call
+// it once per edge in a deterministic order, so a WeightFn backed by a
+// seeded *rand.Rand yields reproducible weighted instances.
+type WeightFn func(i int) int64
+
+// UnitWeights assigns weight 1 to every edge (the unweighted case).
+func UnitWeights() WeightFn { return func(int) int64 { return 1 } }
+
+// RandomWeights assigns independent uniform weights in [1, maxW].
+func RandomWeights(rng *rand.Rand, maxW int64) WeightFn {
+	if maxW < 1 {
+		panic("graph: RandomWeights needs maxW >= 1")
+	}
+	return func(int) int64 { return 1 + rng.Int63n(maxW) }
+}
+
+// Cycle returns the n-cycle 0-1-...-(n-1)-0. It is 2-edge-connected for
+// n >= 3.
+func Cycle(n int, wf WeightFn) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, wf(i))
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(1..j): vertex i is adjacent to
+// i±1, ..., i±j (mod n). C_n(1..j) is 2j-edge-connected (each vertex has
+// degree exactly 2j and the graph is maximally edge-connected).
+func Circulant(n, j int, wf WeightFn) *Graph {
+	if n < 2*j+1 {
+		panic(fmt.Sprintf("graph: Circulant needs n >= 2j+1 (n=%d, j=%d)", n, j))
+	}
+	g := New(n)
+	idx := 0
+	for off := 1; off <= j; off++ {
+		for i := 0; i < n; i++ {
+			t := (i + off) % n
+			g.AddEdge(i, t, wf(idx))
+			idx++
+		}
+	}
+	return g
+}
+
+// Harary returns the Harary graph H_{k,n}: the minimum-size k-connected
+// (hence k-edge-connected) graph on n vertices, with ceil(k·n/2) edges.
+func Harary(k, n int, wf WeightFn) *Graph {
+	if k < 1 || n <= k {
+		panic(fmt.Sprintf("graph: Harary needs 1 <= k < n (k=%d, n=%d)", k, n))
+	}
+	if k == 1 {
+		// Path graph (1-connected, minimal).
+		g := New(n)
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(i, i+1, wf(i))
+		}
+		return g
+	}
+	j := k / 2
+	g := Circulant(n, j, wf)
+	idx := g.M()
+	if k%2 == 1 {
+		if n%2 == 0 {
+			// Add diameters i -- i+n/2.
+			for i := 0; i < n/2; i++ {
+				g.AddEdge(i, i+n/2, wf(idx))
+				idx++
+			}
+		} else {
+			// Odd n: connect 0 to both (n-1)/2 and (n+1)/2, and i to
+			// i+(n+1)/2 for 1 <= i < (n-1)/2.
+			half := (n - 1) / 2
+			g.AddEdge(0, half, wf(idx))
+			idx++
+			g.AddEdge(0, half+1, wf(idx))
+			idx++
+			for i := 1; i < half; i++ {
+				g.AddEdge(i, i+half+1, wf(idx))
+				idx++
+			}
+		}
+	}
+	return g
+}
+
+// RandomKConnected returns a random k-edge-connected graph: a circulant
+// backbone C_n(1..ceil(k/2)) guaranteeing edge connectivity >= k, plus
+// `extra` uniformly random additional edges (no self-loops; parallels to
+// backbone edges allowed — the model permits multigraphs, and duplicate
+// random pairs are simply regenerated a bounded number of times then kept).
+func RandomKConnected(n, k, extra int, rng *rand.Rand, wf WeightFn) *Graph {
+	j := (k + 1) / 2
+	if j < 1 {
+		j = 1
+	}
+	g := Circulant(n, j, wf)
+	idx := g.M()
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		for tries := 0; u == v && tries < 8; tries++ {
+			v = rng.Intn(n)
+		}
+		if u == v {
+			v = (u + 1) % n
+		}
+		g.AddEdge(u, v, wf(idx))
+		idx++
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph. It is 2-edge-connected for
+// rows, cols >= 2 and has diameter rows+cols-2, making it the standard
+// high-diameter family for round-complexity sweeps. Vertex (r,c) has index
+// r*cols+c.
+func Grid(rows, cols int, wf WeightFn) *Graph {
+	if rows < 2 || cols < 2 {
+		panic("graph: Grid needs rows, cols >= 2")
+	}
+	g := New(rows * cols)
+	idx := 0
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), wf(idx))
+				idx++
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), wf(idx))
+				idx++
+			}
+		}
+	}
+	return g
+}
+
+// CliqueChain returns a chain of `length` cliques, each of size `size`,
+// where consecutive cliques are joined by k parallel "bundles" (k disjoint
+// edges between distinct vertex pairs of the two cliques). The result is
+// min(k, size-1)-edge-connected and has diameter Θ(length): the
+// high-diameter, tunably-k-connected family used for the E7 diameter sweep.
+func CliqueChain(length, size, k int, wf WeightFn) *Graph {
+	if length < 1 || size < 2 || k < 1 || k > size {
+		panic(fmt.Sprintf("graph: CliqueChain bad parameters (length=%d, size=%d, k=%d)", length, size, k))
+	}
+	g := New(length * size)
+	idx := 0
+	for b := 0; b < length; b++ {
+		base := b * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.AddEdge(base+i, base+j, wf(idx))
+				idx++
+			}
+		}
+		if b+1 < length {
+			next := (b + 1) * size
+			for i := 0; i < k; i++ {
+				g.AddEdge(base+i, next+i, wf(idx))
+				idx++
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, edges between pairs within Euclidean distance radius, with
+// edge weight proportional to distance (scaled to integers in [1, 1000]).
+// To guarantee the connectivity the algorithms require, a Circulant(1..j)
+// ring over the points sorted by x-coordinate is added, which makes the
+// result at least 2j-edge-connected.
+func RandomGeometric(n int, radius float64, minConn int, rng *rand.Rand) *Graph {
+	if n < 5 {
+		panic("graph: RandomGeometric needs n >= 5")
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Sort points by x so that the guarantee ring has mostly-short edges.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+
+	g := New(n)
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	weight := func(d float64) int64 {
+		w := int64(d * 1000)
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	type pair struct{ u, v int }
+	present := make(map[pair]bool, 4*n)
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		p := pair{u, v}
+		if u > v {
+			p = pair{v, u}
+		}
+		if present[p] {
+			return
+		}
+		present[p] = true
+		g.AddEdge(u, v, weight(dist(u, v)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(i, j) <= radius {
+				add(i, j)
+			}
+		}
+	}
+	j := (minConn + 1) / 2
+	if j < 1 {
+		j = 1
+	}
+	for off := 1; off <= j; off++ {
+		for i := 0; i < n; i++ {
+			add(order[i], order[(i+off)%n])
+		}
+	}
+	return g
+}
+
+// PaperFigure2Graph returns the 2-edge-connected example graph of the
+// paper's Figure 2 (left side): a spanning tree with 3 non-tree edges whose
+// cycle-space labels expose two cut pairs. The exact drawing is not
+// recoverable from the text, so this is a faithful small instance with the
+// same structure: a depth-3 tree plus 3 chords producing tree edges that
+// share labels pairwise.
+func PaperFigure2Graph() *Graph {
+	// Tree: 0-1, 1-2, 2-3, 1-4, 4-5 plus chords 3-5, 2-4, 0-3.
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(2, 4, 1)
+	g.AddEdge(0, 3, 1)
+	return g
+}

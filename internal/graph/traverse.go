@@ -1,0 +1,128 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first search from a source vertex.
+type BFSResult struct {
+	Source     int
+	Dist       []int // Dist[v] = hop distance from Source, -1 if unreachable
+	Parent     []int // Parent[v] = BFS-tree parent, -1 for Source/unreachable
+	ParentEdge []int // ParentEdge[v] = edge ID to parent, -1 if none
+	Order      []int // vertices in visit order (reachable only)
+}
+
+// BFS runs a breadth-first search from src, exploring neighbours in
+// adjacency-list order (deterministic for a fixed graph).
+func (g *Graph) BFS(src int) *BFSResult {
+	res := &BFSResult{
+		Source:     src,
+		Dist:       make([]int, g.n),
+		Parent:     make([]int, g.n),
+		ParentEdge: make([]int, g.n),
+		Order:      make([]int, 0, g.n),
+	}
+	for v := 0; v < g.n; v++ {
+		res.Dist[v] = -1
+		res.Parent[v] = -1
+		res.ParentEdge[v] = -1
+	}
+	res.Dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, v)
+		for _, a := range g.adj[v] {
+			if res.Dist[a.To] == -1 {
+				res.Dist[a.To] = res.Dist[v] + 1
+				res.Parent[a.To] = v
+				res.ParentEdge[a.To] = a.Edge
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return res
+}
+
+// Eccentricity returns the maximum BFS distance from v to any reachable
+// vertex.
+func (g *Graph) Eccentricity(v int) int {
+	res := g.BFS(v)
+	max := 0
+	for _, d := range res.Dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the exact hop diameter of g, computed by BFS from every
+// vertex (O(n·m)). It returns 0 for graphs with fewer than 2 vertices and
+// panics if g is disconnected, since a hop diameter is undefined there.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	max := 0
+	for v := 0; v < g.n; v++ {
+		res := g.BFS(v)
+		for _, d := range res.Dist {
+			if d == -1 {
+				panic("graph: Diameter on disconnected graph")
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// DiameterEstimate returns a fast 2-approximation of the diameter using a
+// double BFS sweep (exact on trees). Use for large benchmark instances where
+// exact diameter computation is too slow.
+func (g *Graph) DiameterEstimate() int {
+	if g.n <= 1 {
+		return 0
+	}
+	first := g.BFS(0)
+	far := 0
+	for v, d := range first.Dist {
+		if d > first.Dist[far] {
+			far = v
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// Connected reports whether g is connected. Graphs with at most one vertex
+// are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	res := g.BFS(0)
+	return len(res.Order) == g.n
+}
+
+// Components returns, for each vertex, the index of its connected component,
+// along with the number of components. Component indices are assigned in
+// order of smallest contained vertex.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, g.n)
+	for v := range comp {
+		comp[v] = -1
+	}
+	count := 0
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		res := g.BFS(v)
+		for _, u := range res.Order {
+			comp[u] = count
+		}
+		count++
+	}
+	return comp, count
+}

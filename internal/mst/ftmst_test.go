@@ -1,0 +1,134 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFaultTolerantMSTReplacementsAreMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomKConnected(15+rng.Intn(15), 2, 20, rng, graph.RandomWeights(rng, 50))
+		res, err := FaultTolerantMST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inTree := make(map[int]bool, len(res.MSTEdges))
+		for _, id := range res.MSTEdges {
+			inTree[id] = true
+		}
+		for _, te := range res.MSTEdges {
+			rep := res.Replacement[te]
+			// Brute-force the minimal crossing edge: remove te from the
+			// tree, find the two components, scan all non-tree edges.
+			remTree, _ := g.SubgraphOf(without(res.MSTEdges, te))
+			comp, _ := remTree.Components()
+			bestID := -1
+			for _, e := range g.Edges() {
+				if inTree[e.ID] || comp[e.U] == comp[e.V] {
+					continue
+				}
+				if bestID == -1 {
+					bestID = e.ID
+					continue
+				}
+				b := g.Edge(bestID)
+				if e.W < b.W || (e.W == b.W && e.ID < b.ID) {
+					bestID = e.ID
+				}
+			}
+			if rep != bestID {
+				t.Fatalf("trial %d: tree edge %d replacement %d, want %d", trial, te, rep, bestID)
+			}
+		}
+	}
+}
+
+func without(ids []int, drop int) []int {
+	out := make([]int, 0, len(ids)-1)
+	for _, id := range ids {
+		if id != drop {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestFaultTolerantMSTContainsAllPostFailureMSTs(t *testing.T) {
+	// The defining property: for every edge e of G, the FT subgraph contains
+	// an MST of G\{e} — equivalently, the MST weight of (FT \ e) equals the
+	// MST weight of (G \ e).
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomKConnected(18, 2, 20, rng, graph.RandomWeights(rng, 40))
+	res, err := FaultTolerantMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftSet := make(map[int]bool, len(res.Edges))
+	for _, id := range res.Edges {
+		ftSet[id] = true
+	}
+	for _, e := range g.Edges() {
+		gMinus, _ := g.SubgraphWithout(map[int]bool{e.ID: true})
+		if !gMinus.Connected() {
+			continue
+		}
+		_, wantW := Kruskal(gMinus)
+		ftIDs := make([]int, 0, len(res.Edges))
+		for _, id := range res.Edges {
+			if id != e.ID {
+				ftIDs = append(ftIDs, id)
+			}
+		}
+		ftMinus, _ := g.SubgraphOf(ftIDs)
+		if !ftMinus.Connected() {
+			t.Fatalf("FT subgraph minus edge %d is disconnected", e.ID)
+		}
+		_, gotW := Kruskal(ftMinus)
+		if gotW != wantW {
+			t.Fatalf("edge %d: FT-subgraph MST weight %d, want %d", e.ID, gotW, wantW)
+		}
+	}
+}
+
+func TestFaultTolerantMSTSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomKConnected(40, 2, 80, rng, graph.RandomWeights(rng, 100))
+	res, err := FaultTolerantMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) > 2*(g.N()-1) {
+		t.Fatalf("FT-MST has %d edges, want <= 2(n-1)=%d", len(res.Edges), 2*(g.N()-1))
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestFaultTolerantMSTBridges(t *testing.T) {
+	// A bridge has no replacement and is reported as such.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	bridge := g.AddEdge(2, 3, 5)
+	res, err := FaultTolerantMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacement[bridge] != -1 {
+		t.Fatalf("bridge replacement = %d, want -1", res.Replacement[bridge])
+	}
+}
+
+func TestFaultTolerantMSTDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, err := FaultTolerantMST(g); err == nil {
+		t.Fatal("expected error on disconnected input")
+	}
+}

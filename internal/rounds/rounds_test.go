@@ -1,0 +1,88 @@
+package rounds
+
+import "testing"
+
+func TestAccountant(t *testing.T) {
+	var a Accountant
+	if a.Total() != 0 {
+		t.Fatal("zero value should have zero total")
+	}
+	a.Charge("x", 10)
+	a.Charge("y", 5)
+	a.Charge("x", 7)
+	if a.Total() != 22 {
+		t.Fatalf("total = %d, want 22", a.Total())
+	}
+	bd := a.Breakdown()
+	if len(bd) != 2 || bd[0].Label != "x" || bd[0].Rounds != 17 || bd[1].Label != "y" || bd[1].Rounds != 5 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
+
+func TestAccountantPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var a Accountant
+	a.Charge("bad", -1)
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1 << 20, 5},
+	}
+	for _, tc := range tests {
+		if got := LogStar(tc.n); got != tc.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSqrtCeil(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int64
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {4, 2}, {5, 3}, {100, 10}, {101, 11},
+	}
+	for _, tc := range tests {
+		if got := SqrtCeil(tc.n); got != tc.want {
+			t.Errorf("SqrtCeil(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int64
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tc := range tests {
+		if got := Log2Ceil(tc.n); got != tc.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBaselineModelsMonotone(t *testing.T) {
+	// Sanity: every cost model grows in each parameter.
+	if MSTKuttenPeleg(100, 10) >= MSTKuttenPeleg(10000, 10) {
+		t.Error("MSTKuttenPeleg not growing in n")
+	}
+	if MSTKuttenPeleg(100, 10) >= MSTKuttenPeleg(100, 1000) {
+		t.Error("MSTKuttenPeleg not growing in D")
+	}
+	if TAPBaselineCH(100, 10) >= TAPBaselineCH(100, 99) {
+		t.Error("TAPBaselineCH not growing in hMST")
+	}
+	if PrimalDualBaseline(2, 100, 10) != 2000 {
+		t.Errorf("PrimalDualBaseline = %d, want 2000", PrimalDualBaseline(2, 100, 10))
+	}
+	if ThurimellaBaseline(3, 100, 10) != 3*MSTKuttenPeleg(100, 10) {
+		t.Error("ThurimellaBaseline should be k x Kutten-Peleg")
+	}
+}

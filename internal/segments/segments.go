@@ -1,0 +1,376 @@
+// Package segments implements the tree decomposition of Section 3.2 of the
+// paper (following Ghaffari–Parter's FT-MST decomposition): the spanning
+// tree is decomposed into O(√n) edge-disjoint segments of diameter O(√n),
+// each with a root rS, a unique descendant dS, a highway (the rS–dS tree
+// path) and hanging subtrees, plus the skeleton tree whose edges correspond
+// to highways.
+//
+// The paper's first step uses the Kutten–Peleg MST fragments; here the
+// fragments are carved deterministically from the tree by subtree-size
+// accumulation, which yields the same guarantees (O(n/target) fragments,
+// each of height at most target — Lemma 3.4's requirements).
+package segments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Segment is one segment of the decomposition. The highway runs from Root
+// (an ancestor of every vertex in the segment) down to Desc, the unique
+// descendant; Root == Desc for root-attached segments with an empty highway.
+type Segment struct {
+	ID           int
+	Root         int   // rS
+	Desc         int   // dS
+	Highway      []int // vertices Root..Desc along the tree path (len >= 1)
+	HighwayEdges []int // graph edge IDs along the highway (len = len(Highway)-1)
+	Vertices     []int // every vertex of the segment, including Root and Desc
+}
+
+// Diameter returns the segment's diameter measured in the tree: the longest
+// tree distance between two of its vertices. Since Root is an ancestor of
+// all vertices, this is at most twice the segment height.
+func (s *Segment) Diameter(t *tree.Rooted) int {
+	max1, max2 := 0, 0 // two largest depths below Root
+	for _, v := range s.Vertices {
+		d := t.Depth[v] - t.Depth[s.Root]
+		if d > max1 {
+			max1, max2 = d, max1
+		} else if d > max2 {
+			max2 = d
+		}
+	}
+	// Upper bound on intra-segment distance: two deepest vertices may only
+	// meet at Root.
+	if max2 > 0 {
+		return max1 + max2
+	}
+	return max1
+}
+
+// Decomposition is the full output of the §3.2 construction.
+type Decomposition struct {
+	G      *graph.Graph
+	Tree   *tree.Rooted
+	Target int // the √n parameter
+
+	FragmentRoot []int  // per vertex: root of its fragment (step I)
+	GlobalEdges  []int  // tree edge IDs joining different fragments
+	Marked       []bool // step II marking, closed under LCA
+
+	Segments    []*Segment
+	SegOfVertex []int       // home segment per vertex (see HomeSegment)
+	SegOfEdge   map[int]int // tree edge ID -> the unique segment containing it
+
+	// SkeletonParent maps each marked vertex to its parent in the skeleton
+	// tree (the rS of the segment whose dS it is); the root maps to -1.
+	SkeletonParent map[int]int
+}
+
+// DefaultTarget returns the ⌈√n⌉ decomposition parameter used by the paper.
+func DefaultTarget(n int) int {
+	t := int(math.Ceil(math.Sqrt(float64(n))))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Decompose runs the three-step construction of §3.2 on the rooted tree t of
+// graph g with the given size target (pass DefaultTarget(n) for the paper's
+// setting).
+func Decompose(g *graph.Graph, t *tree.Rooted, target int) (*Decomposition, error) {
+	if target < 1 {
+		return nil, fmt.Errorf("segments: target %d < 1", target)
+	}
+	n := t.N()
+	d := &Decomposition{
+		G:              g,
+		Tree:           t,
+		Target:         target,
+		FragmentRoot:   make([]int, n),
+		Marked:         make([]bool, n),
+		SegOfVertex:    make([]int, n),
+		SegOfEdge:      make(map[int]int, n-1),
+		SkeletonParent: make(map[int]int),
+	}
+	d.carveFragments()
+	d.markVertices()
+	if err := d.buildSegments(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// carveFragments is step (I): decompose the tree into fragments of height at
+// most target, with at most n/target+1 fragments, by cutting the edge above
+// any vertex whose accumulated uncut subtree reaches the target size.
+func (d *Decomposition) carveFragments() {
+	t := d.Tree
+	n := t.N()
+	carry := make([]int, n)
+	isFragRoot := make([]bool, n)
+	isFragRoot[t.Root] = true
+	for _, v := range t.PostOrder() {
+		carry[v] = 1
+		for _, c := range t.Children(v) {
+			if !isFragRoot[c] {
+				carry[v] += carry[c]
+			}
+		}
+		if v != t.Root && carry[v] >= d.Target {
+			isFragRoot[v] = true
+		}
+	}
+	// Fragment membership: nearest fragment-root ancestor (inclusive).
+	for _, v := range t.PreOrder() {
+		if isFragRoot[v] {
+			d.FragmentRoot[v] = v
+		} else {
+			d.FragmentRoot[v] = d.FragmentRoot[t.Parent[v]]
+		}
+	}
+	d.GlobalEdges = d.GlobalEdges[:0]
+	for v := 0; v < n; v++ {
+		if v != t.Root && isFragRoot[v] {
+			d.GlobalEdges = append(d.GlobalEdges, t.ParentEdge[v])
+		}
+	}
+	sort.Ints(d.GlobalEdges)
+}
+
+// markVertices is step (II): mark the root and the endpoints of every global
+// edge, then close the set under LCA (a vertex is an LCA of marked vertices
+// iff at least two of its child subtrees contain marked vertices).
+func (d *Decomposition) markVertices() {
+	t := d.Tree
+	d.Marked[t.Root] = true
+	for _, id := range d.GlobalEdges {
+		e := d.G.Edge(id)
+		d.Marked[e.U] = true
+		d.Marked[e.V] = true
+	}
+	containsMarked := make([]bool, t.N())
+	for _, v := range t.PostOrder() {
+		markedSubtrees := 0
+		for _, c := range t.Children(v) {
+			if containsMarked[c] {
+				markedSubtrees++
+			}
+		}
+		if markedSubtrees >= 2 {
+			d.Marked[v] = true
+		}
+		containsMarked[v] = d.Marked[v] || markedSubtrees > 0
+	}
+}
+
+// buildSegments is step (III): each marked vertex dS != root defines a
+// highway up to its nearest marked proper ancestor rS; hanging subtrees
+// attach to the segment of the highway vertex above them; subtrees hanging
+// directly under marked vertices with no marked descendants attach to a
+// segment rooted there (reusing an existing one if the marked vertex is
+// already some segment's root, else a fresh (v,v) segment).
+func (d *Decomposition) buildSegments() error {
+	t := d.Tree
+	n := t.N()
+	for v := range d.SegOfVertex {
+		d.SegOfVertex[v] = -1
+	}
+	onHighway := make([]int, n) // segment ID if v is an internal highway vertex, else -1
+	for v := range onHighway {
+		onHighway[v] = -1
+	}
+
+	// Highways: deepest-first so SkeletonParent is complete.
+	var marked []int
+	for v := 0; v < n; v++ {
+		if d.Marked[v] {
+			marked = append(marked, v)
+		}
+	}
+	sort.Slice(marked, func(i, j int) bool { return t.Depth[marked[i]] > t.Depth[marked[j]] })
+
+	segRootedAt := make(map[int]int) // marked vertex -> smallest segment ID rooted there
+	for _, dS := range marked {
+		if dS == t.Root {
+			d.SkeletonParent[t.Root] = -1
+			continue
+		}
+		rS := t.Parent[dS]
+		for !d.Marked[rS] {
+			rS = t.Parent[rS]
+		}
+		seg := &Segment{ID: len(d.Segments), Root: rS, Desc: dS}
+		// Highway from rS down to dS.
+		var rev []int
+		for x := dS; x != rS; x = t.Parent[x] {
+			rev = append(rev, x)
+		}
+		seg.Highway = append(seg.Highway, rS)
+		for i := len(rev) - 1; i >= 0; i-- {
+			seg.Highway = append(seg.Highway, rev[i])
+		}
+		for _, x := range rev {
+			seg.HighwayEdges = append(seg.HighwayEdges, t.ParentEdge[x])
+			d.SegOfEdge[t.ParentEdge[x]] = seg.ID
+		}
+		sort.Ints(seg.HighwayEdges)
+		for _, x := range seg.Highway[1 : len(seg.Highway)-1] {
+			onHighway[x] = seg.ID
+			d.SegOfVertex[x] = seg.ID // internal highway vertices live only here
+		}
+		d.Segments = append(d.Segments, seg)
+		d.SkeletonParent[dS] = rS
+		d.SegOfVertex[dS] = seg.ID // home segment of a marked vertex: the one it is dS of
+		if _, ok := segRootedAt[rS]; !ok {
+			segRootedAt[rS] = seg.ID
+		}
+	}
+
+	// Hanging subtrees, in pre-order so parents are resolved first.
+	// hangSeg[v] = segment a hanging vertex belongs to.
+	hangSeg := make([]int, n)
+	for v := range hangSeg {
+		hangSeg[v] = -1
+	}
+	for _, v := range t.PreOrder() {
+		if v == t.Root || d.Marked[v] || onHighway[v] != -1 {
+			continue
+		}
+		p := t.Parent[v]
+		switch {
+		case onHighway[p] != -1:
+			hangSeg[v] = onHighway[p]
+		case d.Marked[p]:
+			segID, ok := segRootedAt[p]
+			if !ok {
+				seg := &Segment{ID: len(d.Segments), Root: p, Desc: p, Highway: []int{p}}
+				d.Segments = append(d.Segments, seg)
+				segRootedAt[p] = seg.ID
+				segID = seg.ID
+			}
+			hangSeg[v] = segID
+		default:
+			hangSeg[v] = hangSeg[p]
+			if hangSeg[v] == -1 {
+				return fmt.Errorf("segments: hanging vertex %d has unresolved parent %d", v, p)
+			}
+		}
+		d.SegOfVertex[v] = hangSeg[v]
+		d.SegOfEdge[t.ParentEdge[v]] = hangSeg[v]
+	}
+
+	// Home segment for the root, if unset: any segment rooted at it.
+	if d.SegOfVertex[t.Root] == -1 {
+		if segID, ok := segRootedAt[t.Root]; ok {
+			d.SegOfVertex[t.Root] = segID
+		} else if len(d.Segments) > 0 {
+			return fmt.Errorf("segments: root %d belongs to no segment", t.Root)
+		}
+	}
+
+	// Vertex lists: every vertex joins its home segment; highway vertices
+	// and roots/descendants join the segments of their highways too.
+	seen := make([]map[int]bool, len(d.Segments))
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	addTo := func(segID, v int) {
+		if segID >= 0 && !seen[segID][v] {
+			seen[segID][v] = true
+			d.Segments[segID].Vertices = append(d.Segments[segID].Vertices, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		addTo(d.SegOfVertex[v], v)
+	}
+	for _, seg := range d.Segments {
+		for _, x := range seg.Highway {
+			addTo(seg.ID, x)
+		}
+	}
+	for _, seg := range d.Segments {
+		sort.Ints(seg.Vertices)
+	}
+	return nil
+}
+
+// MarkedCount returns the number of marked vertices.
+func (d *Decomposition) MarkedCount() int {
+	c := 0
+	for _, m := range d.Marked {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxSegmentDiameter returns the largest segment diameter (the O(√n)
+// quantity each per-iteration pipeline pays for).
+func (d *Decomposition) MaxSegmentDiameter() int {
+	max := 0
+	for _, s := range d.Segments {
+		if dd := s.Diameter(d.Tree); dd > max {
+			max = dd
+		}
+	}
+	return max
+}
+
+// HomeSegment returns the segment the algorithm treats as v's own: for an
+// unmarked vertex the unique segment containing it; for a marked vertex the
+// segment it is the unique descendant of (or a segment rooted at it, for
+// the tree root).
+func (d *Decomposition) HomeSegment(v int) *Segment {
+	id := d.SegOfVertex[v]
+	if id < 0 {
+		return nil
+	}
+	return d.Segments[id]
+}
+
+// SegmentOfEdge returns the unique segment containing the given tree edge.
+func (d *Decomposition) SegmentOfEdge(treeEdgeID int) (*Segment, error) {
+	id, ok := d.SegOfEdge[treeEdgeID]
+	if !ok {
+		return nil, fmt.Errorf("segments: edge %d is not a tree edge of the decomposition", treeEdgeID)
+	}
+	return d.Segments[id], nil
+}
+
+// SkeletonPath returns the marked vertices on the skeleton-tree path from a
+// to b (both must be marked), inclusive. Implemented by walking up with
+// SkeletonParent, exactly the computation each vertex performs locally after
+// learning the complete skeleton tree (Claim 3.1).
+func (d *Decomposition) SkeletonPath(a, b int) ([]int, error) {
+	if !d.Marked[a] || !d.Marked[b] {
+		return nil, fmt.Errorf("segments: skeleton path endpoints %d,%d must be marked", a, b)
+	}
+	depth := func(v int) int { return d.Tree.Depth[v] }
+	var up, down []int
+	x, y := a, b
+	// Climb the deeper side until the walks meet; skeleton parents are tree
+	// ancestors, so depths strictly decrease and the walks meet at the
+	// (marked, by LCA closure) skeleton LCA.
+	for x != y {
+		if depth(x) >= depth(y) {
+			up = append(up, x)
+			x = d.SkeletonParent[x]
+		} else {
+			down = append(down, y)
+			y = d.SkeletonParent[y]
+		}
+	}
+	up = append(up, x)
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up, nil
+}

@@ -1,0 +1,323 @@
+package segments
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/tree"
+)
+
+// buildCase produces a (graph, rooted MST) pair for decomposition tests.
+func buildCase(t *testing.T, g *graph.Graph) (*graph.Graph, *tree.Rooted) {
+	t.Helper()
+	ids, _ := mst.Kruskal(g)
+	tr, err := tree.FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func starGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	return g
+}
+
+func testCases(t *testing.T) map[string]struct {
+	g  *graph.Graph
+	tr *tree.Rooted
+} {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	cases := map[string]struct {
+		g  *graph.Graph
+		tr *tree.Rooted
+	}{}
+	add := func(name string, g *graph.Graph) {
+		gg, tr := buildCase(t, g)
+		cases[name] = struct {
+			g  *graph.Graph
+			tr *tree.Rooted
+		}{gg, tr}
+	}
+	add("path100", pathGraph(100))
+	add("star50", starGraph(50))
+	add("grid", graph.Grid(8, 9, graph.UnitWeights()))
+	add("random", graph.RandomKConnected(120, 2, 150, rng, graph.RandomWeights(rng, 40)))
+	add("cliquechain", graph.CliqueChain(10, 5, 2, graph.RandomWeights(rng, 9)))
+	add("tiny", pathGraph(2))
+	return cases
+}
+
+func TestLemma34Properties(t *testing.T) {
+	for name, tc := range testCases(t) {
+		t.Run(name, func(t *testing.T) {
+			n := tc.g.N()
+			target := DefaultTarget(n)
+			d, err := Decompose(tc.g, tc.tr, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// (1) root is marked; every vertex has a marked ancestor within
+			// target hops.
+			if !d.Marked[tc.tr.Root] {
+				t.Error("root not marked")
+			}
+			for v := 0; v < n; v++ {
+				found := false
+				x := v
+				for hop := 0; hop <= target && x != -1; hop++ {
+					if d.Marked[x] {
+						found = true
+						break
+					}
+					x = tc.tr.Parent[x]
+				}
+				if !found {
+					t.Errorf("vertex %d has no marked ancestor within %d hops", v, target)
+				}
+			}
+			// (2) closed under LCA.
+			var marked []int
+			for v := 0; v < n; v++ {
+				if d.Marked[v] {
+					marked = append(marked, v)
+				}
+			}
+			for i := 0; i < len(marked); i++ {
+				for j := i + 1; j < len(marked); j++ {
+					if l := tc.tr.LCA(marked[i], marked[j]); !d.Marked[l] {
+						t.Fatalf("LCA(%d,%d)=%d not marked", marked[i], marked[j], l)
+					}
+				}
+			}
+			// (3) O(n/target) marked vertices.
+			if got, bound := d.MarkedCount(), 6*(n/target+1); got > bound {
+				t.Errorf("marked = %d, want <= %d", got, bound)
+			}
+		})
+	}
+}
+
+func TestSegmentStructure(t *testing.T) {
+	for name, tc := range testCases(t) {
+		t.Run(name, func(t *testing.T) {
+			n := tc.g.N()
+			target := DefaultTarget(n)
+			d, err := Decompose(tc.g, tc.tr, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Edge-disjoint cover of all n-1 tree edges.
+			if len(d.SegOfEdge) != n-1 {
+				t.Fatalf("SegOfEdge covers %d edges, want %d", len(d.SegOfEdge), n-1)
+			}
+			// Segment count O(√n): at most 2 per marked vertex.
+			if len(d.Segments) > 2*d.MarkedCount() {
+				t.Errorf("%d segments for %d marked vertices", len(d.Segments), d.MarkedCount())
+			}
+			// Diameter O(target).
+			if got, bound := d.MaxSegmentDiameter(), 2*target+2; got > bound {
+				t.Errorf("max segment diameter = %d, want <= %d", got, bound)
+			}
+			for _, seg := range d.Segments {
+				// Root is an ancestor of every vertex of the segment.
+				for _, v := range seg.Vertices {
+					if !tc.tr.IsAncestor(seg.Root, v) {
+						t.Fatalf("segment %d: root %d is not an ancestor of %d", seg.ID, seg.Root, v)
+					}
+				}
+				// Highway runs root..desc and its edges are in the segment.
+				if seg.Highway[0] != seg.Root || seg.Highway[len(seg.Highway)-1] != seg.Desc {
+					t.Fatalf("segment %d: highway endpoints %v", seg.ID, seg.Highway)
+				}
+				for _, he := range seg.HighwayEdges {
+					if d.SegOfEdge[he] != seg.ID {
+						t.Fatalf("segment %d: highway edge %d assigned to segment %d", seg.ID, he, d.SegOfEdge[he])
+					}
+				}
+				// Internal vertices (not root/desc) touch no tree edge that
+				// leaves the segment.
+				inSeg := make(map[int]bool, len(seg.Vertices))
+				for _, v := range seg.Vertices {
+					inSeg[v] = true
+				}
+				for _, v := range seg.Vertices {
+					if v == seg.Root || v == seg.Desc {
+						continue
+					}
+					if p := tc.tr.Parent[v]; p != -1 && !inSeg[p] {
+						t.Fatalf("segment %d: internal vertex %d has parent %d outside", seg.ID, v, p)
+					}
+					for _, c := range tc.tr.Children(v) {
+						if !inSeg[c] {
+							t.Fatalf("segment %d: internal vertex %d has child %d outside", seg.ID, v, c)
+						}
+					}
+				}
+			}
+			// Every vertex has a home segment (when segments exist at all).
+			if len(d.Segments) > 0 {
+				for v := 0; v < n; v++ {
+					if d.HomeSegment(v) == nil {
+						t.Errorf("vertex %d has no home segment", v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSegmentCountScaling(t *testing.T) {
+	// #segments and marked count should grow like √n, not n (E9's claim).
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{100, 400, 1600} {
+		g := graph.RandomKConnected(n, 2, n, rng, graph.RandomWeights(rng, 50))
+		ids, _ := mst.Kruskal(g)
+		tr, err := tree.FromEdges(g, ids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Decompose(g, tr, DefaultTarget(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqrtN := DefaultTarget(n)
+		if got := len(d.Segments); got > 8*sqrtN {
+			t.Errorf("n=%d: %d segments, want O(√n)=O(%d)", n, got, sqrtN)
+		}
+	}
+}
+
+func TestSkeletonPathMatchesTreePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.RandomKConnected(150, 2, 120, rng, graph.RandomWeights(rng, 60))
+	ids, _ := mst.Kruskal(g)
+	tr, err := tree.FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(g, tr, DefaultTarget(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marked []int
+	for v := 0; v < g.N(); v++ {
+		if d.Marked[v] {
+			marked = append(marked, v)
+		}
+	}
+	if len(marked) < 2 {
+		t.Skip("too few marked vertices for this instance")
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := marked[rng.Intn(len(marked))]
+		b := marked[rng.Intn(len(marked))]
+		path, err := d.SkeletonPath(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concatenated highways along the skeleton path = tree path edges.
+		edgeSet := map[int]bool{}
+		for i := 0; i+1 < len(path); i++ {
+			x, y := path[i], path[i+1]
+			// One of x,y is the dS of the segment between them.
+			var seg *Segment
+			for _, s := range d.Segments {
+				if (s.Root == x && s.Desc == y) || (s.Root == y && s.Desc == x) {
+					seg = s
+					break
+				}
+			}
+			if seg == nil {
+				t.Fatalf("no segment for skeleton edge {%d,%d}", x, y)
+			}
+			for _, e := range seg.HighwayEdges {
+				edgeSet[e] = true
+			}
+		}
+		want := tr.PathEdges(a, b)
+		if len(edgeSet) != len(want) {
+			t.Fatalf("skeleton path %d-%d: %d edges, want %d", a, b, len(edgeSet), len(want))
+		}
+		for _, e := range want {
+			if !edgeSet[e] {
+				t.Fatalf("skeleton path %d-%d missing tree edge %d", a, b, e)
+			}
+		}
+	}
+}
+
+func TestSkeletonPathErrorsOnUnmarked(t *testing.T) {
+	g, tr := buildCase(t, pathGraph(30))
+	d, err := Decompose(g, tr, DefaultTarget(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmarked := -1
+	for v := 0; v < g.N(); v++ {
+		if !d.Marked[v] {
+			unmarked = v
+			break
+		}
+	}
+	if unmarked == -1 {
+		t.Skip("everything marked")
+	}
+	if _, err := d.SkeletonPath(unmarked, tr.Root); err == nil {
+		t.Fatal("expected error for unmarked endpoint")
+	}
+}
+
+func TestDecomposeRejectsBadTarget(t *testing.T) {
+	g, tr := buildCase(t, pathGraph(5))
+	if _, err := Decompose(g, tr, 0); err == nil {
+		t.Fatal("expected error for target 0")
+	}
+}
+
+func TestSegmentOfEdgeUnknownEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomKConnected(20, 2, 20, rng, graph.UnitWeights())
+	ids, _ := mst.Kruskal(g)
+	tr, err := tree.FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(g, tr, DefaultTarget(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTree := tr.IsTreeEdge()
+	nonTree := -1
+	for _, e := range g.Edges() {
+		if !inTree[e.ID] {
+			nonTree = e.ID
+			break
+		}
+	}
+	if nonTree == -1 {
+		t.Fatal("no non-tree edge")
+	}
+	if _, err := d.SegmentOfEdge(nonTree); err == nil {
+		t.Fatal("expected error for non-tree edge")
+	}
+	sort.Ints(ids)
+	if _, err := d.SegmentOfEdge(ids[0]); err != nil {
+		t.Fatalf("tree edge lookup failed: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package tree provides rooted spanning-tree utilities shared by the MST,
+// segment-decomposition, TAP and cycle-space modules: parent/children
+// structure, depth, LCA, tree paths and traversal orders.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Rooted is a rooted spanning tree of a graph, described by parent pointers.
+// ParentEdge holds graph edge IDs, so tree edges can be correlated with the
+// underlying graph's edges (the paper constantly distinguishes "tree edges"
+// from "non-tree edges").
+type Rooted struct {
+	Root       int
+	Parent     []int // Parent[v], -1 at root
+	ParentEdge []int // graph edge ID of {v, Parent[v]}, -1 at root
+	Depth      []int
+	children   [][]int
+}
+
+// FromParents builds a Rooted tree and validates it: exactly one root, all
+// vertices reachable, acyclic.
+func FromParents(root int, parent, parentEdge []int) (*Rooted, error) {
+	n := len(parent)
+	if len(parentEdge) != n {
+		return nil, fmt.Errorf("tree: parent/parentEdge length mismatch %d vs %d", n, len(parentEdge))
+	}
+	if root < 0 || root >= n || parent[root] != -1 {
+		return nil, fmt.Errorf("tree: invalid root %d", root)
+	}
+	t := &Rooted{
+		Root:       root,
+		Parent:     parent,
+		ParentEdge: parentEdge,
+		Depth:      make([]int, n),
+		children:   make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("tree: vertex %d has invalid parent %d", v, p)
+		}
+		t.children[p] = append(t.children[p], v)
+	}
+	// Compute depths by BFS from root; detects unreachable vertices (which
+	// with n-1 parent pointers also rules out cycles).
+	for v := range t.Depth {
+		t.Depth[v] = -1
+	}
+	t.Depth[root] = 0
+	queue := []int{root}
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[v] {
+			t.Depth[c] = t.Depth[v] + 1
+			visited++
+			queue = append(queue, c)
+		}
+	}
+	if visited != n {
+		return nil, fmt.Errorf("tree: only %d of %d vertices reachable from root", visited, n)
+	}
+	return t, nil
+}
+
+// MustFromParents is FromParents, panicking on error. For use with inputs
+// produced by this repository's own algorithms, where failure is a bug.
+func MustFromParents(root int, parent, parentEdge []int) *Rooted {
+	t, err := FromParents(root, parent, parentEdge)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromBFS converts a complete BFS result into a rooted tree.
+func FromBFS(res *graph.BFSResult) (*Rooted, error) {
+	return FromParents(res.Source, res.Parent, res.ParentEdge)
+}
+
+// FromEdges roots the tree formed by the given graph edge IDs at root.
+// The edges must form a spanning tree of g.
+func FromEdges(g *graph.Graph, edgeIDs []int, root int) (*Rooted, error) {
+	if len(edgeIDs) != g.N()-1 {
+		return nil, fmt.Errorf("tree: %d edges cannot span %d vertices", len(edgeIDs), g.N())
+	}
+	adj := make([][]graph.Arc, g.N())
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, Edge: id})
+		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, Edge: id})
+	}
+	parent := make([]int, g.N())
+	parentEdge := make([]int, g.N())
+	for v := range parent {
+		parent[v] = -2
+		parentEdge[v] = -1
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range adj[v] {
+			if parent[a.To] == -2 {
+				parent[a.To] = v
+				parentEdge[a.To] = a.Edge
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	for v, p := range parent {
+		if p == -2 {
+			return nil, fmt.Errorf("tree: vertex %d not spanned", v)
+		}
+	}
+	return FromParents(root, parent, parentEdge)
+}
+
+// MustFromEdges is FromEdges, panicking on error. For inputs produced by
+// this repository's own algorithms, where failure is a bug.
+func MustFromEdges(g *graph.Graph, edgeIDs []int, root int) *Rooted {
+	t, err := FromEdges(g, edgeIDs, root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the number of vertices.
+func (t *Rooted) N() int { return len(t.Parent) }
+
+// Children returns v's children. Callers must not mutate it.
+func (t *Rooted) Children(v int) []int { return t.children[v] }
+
+// IsLeaf reports whether v has no children.
+func (t *Rooted) IsLeaf(v int) bool { return len(t.children[v]) == 0 }
+
+// Height returns the maximum depth.
+func (t *Rooted) Height() int {
+	h := 0
+	for _, d := range t.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// EdgeIDs returns the graph edge IDs of all tree edges.
+func (t *Rooted) EdgeIDs() []int {
+	out := make([]int, 0, t.N()-1)
+	for v := range t.Parent {
+		if v != t.Root {
+			out = append(out, t.ParentEdge[v])
+		}
+	}
+	return out
+}
+
+// IsTreeEdge reports, as a lookup set, which graph edge IDs are tree edges.
+func (t *Rooted) IsTreeEdge() map[int]bool {
+	set := make(map[int]bool, t.N()-1)
+	for v := range t.Parent {
+		if v != t.Root {
+			set[t.ParentEdge[v]] = true
+		}
+	}
+	return set
+}
+
+// LCA returns the lowest common ancestor of u and v by walking up from the
+// deeper vertex. O(depth); the trees in this repository have depth O(√n) or
+// O(D), so this is within the budget everywhere it is used.
+func (t *Rooted) LCA(u, v int) int {
+	for t.Depth[u] > t.Depth[v] {
+		u = t.Parent[u]
+	}
+	for t.Depth[v] > t.Depth[u] {
+		v = t.Parent[v]
+	}
+	for u != v {
+		u = t.Parent[u]
+		v = t.Parent[v]
+	}
+	return u
+}
+
+// PathEdges returns the graph edge IDs on the unique tree path between u and
+// v (the set S¹_e of the paper for a non-tree edge e={u,v}).
+func (t *Rooted) PathEdges(u, v int) []int {
+	l := t.LCA(u, v)
+	var out []int
+	for x := u; x != l; x = t.Parent[x] {
+		out = append(out, t.ParentEdge[x])
+	}
+	for x := v; x != l; x = t.Parent[x] {
+		out = append(out, t.ParentEdge[x])
+	}
+	return out
+}
+
+// PathVertices returns the vertices on the tree path from u to v, inclusive,
+// in order u..LCA..v.
+func (t *Rooted) PathVertices(u, v int) []int {
+	l := t.LCA(u, v)
+	var up []int
+	for x := u; x != l; x = t.Parent[x] {
+		up = append(up, x)
+	}
+	up = append(up, l)
+	var down []int
+	for x := v; x != l; x = t.Parent[x] {
+		down = append(down, x)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// PostOrder returns the vertices in post-order (children before parents) —
+// the order of leaf-to-root scans such as the cycle-space label computation.
+func (t *Rooted) PostOrder() []int {
+	out := make([]int, 0, t.N())
+	type frame struct {
+		v, idx int
+	}
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.idx < len(t.children[top.v]) {
+			c := t.children[top.v][top.idx]
+			top.idx++
+			stack = append(stack, frame{c, 0})
+		} else {
+			out = append(out, top.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return out
+}
+
+// PreOrder returns the vertices in pre-order (parents before children).
+func (t *Rooted) PreOrder() []int {
+	out := make([]int, 0, t.N())
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for i := len(t.children[v]) - 1; i >= 0; i-- {
+			stack = append(stack, t.children[v][i])
+		}
+	}
+	return out
+}
+
+// SubtreeSizes returns the number of vertices in each subtree.
+func (t *Rooted) SubtreeSizes() []int {
+	size := make([]int, t.N())
+	for _, v := range t.PostOrder() {
+		size[v] = 1
+		for _, c := range t.children[v] {
+			size[v] += size[c]
+		}
+	}
+	return size
+}
+
+// IsAncestor reports whether a is an ancestor of v (inclusive: a vertex is
+// its own ancestor).
+func (t *Rooted) IsAncestor(a, v int) bool {
+	for t.Depth[v] > t.Depth[a] {
+		v = t.Parent[v]
+	}
+	return v == a
+}

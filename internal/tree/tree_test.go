@@ -1,0 +1,218 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// sampleTree builds the fixed tree
+//
+//	    0
+//	   / \
+//	  1   2
+//	 / \   \
+//	3   4   5
+//	    |
+//	    6
+//
+// over a graph whose edges are exactly the tree edges.
+func sampleTree(t *testing.T) (*graph.Graph, *Rooted) {
+	t.Helper()
+	g := graph.New(7)
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {4, 6}}
+	ids := make([]int, len(pairs))
+	for i, p := range pairs {
+		ids[i] = g.AddEdge(p[0], p[1], 1)
+	}
+	tr, err := FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g, tr
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	_, tr := sampleTree(t)
+	if tr.Root != 0 || tr.N() != 7 {
+		t.Fatalf("root=%d n=%d", tr.Root, tr.N())
+	}
+	wantDepth := []int{0, 1, 1, 2, 2, 2, 3}
+	for v, d := range wantDepth {
+		if tr.Depth[v] != d {
+			t.Errorf("Depth[%d] = %d, want %d", v, tr.Depth[v], d)
+		}
+	}
+	if tr.Height() != 3 {
+		t.Errorf("Height = %d, want 3", tr.Height())
+	}
+	if !tr.IsLeaf(3) || tr.IsLeaf(1) {
+		t.Error("leaf detection wrong")
+	}
+	if len(tr.EdgeIDs()) != 6 {
+		t.Errorf("EdgeIDs len = %d", len(tr.EdgeIDs()))
+	}
+}
+
+func TestLCA(t *testing.T) {
+	_, tr := sampleTree(t)
+	tests := []struct{ u, v, want int }{
+		{3, 4, 1}, {3, 6, 1}, {6, 5, 0}, {3, 3, 3},
+		{0, 6, 0}, {4, 6, 4}, {1, 2, 0}, {5, 2, 2},
+	}
+	for _, tc := range tests {
+		if got := tr.LCA(tc.u, tc.v); got != tc.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.want)
+		}
+		if got := tr.LCA(tc.v, tc.u); got != tc.want {
+			t.Errorf("LCA(%d,%d) = %d, want %d (symmetry)", tc.v, tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestPathEdgesAndVertices(t *testing.T) {
+	_, tr := sampleTree(t)
+	edges := tr.PathEdges(3, 6)
+	if len(edges) != 3 { // 3-1, 1-4, 4-6
+		t.Fatalf("PathEdges(3,6) = %v, want 3 edges", edges)
+	}
+	verts := tr.PathVertices(3, 6)
+	want := []int{3, 1, 4, 6}
+	if len(verts) != len(want) {
+		t.Fatalf("PathVertices(3,6) = %v, want %v", verts, want)
+	}
+	for i := range want {
+		if verts[i] != want[i] {
+			t.Fatalf("PathVertices(3,6) = %v, want %v", verts, want)
+		}
+	}
+	if got := tr.PathVertices(5, 5); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("PathVertices(5,5) = %v", got)
+	}
+	if got := tr.PathEdges(2, 2); len(got) != 0 {
+		t.Fatalf("PathEdges(2,2) = %v, want empty", got)
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	_, tr := sampleTree(t)
+	post := tr.PostOrder()
+	pos := make(map[int]int, len(post))
+	for i, v := range post {
+		pos[v] = i
+	}
+	for v := 0; v < tr.N(); v++ {
+		for _, c := range tr.Children(v) {
+			if pos[c] > pos[v] {
+				t.Errorf("post-order: child %d after parent %d", c, v)
+			}
+		}
+	}
+	pre := tr.PreOrder()
+	pos = make(map[int]int, len(pre))
+	for i, v := range pre {
+		pos[v] = i
+	}
+	for v := 0; v < tr.N(); v++ {
+		for _, c := range tr.Children(v) {
+			if pos[c] < pos[v] {
+				t.Errorf("pre-order: child %d before parent %d", c, v)
+			}
+		}
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	_, tr := sampleTree(t)
+	size := tr.SubtreeSizes()
+	want := []int{7, 4, 2, 1, 2, 1, 1}
+	for v := range want {
+		if size[v] != want[v] {
+			t.Errorf("size[%d] = %d, want %d", v, size[v], want[v])
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	_, tr := sampleTree(t)
+	if !tr.IsAncestor(1, 6) || !tr.IsAncestor(0, 0) || tr.IsAncestor(6, 1) || tr.IsAncestor(2, 3) {
+		t.Fatal("IsAncestor wrong")
+	}
+}
+
+func TestFromParentsValidation(t *testing.T) {
+	tests := []struct {
+		name       string
+		root       int
+		parent     []int
+		parentEdge []int
+	}{
+		{"bad root", 0, []int{1, -1}, []int{0, -1}},
+		{"length mismatch", 0, []int{-1, 0}, []int{-1}},
+		{"cycle", 0, []int{-1, 2, 1}, []int{-1, 0, 1}},
+		{"out of range parent", 0, []int{-1, 9}, []int{-1, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromParents(tc.root, tc.parent, tc.parentEdge); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestFromBFS(t *testing.T) {
+	g := graph.Grid(3, 3, graph.UnitWeights())
+	tr, err := FromBFS(g.BFS(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 4 {
+		t.Fatalf("root = %d", tr.Root)
+	}
+	for v := 0; v < g.N(); v++ {
+		if tr.Depth[v] != g.BFS(4).Dist[v] {
+			t.Errorf("depth mismatch at %d", v)
+		}
+	}
+}
+
+// Property: on random BFS trees, PathEdges(u,v) length equals
+// Depth[u]+Depth[v]-2*Depth[LCA], and LCA agrees with a brute-force
+// ancestor-set intersection.
+func TestLCAQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomKConnected(40, 2, 30, rng, graph.UnitWeights())
+	tr, err := FromBFS(g.BFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ancestors := func(v int) map[int]bool {
+		out := map[int]bool{}
+		for x := v; x != -1; x = tr.Parent[x] {
+			out[x] = true
+		}
+		return out
+	}
+	f := func(a, b uint8) bool {
+		u, v := int(a)%40, int(b)%40
+		l := tr.LCA(u, v)
+		// Brute force: deepest common ancestor.
+		au := ancestors(u)
+		best, bestDepth := -1, -1
+		for x := range ancestors(v) {
+			if au[x] && tr.Depth[x] > bestDepth {
+				best, bestDepth = x, tr.Depth[x]
+			}
+		}
+		if l != best {
+			return false
+		}
+		return len(tr.PathEdges(u, v)) == tr.Depth[u]+tr.Depth[v]-2*tr.Depth[l]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
