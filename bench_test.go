@@ -23,6 +23,7 @@ import (
 
 func benchExperiment(b *testing.B, f func(experiments.Scale) (*experiments.Table, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := f(experiments.Scale{Quick: true}); err != nil {
 			b.Fatal(err)
@@ -57,6 +58,7 @@ func BenchmarkAblation_PhaseLen(b *testing.B) { benchExperiment(b, experiments.A
 
 func benchBoruvka(b *testing.B, exec congest.Executor) {
 	b.Helper()
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := graph.RandomKConnected(128, 2, 256, rng, graph.RandomWeights(rng, 1000))
 	b.ResetTimer()
@@ -75,6 +77,7 @@ func BenchmarkAblation_ExecutorParallel(b *testing.B) { benchBoruvka(b, congest.
 // --- Micro-benchmarks of the substrates --------------------------------------
 
 func BenchmarkMicro_KruskalMST(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	g := graph.RandomKConnected(1000, 2, 3000, rng, graph.RandomWeights(rng, 1000))
 	b.ResetTimer()
@@ -84,6 +87,7 @@ func BenchmarkMicro_KruskalMST(b *testing.B) {
 }
 
 func BenchmarkMicro_DistributedBFS(b *testing.B) {
+	b.ReportAllocs()
 	g := graph.Grid(16, 64, graph.UnitWeights())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -93,7 +97,78 @@ func BenchmarkMicro_DistributedBFS(b *testing.B) {
 	}
 }
 
+// --- Simulator-round micro-benchmarks ----------------------------------------
+//
+// These isolate the per-round cost of the CONGEST simulator itself, which
+// every experiment funnels through. Two workloads at n=1k and n=4k:
+//
+//   - broadcast: every node broadcasts on every incident edge every round —
+//     the saturated regime (2m messages per round), measuring slot delivery
+//     and send bookkeeping with zero algorithmic work;
+//   - flood: a full BFS-style min-ID flood from scratch each iteration —
+//     the sparse-wavefront regime, measuring network construction plus rounds
+//     where most nodes send nothing.
+
+// saturatingProgram broadcasts every round and never finishes.
+type saturatingProgram struct{}
+
+func (saturatingProgram) Init(ctx *congest.Context) { ctx.Broadcast(congest.Payload{Kind: 1}) }
+func (saturatingProgram) Round(ctx *congest.Context, _ []congest.Message) bool {
+	ctx.Broadcast(congest.Payload{Kind: 1})
+	return false
+}
+
+func simBenchGraph(n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(int64(n)))
+	return graph.RandomKConnected(n, 2, 2*n, rng, graph.UnitWeights())
+}
+
+func benchSimulatorBroadcast(b *testing.B, n int, exec congest.Executor) {
+	b.Helper()
+	b.ReportAllocs()
+	g := simBenchGraph(n)
+	net := congest.NewNetwork(g, func(int) congest.Program { return saturatingProgram{} },
+		congest.WithExecutor(exec))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+func benchSimulatorFlood(b *testing.B, n int, opts ...congest.Option) {
+	b.Helper()
+	b.ReportAllocs()
+	g := simBenchGraph(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := primitives.ElectLeader(g, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_SimulatorRound(b *testing.B) {
+	seq := congest.WithExecutor(congest.SequentialExecutor{})
+	par := congest.WithExecutor(congest.ParallelExecutor{})
+	shard := congest.WithExecutor(congest.ShardedExecutor{})
+	b.Run("broadcast/n=1k", func(b *testing.B) { benchSimulatorBroadcast(b, 1000, congest.SequentialExecutor{}) })
+	b.Run("broadcast/n=4k", func(b *testing.B) { benchSimulatorBroadcast(b, 4000, congest.SequentialExecutor{}) })
+	b.Run("broadcast-parallel/n=4k", func(b *testing.B) { benchSimulatorBroadcast(b, 4000, congest.ParallelExecutor{}) })
+	b.Run("broadcast-sharded/n=4k", func(b *testing.B) { benchSimulatorBroadcast(b, 4000, congest.ShardedExecutor{}) })
+	b.Run("flood/n=1k", func(b *testing.B) { benchSimulatorFlood(b, 1000, seq) })
+	b.Run("flood/n=4k", func(b *testing.B) { benchSimulatorFlood(b, 4000, seq) })
+	b.Run("flood-parallel/n=4k", func(b *testing.B) { benchSimulatorFlood(b, 4000, par) })
+	b.Run("flood-sharded/n=4k", func(b *testing.B) { benchSimulatorFlood(b, 4000, shard) })
+	b.Run("flood-arena/n=1k", func(b *testing.B) {
+		benchSimulatorFlood(b, 1000, seq, congest.WithArena(congest.NewArena()))
+	})
+	b.Run("flood-arena/n=4k", func(b *testing.B) {
+		benchSimulatorFlood(b, 4000, seq, congest.WithArena(congest.NewArena()))
+	})
+}
+
 func BenchmarkMicro_CycleLabels(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	g := graph.RandomKConnected(512, 2, 512, rng, graph.UnitWeights())
 	tr, err := tree.FromBFS(g.BFS(0))
@@ -109,6 +184,7 @@ func BenchmarkMicro_CycleLabels(b *testing.B) {
 }
 
 func BenchmarkMicro_SegmentDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	g := graph.RandomKConnected(2048, 2, 2048, rng, graph.RandomWeights(rng, 100))
 	ids, _ := mst.Kruskal(g)
@@ -122,6 +198,7 @@ func BenchmarkMicro_SegmentDecomposition(b *testing.B) {
 }
 
 func BenchmarkMicro_TAPAugment(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	g := graph.RandomKConnected(256, 2, 768, rng, graph.RandomWeights(rng, 1000))
 	ids, _ := mst.Kruskal(g)
@@ -135,6 +212,7 @@ func BenchmarkMicro_TAPAugment(b *testing.B) {
 }
 
 func BenchmarkMicro_Solve2ECSSEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(6))
 	g := graph.RandomKConnected(256, 2, 512, rng, graph.RandomWeights(rng, 1000))
 	b.ResetTimer()

@@ -7,12 +7,49 @@
 // model's constraints (bounded message size, one message per edge direction
 // per round) and accounts rounds and messages, which is what the paper's
 // theorems are about.
+//
+// # Simulator architecture
+//
+// The hot path is allocation-free in steady state. Four mechanisms make a
+// simulated round cost O(messages + n) machine work with zero heap growth:
+//
+//   - Port indexing. A node's incident edges are its ports 0..deg-1, in
+//     adjacency order. NewNetwork builds, once, a global edge→port index
+//     (portAtU/portAtV, one int32 per edge endpoint) and a network-wide
+//     (node, neighbour)→lowest-port map chained through per-port nextSame
+//     links, so Send and SendTo resolve an edge or neighbour to a port in
+//     O(1) instead of scanning the neighbour list.
+//
+//   - Round-stamped send state. The model admits at most one message per
+//     edge direction per round. Instead of a per-round map of used edges,
+//     each port carries a uint32 stamp; a port is "used this round" iff its
+//     stamp equals the network's current round stamp, so clearing the send
+//     state of the whole network is a single integer increment.
+//
+//   - Slot delivery. All messages in flight live in a flat []Message of
+//     length 2m — slot 2e for the message travelling U→V on edge e, slot
+//     2e+1 for V→U. Send writes the message into its slot (each slot has
+//     exactly one possible writer per round, so parallel executors need no
+//     locks) and records the slot in the sender's out-list. deliver copies
+//     slots into per-node inbox views — fixed-capacity sub-slices of a
+//     second flat 2m arena, partitioned by receiver degree — in sender-ID
+//     order, preserving the exact inbox ordering of a sequential simulator.
+//
+//   - Buffer reuse. Every buffer above is sized by the graph's n and m and
+//     carved out of a handful of flat allocations. A NetworkArena recycles
+//     them across repeated NewNetwork calls (see arena.go), so repetition
+//     sweeps construct networks without re-allocating contexts, inboxes or
+//     neighbour tables.
+//
+// Executors (see executor.go) decide how the n per-node Round calls run:
+// sequentially, on a persistent work-stealing worker pool (ParallelExecutor),
+// or on the same pool with contiguous vertex shards (ShardedExecutor). All
+// three produce byte-identical results and Metrics because programs touch
+// only per-node state and delivery order is fixed by the network, not the
+// executor.
 package congest
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Payload is the content of one CONGEST message: a small constant number of
 // O(log n)-bit fields. IDs, weights, counts and labels in the paper all fit
@@ -47,9 +84,12 @@ type Neighbor struct {
 type Context struct {
 	node      int
 	n         int
-	neighbors []Neighbor
-	out       []Message
-	sentOn    map[int]bool // edge IDs already used this round by this node
+	net       *Network
+	neighbors []Neighbor // port-indexed incident edges
+	sentStamp []uint32   // per port: == net.stamp iff used this round
+	outSlots  []int32    // slots written this round, in send order
+	slotOf    []int32    // per port: its message slot (2*edge + direction)
+	nextSame  []int32    // per port: next port with the same neighbour, -1 if none
 }
 
 // Node returns this node's vertex ID.
@@ -59,7 +99,8 @@ func (c *Context) Node() int { return c.node }
 // know n (learnable in O(D) rounds over a BFS tree).
 func (c *Context) N() int { return c.n }
 
-// Neighbors returns the node's incident edges. Callers must not mutate it.
+// Neighbors returns the node's incident edges, indexed by port. Callers must
+// not mutate it.
 func (c *Context) Neighbors() []Neighbor { return c.neighbors }
 
 // Send queues a message on the given incident edge. It panics if the edge is
@@ -67,41 +108,65 @@ func (c *Context) Neighbors() []Neighbor { return c.neighbors }
 // in the same round — both violate the CONGEST model and indicate a bug in
 // the algorithm, not a runtime condition.
 func (c *Context) Send(edge int, p Payload) {
-	var to = -1
-	for _, nb := range c.neighbors {
-		if nb.Edge == edge {
-			to = nb.ID
-			break
-		}
+	net := c.net
+	if edge < 0 || edge >= net.g.M() {
+		panic(fmt.Sprintf("congest: node %d sending on non-existent edge %d", c.node, edge))
 	}
-	if to == -1 {
+	e := net.g.Edge(edge)
+	var port int32
+	var to int
+	switch c.node {
+	case e.U:
+		port, to = net.portAtU[edge], e.V
+	case e.V:
+		port, to = net.portAtV[edge], e.U
+	default:
 		panic(fmt.Sprintf("congest: node %d sending on non-incident edge %d", c.node, edge))
 	}
-	if c.sentOn[edge] {
+	c.sendPort(port, to, edge, p)
+}
+
+// sendPort performs the actual send on a resolved port: stamps it, writes
+// the message into its slot and records the slot in send order.
+func (c *Context) sendPort(port int32, to, edge int, p Payload) {
+	net := c.net
+	if c.sentStamp[port] == net.stamp {
 		panic(fmt.Sprintf("congest: node %d sent two messages on edge %d in one round", c.node, edge))
 	}
-	c.sentOn[edge] = true
-	c.out = append(c.out, Message{From: c.node, To: to, Edge: edge, Payload: p})
+	c.sentStamp[port] = net.stamp
+	slot := c.slotOf[port]
+	net.slots[slot] = Message{From: c.node, To: to, Edge: edge, Payload: p}
+	c.outSlots = append(c.outSlots, slot)
 }
 
 // SendTo queues a message to the named neighbour. If several parallel edges
 // lead to that neighbour, the lowest-ID unused one is chosen.
 func (c *Context) SendTo(neighbor int, p Payload) {
-	for _, nb := range c.neighbors {
-		if nb.ID == neighbor && !c.sentOn[nb.Edge] {
-			c.Send(nb.Edge, p)
-			return
+	stamp := c.net.stamp
+	if port, ok := c.net.nbrPort[nbrKey(c.node, neighbor)]; ok {
+		for ; port != -1; port = c.nextSame[port] {
+			if c.sentStamp[port] != stamp {
+				nb := &c.neighbors[port]
+				c.sendPort(port, nb.ID, nb.Edge, p)
+				return
+			}
 		}
 	}
 	panic(fmt.Sprintf("congest: node %d has no free edge to neighbour %d", c.node, neighbor))
 }
 
+// nbrKey packs a (node, neighbour) pair into the key of the network-wide
+// neighbour→port map (vertex IDs are dense ints well below 2³²).
+func nbrKey(node, neighbor int) int64 { return int64(node)<<32 | int64(neighbor) }
+
 // Broadcast sends the same payload on every incident edge not yet used this
 // round.
 func (c *Context) Broadcast(p Payload) {
-	for _, nb := range c.neighbors {
-		if !c.sentOn[nb.Edge] {
-			c.Send(nb.Edge, p)
+	stamp := c.net.stamp
+	for port := range c.neighbors {
+		if c.sentStamp[port] != stamp {
+			nb := &c.neighbors[port]
+			c.sendPort(int32(port), nb.ID, nb.Edge, p)
 		}
 	}
 }
@@ -121,46 +186,3 @@ type Program interface {
 
 // Factory builds the Program for vertex v.
 type Factory func(v int) Program
-
-// Executor abstracts how the per-node round functions run: sequentially
-// (deterministic order, fastest for small graphs) or one goroutine per node
-// (exercises the natural goroutines-as-processors mapping).
-type Executor interface {
-	// RunRound invokes fn(v) for every v in 0..n-1, returning after all
-	// complete. Implementations must not let fn calls race on shared state;
-	// fn itself touches only per-node state.
-	RunRound(n int, fn func(v int))
-}
-
-// SequentialExecutor runs nodes one at a time in vertex order.
-type SequentialExecutor struct{}
-
-// RunRound implements Executor.
-func (SequentialExecutor) RunRound(n int, fn func(v int)) {
-	for v := 0; v < n; v++ {
-		fn(v)
-	}
-}
-
-// ParallelExecutor runs every node in its own goroutine each round, joined
-// by a WaitGroup barrier — the direct goroutines-per-processor embedding of
-// the synchronous model.
-type ParallelExecutor struct{}
-
-// RunRound implements Executor.
-func (ParallelExecutor) RunRound(n int, fn func(v int)) {
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			fn(v)
-		}(v)
-	}
-	wg.Wait()
-}
-
-var (
-	_ Executor = SequentialExecutor{}
-	_ Executor = ParallelExecutor{}
-)

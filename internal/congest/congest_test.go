@@ -36,7 +36,7 @@ func (f *floodProgram) Round(ctx *Context, inbox []Message) bool {
 
 func TestFloodTerminatesInDiameterRounds(t *testing.T) {
 	g := graph.Cycle(10, graph.UnitWeights())
-	for _, exec := range []Executor{SequentialExecutor{}, ParallelExecutor{}} {
+	for _, exec := range []Executor{SequentialExecutor{}, ParallelExecutor{}, ShardedExecutor{}} {
 		net := NewNetwork(g, func(int) Program { return &floodProgram{} }, WithExecutor(exec))
 		m, err := net.Run(100)
 		if err != nil {
@@ -159,4 +159,168 @@ func (c *captor) Init(ctx *Context) {
 func (c *captor) Round(_ *Context, inbox []Message) bool {
 	*c.out = append(*c.out, inbox...)
 	return true
+}
+
+// TestSendToParallelEdges checks the documented SendTo tie-break on a
+// multigraph: repeated sends to the same neighbour in one round use unused
+// parallel edges in ascending edge-ID order.
+func TestSendToParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	e0 := g.AddEdge(0, 1, 1)
+	e1 := g.AddEdge(0, 1, 1)
+	e2 := g.AddEdge(0, 1, 1)
+	var got []Message
+	net := NewNetwork(g, func(v int) Program {
+		if v == 0 {
+			return &tripleSender{}
+		}
+		return &captor{target: 0, out: &got, me: v}
+	})
+	if _, err := net.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("captured %d messages, want 3", len(got))
+	}
+	for i, wantEdge := range []int{e0, e1, e2} {
+		if got[i].Edge != wantEdge {
+			t.Errorf("message %d travelled edge %d, want %d (ascending edge IDs)", i, got[i].Edge, wantEdge)
+		}
+	}
+}
+
+type tripleSender struct{ sent bool }
+
+func (s *tripleSender) Init(ctx *Context) {
+	for i := int64(0); i < 3; i++ {
+		ctx.SendTo(1, Payload{Kind: 4, A: i})
+	}
+	s.sent = true
+}
+func (s *tripleSender) Round(*Context, []Message) bool { return true }
+
+// TestArenaReuse runs simulations of different shapes and sizes through one
+// arena and checks each against an arena-free reference run.
+func TestArenaReuse(t *testing.T) {
+	arena := NewArena()
+	graphs := []*graph.Graph{
+		graph.Cycle(10, graph.UnitWeights()),
+		graph.Grid(4, 12, graph.UnitWeights()),
+		graph.Cycle(6, graph.UnitWeights()),
+	}
+	for rep := 0; rep < 3; rep++ {
+		for gi, g := range graphs {
+			fresh := NewNetwork(g, func(int) Program { return &floodProgram{} })
+			wantM, err := fresh.Run(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := NewNetwork(g, func(int) Program { return &floodProgram{} }, WithArena(arena))
+			gotM, err := reused.Run(100)
+			if err != nil {
+				t.Fatalf("rep %d graph %d: %v", rep, gi, err)
+			}
+			if gotM != wantM {
+				t.Errorf("rep %d graph %d: arena metrics %+v, want %+v", rep, gi, gotM, wantM)
+			}
+			for v := 0; v < g.N(); v++ {
+				if reused.Program(v).(*floodProgram).heardAt != fresh.Program(v).(*floodProgram).heardAt {
+					t.Errorf("rep %d graph %d: vertex %d state diverges under arena reuse", rep, gi, v)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaStampResetClearsFullBacking forces the stamp-headroom reset while
+// the arena's current sentStamp view is smaller than its backing array, then
+// reuses the full backing: stale stamps beyond the shrunken view must not
+// survive the reset and read as "port already used".
+func TestArenaStampResetClearsFullBacking(t *testing.T) {
+	arena := NewArena()
+	big := graph.Cycle(64, graph.UnitWeights())
+	small := graph.Cycle(8, graph.UnitWeights())
+	run := func(a *NetworkArena, g *graph.Graph, p func() Program) Metrics {
+		net := NewNetwork(g, func(int) Program { return p() }, WithArena(a))
+		m, err := net.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	countdown := func() Program { return &countdownBroadcaster{left: 50} }
+	// A node that stays silent until round 50 first touches its ports at
+	// exactly the stamp value the first run left behind (its last broadcast
+	// round) — the one access pattern that can meet a stale stamp.
+	delayed := func() Program { return &delayedBroadcaster{wait: 50} }
+
+	run(arena, big, countdown) // leaves stamp 51 on all 128 ports
+	run(arena, small, countdown)
+	arena.stamp = 1 << 31 // force the headroom reset on the next acquire
+	got := run(arena, big, delayed)
+	want := run(NewArena(), big, delayed)
+	if got != want {
+		t.Errorf("big graph after stamp reset: metrics %+v, want %+v", got, want)
+	}
+}
+
+// countdownBroadcaster broadcasts on every port for a fixed number of rounds.
+type countdownBroadcaster struct{ left int }
+
+func (c *countdownBroadcaster) Init(*Context) {}
+func (c *countdownBroadcaster) Round(ctx *Context, _ []Message) bool {
+	if c.left > 0 {
+		c.left--
+		ctx.Broadcast(Payload{Kind: 9})
+	}
+	return c.left == 0
+}
+
+// delayedBroadcaster is silent until its wait elapses, then broadcasts once.
+type delayedBroadcaster struct{ wait int }
+
+func (d *delayedBroadcaster) Init(*Context) {}
+func (d *delayedBroadcaster) Round(ctx *Context, _ []Message) bool {
+	d.wait--
+	if d.wait == 0 {
+		ctx.Broadcast(Payload{Kind: 9})
+	}
+	return d.wait <= 0
+}
+
+// TestArenaStepAfterRunPanics pins the ownership rule: once Run returns an
+// arena-backed network's buffers, stepping it again must fail loudly rather
+// than corrupt a successor network.
+func TestArenaStepAfterRunPanics(t *testing.T) {
+	g := graph.Cycle(4, graph.UnitWeights())
+	net := NewNetwork(g, func(int) Program { return oneShot{} }, WithArena(NewArena()))
+	if _, err := net.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic stepping a released network")
+		}
+	}()
+	net.Step()
+}
+
+// TestArenaNestedFallsBack checks that a second network built from a busy
+// arena silently gets fresh buffers instead of corrupting the first.
+func TestArenaNestedFallsBack(t *testing.T) {
+	g := graph.Cycle(8, graph.UnitWeights())
+	arena := NewArena()
+	outer := NewNetwork(g, func(int) Program { return &floodProgram{} }, WithArena(arena))
+	inner := NewNetwork(g, func(int) Program { return &floodProgram{} }, WithArena(arena))
+	im, err := inner.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := outer.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im != om {
+		t.Errorf("inner metrics %+v differ from outer %+v", im, om)
+	}
 }

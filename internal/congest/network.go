@@ -15,86 +15,223 @@ type Metrics struct {
 }
 
 // Network is one instantiation of the CONGEST model over a communication
-// graph, with one Program per vertex.
+// graph, with one Program per vertex. See the package documentation for the
+// buffer layout.
 type Network struct {
 	g        *graph.Graph
-	programs []Program
-	ctxs     []*Context
-	inboxes  [][]Message
-	done     []bool
 	exec     Executor
+	programs []Program
+	ctxs     []Context
+	done     []bool
+	inboxes  [][]Message // per-node views into inboxArena, reset each round
+
+	// Flat buffers, carved per node by portStart. All are either freshly
+	// allocated or borrowed from a NetworkArena.
+	slots      []Message  // 2m message slots, indexed 2*edge + direction
+	inboxArena []Message  // 2m inbox backing, partitioned by receiver degree
+	neighbors  []Neighbor // 2m, partitioned by node
+	sentStamp  []uint32   // 2m per-port round stamps
+	outBack    []int32    // 2m out-slot backing, partitioned by node
+	slotOf     []int32    // 2m per-port slot IDs
+	nextSame   []int32    // 2m per-port same-neighbour chain
+	portStart  []int32    // n+1 prefix sums of degree
+	portAtU    []int32    // m: port of edge e in e.U's adjacency
+	portAtV    []int32    // m: port of edge e in e.V's adjacency
+
+	// nbrPort maps nbrKey(v, u) to the lowest port of v leading to u;
+	// further parallel ports are chained through nextSame. One map for the
+	// whole network keeps construction at O(1) allocations.
+	nbrPort map[int64]int32
+
+	roundFn  func(v int) // per-round executor callback, built once
+	stamp    uint32      // current round stamp (strictly increasing)
 	metrics  Metrics
+	arena    *NetworkArena // non-nil if buffers are borrowed
+	released bool          // arena buffers returned; stepping is an error
+}
+
+// config collects option state before buffers are allocated.
+type config struct {
+	exec  Executor
+	arena *NetworkArena
 }
 
 // Option configures a Network.
-type Option func(*Network)
+type Option func(*config)
 
 // WithExecutor selects the round executor. Default: SequentialExecutor.
 func WithExecutor(e Executor) Option {
-	return func(n *Network) { n.exec = e }
+	return func(c *config) { c.exec = e }
+}
+
+// WithArena makes the network borrow its buffers from a, avoiding
+// re-allocation across repeated NewNetwork calls. See NetworkArena for the
+// ownership rules.
+func WithArena(a *NetworkArena) Option {
+	return func(c *config) { c.arena = a }
 }
 
 // NewNetwork builds a network over g where vertex v runs factory(v).
 // Init is called for every node (messages sent there arrive in round 1).
 func NewNetwork(g *graph.Graph, factory Factory, opts ...Option) *Network {
-	n := &Network{
-		g:        g,
-		programs: make([]Program, g.N()),
-		ctxs:     make([]*Context, g.N()),
-		inboxes:  make([][]Message, g.N()),
-		done:     make([]bool, g.N()),
-		exec:     SequentialExecutor{},
-	}
+	cfg := config{exec: SequentialExecutor{}}
 	for _, opt := range opts {
-		opt(n)
+		opt(&cfg)
+	}
+	n := &Network{
+		g:    g,
+		exec: cfg.exec,
+		// programs is the one per-network allocation kept off the arena:
+		// callers read final program state via Program(v) after Run has
+		// returned the buffers, so it must not be recycled under them.
+		programs: make([]Program, g.N()),
+	}
+	n.attachBuffers(cfg.arena)
+	n.buildTopology()
+	n.roundFn = func(v int) {
+		n.done[v] = n.programs[v].Round(&n.ctxs[v], n.inboxes[v])
 	}
 	for v := 0; v < g.N(); v++ {
-		neighbors := make([]Neighbor, 0, g.Degree(v))
-		for _, a := range g.Adj(v) {
-			neighbors = append(neighbors, Neighbor{ID: a.To, Edge: a.Edge, Weight: g.Edge(a.Edge).W})
-		}
-		n.ctxs[v] = &Context{
-			node:      v,
-			n:         g.N(),
-			neighbors: neighbors,
-			sentOn:    make(map[int]bool),
-		}
 		n.programs[v] = factory(v)
 	}
 	// Init phase: all nodes, sequentially (Init does setup only).
 	for v := 0; v < g.N(); v++ {
-		n.ctxs[v].sentOn = make(map[int]bool)
-		n.programs[v].Init(n.ctxs[v])
+		n.programs[v].Init(&n.ctxs[v])
 	}
 	n.deliver()
 	return n
 }
 
-// deliver moves every queued outgoing message into its destination inbox and
-// clears per-round send state.
+// attachBuffers points the network's flat buffers at freshly allocated or
+// arena-recycled memory and fixes the starting round stamp.
+func (n *Network) attachBuffers(a *NetworkArena) {
+	nv, m := n.g.N(), n.g.M()
+	p2 := 2 * m
+	if a != nil && !a.busy {
+		a.busy = true
+		n.arena = a
+		n.stamp = a.acquire(nv, p2, m)
+		n.slots, n.inboxArena = a.slots, a.inboxArena
+		n.neighbors, n.sentStamp = a.neighbors, a.sentStamp
+		n.outBack, n.slotOf, n.nextSame = a.outBack, a.slotOf, a.nextSame
+		n.portStart, n.portAtU, n.portAtV = a.portStart, a.portAtU, a.portAtV
+		n.ctxs, n.done, n.inboxes = a.ctxs, a.done, a.inboxes
+		if a.nbrPort == nil {
+			a.nbrPort = make(map[int64]int32, p2)
+		} else {
+			clear(a.nbrPort)
+		}
+		n.nbrPort = a.nbrPort
+		return
+	}
+	n.stamp = 1
+	n.slots = make([]Message, p2)
+	n.inboxArena = make([]Message, p2)
+	n.neighbors = make([]Neighbor, p2)
+	n.sentStamp = make([]uint32, p2)
+	i32 := make([]int32, 3*p2+2*m)
+	n.outBack, n.slotOf, n.nextSame = i32[:p2:p2], i32[p2:2*p2:2*p2], i32[2*p2:3*p2:3*p2]
+	n.portAtU, n.portAtV = i32[3*p2:3*p2+m:3*p2+m], i32[3*p2+m:]
+	n.portStart = make([]int32, nv+1)
+	n.ctxs = make([]Context, nv)
+	n.done = make([]bool, nv)
+	n.inboxes = make([][]Message, nv)
+	n.nbrPort = make(map[int64]int32, p2)
+}
+
+// buildTopology fills the port index and per-node context views from the
+// graph: one pass over all adjacency lists, O(n + m).
+func (n *Network) buildTopology() {
+	g := n.g
+	nv := g.N()
+	n.portStart[0] = 0
+	for v := 0; v < nv; v++ {
+		n.portStart[v+1] = n.portStart[v] + int32(g.Degree(v))
+	}
+	for v := 0; v < nv; v++ {
+		lo, hi := n.portStart[v], n.portStart[v+1]
+		nbrs := n.neighbors[lo:hi:hi]
+		slotOf := n.slotOf[lo:hi:hi]
+		for i, a := range g.Adj(v) {
+			e := g.Edge(a.Edge)
+			nbrs[i] = Neighbor{ID: a.To, Edge: a.Edge, Weight: e.W}
+			slot := int32(2 * a.Edge)
+			if v == e.U {
+				n.portAtU[a.Edge] = int32(i)
+			} else {
+				n.portAtV[a.Edge] = int32(i)
+				slot++
+			}
+			slotOf[i] = slot
+		}
+		// Per-neighbour port chains: nbrPort[nbrKey(v, id)] is the lowest
+		// port of v leading to id, nextSame links ports of the same
+		// neighbour in ascending order (adjacency order is edge-insertion
+		// order, so ascending port means ascending edge ID — the SendTo
+		// tie-break).
+		nextSame := n.nextSame[lo:hi:hi]
+		for i := len(nbrs) - 1; i >= 0; i-- {
+			key := nbrKey(v, nbrs[i].ID)
+			if j, ok := n.nbrPort[key]; ok {
+				nextSame[i] = j
+			} else {
+				nextSame[i] = -1
+			}
+			n.nbrPort[key] = int32(i)
+		}
+		n.ctxs[v] = Context{
+			node:      v,
+			n:         nv,
+			net:       n,
+			neighbors: nbrs,
+			sentStamp: n.sentStamp[lo:hi:hi],
+			outSlots:  n.outBack[lo:lo:hi],
+			slotOf:    slotOf,
+			nextSame:  nextSame,
+		}
+		n.inboxes[v] = n.inboxArena[lo:lo:hi]
+		n.done[v] = false
+	}
+}
+
+// deliver moves every slot written this round into its destination inbox, in
+// sender-ID then send order (the order a sequential scan of per-node out
+// queues would produce), and advances the round stamp, which clears all
+// per-port send state in O(1).
 func (n *Network) deliver() {
 	for v := range n.inboxes {
 		n.inboxes[v] = n.inboxes[v][:0]
 	}
+	var delivered int64
 	for v := range n.ctxs {
-		ctx := n.ctxs[v]
-		for _, m := range ctx.out {
-			n.inboxes[m.To] = append(n.inboxes[m.To], m)
-			n.metrics.Messages++
-			n.metrics.Bits += int64(m.Bits())
+		ctx := &n.ctxs[v]
+		for _, s := range ctx.outSlots {
+			m := &n.slots[s]
+			n.inboxes[m.To] = append(n.inboxes[m.To], *m)
 		}
-		ctx.out = ctx.out[:0]
-		ctx.sentOn = make(map[int]bool)
+		delivered += int64(len(ctx.outSlots))
+		ctx.outSlots = ctx.outSlots[:0]
+	}
+	n.metrics.Messages += delivered
+	n.metrics.Bits += delivered * int64(Payload{}.Bits())
+	n.stamp++
+	if n.stamp == 0 { // uint32 wraparound after ~4·10⁹ rounds
+		// Clear the full backing, not just the current view: arena-borrowed
+		// buffers may be larger than 2m, and a stale tail would outlive the
+		// restarted counter (same invariant as the arena's headroom reset).
+		clear(n.sentStamp[:cap(n.sentStamp)])
+		n.stamp = 1
 	}
 }
 
 // Step executes one synchronous round. It returns true if the network has
 // quiesced: every node reported done and no messages are in flight.
 func (n *Network) Step() bool {
+	if n.released {
+		panic("congest: Step on a network whose arena buffers were released (Run already finished)")
+	}
 	n.metrics.Rounds++
-	n.exec.RunRound(n.g.N(), func(v int) {
-		n.done[v] = n.programs[v].Round(n.ctxs[v], n.inboxes[v])
-	})
+	n.exec.RunRound(n.g.N(), n.roundFn)
 	n.deliver()
 	allDone := true
 	for v := range n.done {
@@ -117,7 +254,12 @@ func (n *Network) Step() bool {
 // It returns an error if the round budget is exhausted, which in this
 // repository always indicates a non-terminating algorithm bug or an
 // insufficient budget, never a legitimate outcome.
+//
+// When the network was built with WithArena, Run returns the borrowed
+// buffers to the arena before returning: final program state (Program),
+// Metrics and Graph remain readable, but further Step calls panic.
 func (n *Network) Run(maxRounds int) (Metrics, error) {
+	defer n.release()
 	for r := 0; r < maxRounds; r++ {
 		if n.Step() {
 			return n.metrics, nil
@@ -126,12 +268,25 @@ func (n *Network) Run(maxRounds int) (Metrics, error) {
 	return n.metrics, fmt.Errorf("congest: no quiescence within %d rounds", maxRounds)
 }
 
+// release returns arena-borrowed buffers. Idempotent; no-op for networks
+// with privately owned buffers.
+func (n *Network) release() {
+	a := n.arena
+	if a == nil || n.released {
+		return
+	}
+	n.released = true
+	a.stamp = n.stamp
+	a.busy = false
+}
+
 // Metrics returns the metrics accumulated so far.
 func (n *Network) Metrics() Metrics { return n.metrics }
 
 // Program returns the program instance running at vertex v, so callers can
 // read its final local state (the standard way a distributed algorithm's
-// output is defined: each vertex knows its part).
+// output is defined: each vertex knows its part). Valid even after Run has
+// returned the network's buffers to an arena.
 func (n *Network) Program(v int) Program { return n.programs[v] }
 
 // Graph returns the underlying communication graph.

@@ -24,6 +24,9 @@ type KECSSOptions struct {
 	SimulateMST bool
 	// Executor selects the simulator executor when SimulateMST is set.
 	Executor congest.Executor
+	// Arena, if set, supplies reusable simulation buffers (for repetition
+	// sweeps that solve many same-sized instances).
+	Arena *congest.NetworkArena
 }
 
 // KECSSResult is the outcome of the k-ECSS computation.
@@ -64,6 +67,9 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 		var simOpts []congest.Option
 		if opts.Executor != nil {
 			simOpts = append(simOpts, congest.WithExecutor(opts.Executor))
+		}
+		if opts.Arena != nil {
+			simOpts = append(simOpts, congest.WithArena(opts.Arena))
 		}
 		mres, err := mst.DistributedBoruvka(g, simOpts...)
 		if err != nil {

@@ -26,6 +26,9 @@ type ThreeECSSOptions struct {
 	PhaseLen int
 	// Executor selects the simulator executor for the label scans.
 	Executor congest.Executor
+	// Arena supplies reusable simulation buffers for the per-iteration label
+	// scans. Defaults to a fresh arena per solve.
+	Arena *congest.NetworkArena
 	// MaxIterations caps the loop (0 = generous O(log³ n) default).
 	MaxIterations int
 }
@@ -118,6 +121,12 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	var simOpts []congest.Option
 	if opts.Executor != nil {
 		simOpts = append(simOpts, congest.WithExecutor(opts.Executor))
+	}
+	// The augmentation loop labels H ∪ A once per iteration — dozens of
+	// short-lived networks over same-shaped subgraphs, the arena's best case.
+	simOpts = congest.WithDefaultArena(simOpts)
+	if opts.Arena != nil {
+		simOpts = append(simOpts, congest.WithArena(opts.Arena))
 	}
 	d := int64(g.DiameterEstimate())
 	res := &ThreeECSSResult{BaseSize: len(h)}

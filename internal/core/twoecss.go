@@ -24,6 +24,9 @@ type TwoECSSOptions struct {
 	SimulateMST bool
 	// Executor selects the simulator executor when SimulateMST is set.
 	Executor congest.Executor
+	// Arena, if set, supplies reusable simulation buffers (for repetition
+	// sweeps that solve many same-sized instances).
+	Arena *congest.NetworkArena
 }
 
 // TwoECSSResult is the outcome of the 2-ECSS computation.
@@ -64,6 +67,9 @@ func Solve2ECSS(g *graph.Graph, opts TwoECSSOptions) (*TwoECSSResult, error) {
 		var simOpts []congest.Option
 		if opts.Executor != nil {
 			simOpts = append(simOpts, congest.WithExecutor(opts.Executor))
+		}
+		if opts.Arena != nil {
+			simOpts = append(simOpts, congest.WithArena(opts.Arena))
 		}
 		mres, err := mst.DistributedBoruvka(g, simOpts...)
 		if err != nil {

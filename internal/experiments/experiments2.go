@@ -284,14 +284,14 @@ func AblationPhaseLength(s Scale) (*Table, error) {
 	return t, nil
 }
 
-// AblationExecutor compares the sequential and goroutine-per-node executors
-// on the genuinely simulated pieces (identical results, different host
-// parallelism) — wall-clock is measured by the corresponding benchmark.
+// AblationExecutor compares the sequential, pooled-parallel and sharded
+// executors on the genuinely simulated pieces (identical results, different
+// host parallelism) — wall-clock is measured by the corresponding benchmark.
 func AblationExecutor(s Scale) (*Table, error) {
 	t := &Table{
 		ID:     "A4",
 		Title:  "ablation: simulator executor",
-		Claim:  "results identical; goroutine-per-node exercises real parallelism",
+		Claim:  "results identical; pooled executors exercise real parallelism",
 		Header: []string{"executor", "MST weight", "MST phases", "measured rounds"},
 	}
 	n := 128
@@ -299,14 +299,18 @@ func AblationExecutor(s Scale) (*Table, error) {
 		n = 48
 	}
 	g := randomWeighted(n, 2, 2*n, 321)
+	// One arena across the executor sweep: each run reuses the previous
+	// run's simulation buffers.
+	arena := congest.NewArena()
 	for _, tc := range []struct {
 		name string
 		exec congest.Executor
 	}{
 		{"sequential", congest.SequentialExecutor{}},
 		{"parallel", congest.ParallelExecutor{}},
+		{"sharded", congest.ShardedExecutor{}},
 	} {
-		res, err := mst.DistributedBoruvka(g, congest.WithExecutor(tc.exec))
+		res, err := mst.DistributedBoruvka(g, congest.WithExecutor(tc.exec), congest.WithArena(arena))
 		if err != nil {
 			return nil, fmt.Errorf("ablation executor: %w", err)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baselines"
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mst"
@@ -29,6 +30,9 @@ func E11(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{100, 400}
 	}
+	// One arena across the size sweep: each instance's four information-flow
+	// networks reuse the previous instance's simulation buffers.
+	arena := congest.NewArena()
 	for _, n := range sizes {
 		g := randomWeighted(n, 2, 2*n, int64(n+17))
 		ids, _ := mst.Kruskal(g)
@@ -42,7 +46,7 @@ func E11(s Scale) (*Table, error) {
 		for _, id := range tr.EdgeIDs() {
 			covered[id] = rng.Float64() < 0.5
 		}
-		res, err := tapdist.ComputeCe(g, dec, covered, nil)
+		res, err := tapdist.ComputeCe(g, dec, covered, nil, congest.WithArena(arena))
 		if err != nil {
 			return nil, fmt.Errorf("E11 n=%d: %w", n, err)
 		}
@@ -102,14 +106,17 @@ func E12(s Scale) (*Table, error) {
 		)
 	}
 	rng := rand.New(rand.NewSource(5))
+	// One arena across the case sweep: every verification phase's network
+	// reuses the previous one's simulation buffers.
+	arena := congest.NewArena()
 	for _, tc := range cases {
 		d := tc.g.DiameterEstimate()
-		rep2, err := verify.TwoEdgeConnectivity(tc.g, 48, rng)
+		rep2, err := verify.TwoEdgeConnectivity(tc.g, 48, rng, congest.WithArena(arena))
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", tc.name, err)
 		}
 		t.AddRow(tc.name, tc.g.N(), d, "2EC", rep2.OK, tc.g.TwoEdgeConnected(), rep2.Rounds)
-		rep3, err := verify.ThreeEdgeConnectivity(tc.g, 48, rng)
+		rep3, err := verify.ThreeEdgeConnectivity(tc.g, 48, rng, congest.WithArena(arena))
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", tc.name, err)
 		}

@@ -14,6 +14,7 @@ package mst
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -79,12 +80,14 @@ func DistributedBoruvka(g *graph.Graph, opts ...congest.Option) (*Result, error)
 	if n == 0 {
 		return &Result{}, nil
 	}
+	// Every phase builds several short-lived networks over g; by default one
+	// arena lets them all share buffers.
 	st := &boruvkaState{
 		g:          g,
 		fragID:     make([]int, n),
 		parent:     make([]int, n),
 		parentEdge: make([]int, n),
-		opts:       opts,
+		opts:       congest.WithDefaultArena(opts),
 	}
 	for v := 0; v < n; v++ {
 		st.fragID[v] = v
@@ -166,8 +169,17 @@ func (st *boruvkaState) phase(acc *congest.Metrics) (int, error) {
 	acc.Messages += int64(len(chosen))
 	acc.Bits += int64(len(chosen)) * int64(congest.Payload{}.Bits())
 
+	// Append the phase's new MST edges in fragment-ID order: map iteration
+	// order is randomized, and the result's edge order should be a pure
+	// function of the input (the executor-equivalence tests pin this).
+	fragIDs := make([]int, 0, len(chosen))
+	for f := range chosen {
+		fragIDs = append(fragIDs, f)
+	}
+	sort.Ints(fragIDs)
 	newEdges := make(map[int]bool, len(chosen))
-	for _, id := range chosen {
+	for _, f := range fragIDs {
+		id := chosen[f]
 		if !newEdges[id] {
 			newEdges[id] = true
 			st.mstEdges = append(st.mstEdges, id)

@@ -14,6 +14,7 @@ package segments
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -64,8 +65,11 @@ type Decomposition struct {
 	Marked       []bool // step II marking, closed under LCA
 
 	Segments    []*Segment
-	SegOfVertex []int       // home segment per vertex (see HomeSegment)
-	SegOfEdge   map[int]int // tree edge ID -> the unique segment containing it
+	SegOfVertex []int // home segment per vertex (see HomeSegment)
+	// SegOfEdge maps each graph edge ID to the unique segment containing it,
+	// or -1 for non-tree edges (dense slice: the per-edge lookup is on the
+	// hot path of the TAP information flows).
+	SegOfEdge []int
 
 	// SkeletonParent maps each marked vertex to its parent in the skeleton
 	// tree (the rS of the segment whose dS it is); the root maps to -1.
@@ -96,8 +100,11 @@ func Decompose(g *graph.Graph, t *tree.Rooted, target int) (*Decomposition, erro
 		FragmentRoot:   make([]int, n),
 		Marked:         make([]bool, n),
 		SegOfVertex:    make([]int, n),
-		SegOfEdge:      make(map[int]int, n-1),
+		SegOfEdge:      make([]int, g.M()),
 		SkeletonParent: make(map[int]int),
+	}
+	for i := range d.SegOfEdge {
+		d.SegOfEdge[i] = -1
 	}
 	d.carveFragments()
 	d.markVertices()
@@ -188,13 +195,20 @@ func (d *Decomposition) buildSegments() error {
 	}
 
 	// Highways: deepest-first so SkeletonParent is complete.
-	var marked []int
+	marked := make([]int, 0, d.MarkedCount())
 	for v := 0; v < n; v++ {
 		if d.Marked[v] {
 			marked = append(marked, v)
 		}
 	}
-	sort.Slice(marked, func(i, j int) bool { return t.Depth[marked[i]] > t.Depth[marked[j]] })
+	// Stable ordering: depth descending, vertex ID ascending within a depth
+	// (matching the previous sort's effective order on distinct keys).
+	slices.SortFunc(marked, func(a, b int) int {
+		if t.Depth[a] != t.Depth[b] {
+			return t.Depth[b] - t.Depth[a]
+		}
+		return a - b
+	})
 
 	segRootedAt := make(map[int]int) // marked vertex -> smallest segment ID rooted there
 	for _, dS := range marked {
@@ -207,16 +221,18 @@ func (d *Decomposition) buildSegments() error {
 			rS = t.Parent[rS]
 		}
 		seg := &Segment{ID: len(d.Segments), Root: rS, Desc: dS}
-		// Highway from rS down to dS.
-		var rev []int
+		// Highway from rS down to dS; its length is the depth difference, so
+		// both lists are allocated exactly once.
+		hwLen := t.Depth[dS] - t.Depth[rS]
+		seg.Highway = make([]int, hwLen+1)
+		seg.HighwayEdges = make([]int, 0, hwLen)
+		seg.Highway[0] = rS
+		i := hwLen
 		for x := dS; x != rS; x = t.Parent[x] {
-			rev = append(rev, x)
+			seg.Highway[i] = x
+			i--
 		}
-		seg.Highway = append(seg.Highway, rS)
-		for i := len(rev) - 1; i >= 0; i-- {
-			seg.Highway = append(seg.Highway, rev[i])
-		}
-		for _, x := range rev {
+		for _, x := range seg.Highway[1:] {
 			seg.HighwayEdges = append(seg.HighwayEdges, t.ParentEdge[x])
 			d.SegOfEdge[t.ParentEdge[x]] = seg.ID
 		}
@@ -277,26 +293,25 @@ func (d *Decomposition) buildSegments() error {
 
 	// Vertex lists: every vertex joins its home segment; highway vertices
 	// and roots/descendants join the segments of their highways too.
-	seen := make([]map[int]bool, len(d.Segments))
-	for i := range seen {
-		seen[i] = make(map[int]bool)
-	}
-	addTo := func(segID, v int) {
-		if segID >= 0 && !seen[segID][v] {
-			seen[segID][v] = true
+	// Members are appended with duplicates and deduplicated by the final
+	// sort, which the lists need anyway.
+	for v := 0; v < n; v++ {
+		if segID := d.SegOfVertex[v]; segID >= 0 {
 			d.Segments[segID].Vertices = append(d.Segments[segID].Vertices, v)
 		}
 	}
-	for v := 0; v < n; v++ {
-		addTo(d.SegOfVertex[v], v)
-	}
 	for _, seg := range d.Segments {
-		for _, x := range seg.Highway {
-			addTo(seg.ID, x)
-		}
+		seg.Vertices = append(seg.Vertices, seg.Highway...)
 	}
 	for _, seg := range d.Segments {
 		sort.Ints(seg.Vertices)
+		uniq := seg.Vertices[:0]
+		for i, v := range seg.Vertices {
+			if i == 0 || v != seg.Vertices[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		seg.Vertices = uniq
 	}
 	return nil
 }
@@ -338,11 +353,10 @@ func (d *Decomposition) HomeSegment(v int) *Segment {
 
 // SegmentOfEdge returns the unique segment containing the given tree edge.
 func (d *Decomposition) SegmentOfEdge(treeEdgeID int) (*Segment, error) {
-	id, ok := d.SegOfEdge[treeEdgeID]
-	if !ok {
+	if treeEdgeID < 0 || treeEdgeID >= len(d.SegOfEdge) || d.SegOfEdge[treeEdgeID] == -1 {
 		return nil, fmt.Errorf("segments: edge %d is not a tree edge of the decomposition", treeEdgeID)
 	}
-	return d.Segments[id], nil
+	return d.Segments[d.SegOfEdge[treeEdgeID]], nil
 }
 
 // SkeletonPath returns the marked vertices on the skeleton-tree path from a

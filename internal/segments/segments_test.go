@@ -123,8 +123,14 @@ func TestSegmentStructure(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Edge-disjoint cover of all n-1 tree edges.
-			if len(d.SegOfEdge) != n-1 {
-				t.Fatalf("SegOfEdge covers %d edges, want %d", len(d.SegOfEdge), n-1)
+			assigned := 0
+			for _, segID := range d.SegOfEdge {
+				if segID != -1 {
+					assigned++
+				}
+			}
+			if assigned != n-1 {
+				t.Fatalf("SegOfEdge covers %d edges, want %d", assigned, n-1)
 			}
 			// Segment count O(√n): at most 2 per marked vertex.
 			if len(d.Segments) > 2*d.MarkedCount() {

@@ -17,6 +17,7 @@ package tap
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -100,8 +101,8 @@ func Augment(g *graph.Graph, tr *tree.Rooted, opts Options) (*Result, error) {
 	// Pre-iteration step: add all weight-0 edges and mark their coverage
 	// (§3: "at the beginning of the algorithm we add to A all the edges with
 	// weight 0").
-	for _, c := range st.cands {
-		if g.Edge(c.edge).W == 0 {
+	for i := range st.cands {
+		if c := &st.cands[i]; g.Edge(c.edge).W == 0 {
 			st.addToA(c)
 		}
 	}
@@ -133,13 +134,17 @@ func Augment(g *graph.Graph, tr *tree.Rooted, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// candidate is the per-non-tree-edge bookkeeping.
+// candidate is the per-non-tree-edge bookkeeping. se points into the state's
+// shared path arena.
 type candidate struct {
 	edge int
 	se   []int // tree edge IDs on the covered path (S_e), fixed
 	inA  bool
 }
 
+// state keeps all per-edge data in dense slices indexed by graph edge ID —
+// the voting loop is the hot path of the whole 2-ECSS solve, and map lookups
+// per tree edge per candidate per iteration dominated it.
 type state struct {
 	g         *graph.Graph
 	tr        *tree.Rooted
@@ -147,37 +152,66 @@ type state struct {
 	rounding  bool
 	rng       *rand.Rand
 
-	cands     []*candidate
-	covered   map[int]bool // tree edge ID -> covered
+	cands     []candidate
+	isTree    []bool // per edge ID: tree edge of tr
+	covered   []bool // per edge ID: covered tree edge (false for non-tree)
 	uncovered int
 	a         []int
+
+	// Per-iteration scratch, reused across iterations.
+	pool     []scored  // candidates at the maximum rounded cost-effectiveness
+	keys     []voteKey // random keys, aligned with pool
+	voteBest []voteKey // per tree edge: winning key this iteration
+	voteIter []int32   // per tree edge: iteration voteBest was written
+	iter     int32
+	accepted []int32 // pool indices accepted this iteration
+}
+
+// scored pairs a candidate index with its current |Ce|.
+type scored struct {
+	cand int
+	ce   int64
 }
 
 func newState(g *graph.Graph, tr *tree.Rooted, voteDenom int64, rounding bool, rng *rand.Rand) *state {
+	m := g.M()
 	st := &state{
 		g:         g,
 		tr:        tr,
 		voteDenom: voteDenom,
 		rounding:  rounding,
 		rng:       rng,
-		covered:   make(map[int]bool, g.N()-1),
+		isTree:    make([]bool, m),
+		covered:   make([]bool, m),
+		voteBest:  make([]voteKey, m),
+		voteIter:  make([]int32, m),
 	}
-	inTree := tr.IsTreeEdge()
+	for v := 0; v < tr.N(); v++ {
+		if v != tr.Root {
+			st.isTree[tr.ParentEdge[v]] = true
+		}
+	}
+	// Candidate paths live in one flat arena: total length first, then fill.
+	// (A non-tree edge with an empty path could only be a self-loop, which
+	// Graph forbids, so every non-tree edge is a candidate.)
+	nCands, totalLen := 0, 0
 	for _, e := range g.Edges() {
-		if inTree[e.ID] {
-			st.covered[e.ID] = false
-			continue
+		if !st.isTree[e.ID] {
+			nCands++
+			totalLen += tr.PathLen(e.U, e.V)
 		}
-		se := tr.PathEdges(e.U, e.V)
-		if len(se) == 0 {
-			// Parallel to a tree edge? PathEdges of endpoints of a non-tree
-			// edge parallel to a tree edge returns that tree edge, so an
-			// empty path can only mean a self-loop, which Graph forbids.
-			continue
-		}
-		st.cands = append(st.cands, &candidate{edge: e.ID, se: se})
 	}
-	st.uncovered = len(st.covered)
+	arena := make([]int, 0, totalLen)
+	st.cands = make([]candidate, 0, nCands)
+	for _, e := range g.Edges() {
+		if st.isTree[e.ID] {
+			continue
+		}
+		start := len(arena)
+		arena = tr.AppendPathEdges(arena, e.U, e.V)
+		st.cands = append(st.cands, candidate{edge: e.ID, se: arena[start:len(arena):len(arena)]})
+	}
+	st.uncovered = tr.N() - 1
 	return st
 }
 
@@ -215,7 +249,14 @@ func (st *state) addToA(c *candidate) {
 // arithmetic, overflow-safe. Exported because the Aug_k algorithm of §4
 // rounds its cost-effectiveness identically.
 func RoundedExp(ce, w int64) int {
-	for i := -62; i <= 62; i++ {
+	// 2^i·w > ce is monotone in i and first becomes true within one step of
+	// the bit-length difference, so probe from there instead of scanning the
+	// full exponent range (this runs once per candidate per iteration).
+	start := bits.Len64(uint64(ce)) - bits.Len64(uint64(w)) - 1
+	if start < -62 {
+		start = -62
+	}
+	for i := start; i <= 62; i++ {
 		if pow2TimesExceeds(i, w, ce) {
 			return i
 		}
@@ -253,21 +294,20 @@ func (k voteKey) less(o voteKey) bool {
 }
 
 // iterate executes one voting iteration (Lines 1–6 of the §3 algorithm).
-// It reports whether at least one edge was added to A.
+// It reports whether at least one edge was added to A. All per-iteration
+// working sets are dense slices reused across iterations; the per-tree-edge
+// vote table is invalidated by bumping st.iter instead of clearing.
 func (st *state) iterate() (bool, error) {
 	// Line 1–2: rounded cost-effectiveness; candidates achieve the maximum.
-	type scored struct {
-		c  *candidate
-		ce int64
-	}
 	var (
 		best      = -1 << 30 // max rounded exponent
 		bestExact struct{ ce, w int64 }
-		pool      []scored
 		exact     = !st.rounding
 	)
 	bestExact.w = 1
-	for _, c := range st.cands {
+	st.pool = st.pool[:0]
+	for i := range st.cands {
+		c := &st.cands[i]
 		if c.inA {
 			continue
 		}
@@ -281,68 +321,66 @@ func (st *state) iterate() (bool, error) {
 			cmp := ce*bestExact.w - bestExact.ce*w
 			if cmp > 0 {
 				bestExact.ce, bestExact.w = ce, w
-				pool = pool[:0]
+				st.pool = st.pool[:0]
 			}
 			if cmp >= 0 {
-				pool = append(pool, scored{c, ce})
+				st.pool = append(st.pool, scored{i, ce})
 			}
 			continue
 		}
 		e := RoundedExp(ce, w)
 		if e > best {
 			best = e
-			pool = pool[:0]
+			st.pool = st.pool[:0]
 		}
 		if e == best {
-			pool = append(pool, scored{c, ce})
+			st.pool = append(st.pool, scored{i, ce})
 		}
 	}
-	if len(pool) == 0 {
+	if len(st.pool) == 0 {
 		return false, fmt.Errorf("tap: %d uncovered tree edges but no candidate covers any (graph not 2-edge-connected)", st.uncovered)
 	}
 
 	// Line 3: random numbers.
-	keys := make(map[int]voteKey, len(pool))
-	for _, s := range pool {
-		keys[s.c.edge] = voteKey{r: st.rng.Int63(), id: s.c.edge}
+	st.keys = st.keys[:0]
+	for _, s := range st.pool {
+		st.keys = append(st.keys, voteKey{r: st.rng.Int63(), id: st.cands[s.cand].edge})
 	}
 
 	// Line 4: each uncovered tree edge votes for the first candidate
 	// covering it.
-	bestFor := make(map[int]voteKey, st.uncovered)
-	chosen := make(map[int]bool, st.uncovered)
-	for _, s := range pool {
-		k := keys[s.c.edge]
-		for _, t := range s.c.se {
+	st.iter++
+	for pi, s := range st.pool {
+		k := st.keys[pi]
+		for _, t := range st.cands[s.cand].se {
 			if st.covered[t] {
 				continue
 			}
-			cur, ok := bestFor[t]
-			if !ok || k.less(cur) {
-				bestFor[t] = k
-				chosen[t] = true
+			if st.voteIter[t] != st.iter || k.less(st.voteBest[t]) {
+				st.voteIter[t] = st.iter
+				st.voteBest[t] = k
 			}
 		}
 	}
 
 	// Line 5: count votes against the coverage state at the start of the
 	// iteration; all acceptances happen simultaneously, so collect first.
-	var accepted []*candidate
-	for _, s := range pool {
-		k := keys[s.c.edge]
+	st.accepted = st.accepted[:0]
+	for pi, s := range st.pool {
+		k := st.keys[pi]
 		var votes int64
-		for _, t := range s.c.se {
-			if !st.covered[t] && chosen[t] && bestFor[t] == k {
+		for _, t := range st.cands[s.cand].se {
+			if !st.covered[t] && st.voteIter[t] == st.iter && st.voteBest[t] == k {
 				votes++
 			}
 		}
 		if votes*st.voteDenom >= s.ce {
-			accepted = append(accepted, s.c)
+			st.accepted = append(st.accepted, int32(s.cand))
 		}
 	}
 	// Line 6: add the accepted candidates and refresh coverage.
-	for _, c := range accepted {
-		st.addToA(c)
+	for _, ci := range st.accepted {
+		st.addToA(&st.cands[ci])
 	}
-	return len(accepted) > 0, nil
+	return len(st.accepted) > 0, nil
 }

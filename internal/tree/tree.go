@@ -38,6 +38,8 @@ func FromParents(root int, parent, parentEdge []int) (*Rooted, error) {
 		Depth:      make([]int, n),
 		children:   make([][]int, n),
 	}
+	// Children lists are carved from one flat array: count, prefix-sum, fill.
+	counts := make([]int, n)
 	for v := 0; v < n; v++ {
 		if v == root {
 			continue
@@ -46,7 +48,19 @@ func FromParents(root int, parent, parentEdge []int) (*Rooted, error) {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("tree: vertex %d has invalid parent %d", v, p)
 		}
-		t.children[p] = append(t.children[p], v)
+		counts[p]++
+	}
+	flat := make([]int, n-1)
+	off := 0
+	for v := 0; v < n; v++ {
+		t.children[v] = flat[off : off : off+counts[v]]
+		off += counts[v]
+	}
+	for v := 0; v < n; v++ {
+		if v != root {
+			p := parent[v]
+			t.children[p] = append(t.children[p], v)
+		}
 	}
 	// Compute depths by BFS from root; detects unreachable vertices (which
 	// with n-1 parent pointers also rules out cycles).
@@ -92,7 +106,20 @@ func FromEdges(g *graph.Graph, edgeIDs []int, root int) (*Rooted, error) {
 	if len(edgeIDs) != g.N()-1 {
 		return nil, fmt.Errorf("tree: %d edges cannot span %d vertices", len(edgeIDs), g.N())
 	}
+	// Tree adjacency carved from one flat array: count, prefix-sum, fill.
 	adj := make([][]graph.Arc, g.N())
+	counts := make([]int, g.N())
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		counts[e.U]++
+		counts[e.V]++
+	}
+	flat := make([]graph.Arc, 2*len(edgeIDs))
+	off := 0
+	for v := range adj {
+		adj[v] = flat[off : off : off+counts[v]]
+		off += counts[v]
+	}
 	for _, id := range edgeIDs {
 		e := g.Edge(id)
 		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, Edge: id})
@@ -194,18 +221,31 @@ func (t *Rooted) LCA(u, v int) int {
 	return u
 }
 
+// PathLen returns the number of edges on the unique tree path between u and
+// v, without materializing it.
+func (t *Rooted) PathLen(u, v int) int {
+	l := t.LCA(u, v)
+	return t.Depth[u] + t.Depth[v] - 2*t.Depth[l]
+}
+
 // PathEdges returns the graph edge IDs on the unique tree path between u and
 // v (the set S¹_e of the paper for a non-tree edge e={u,v}).
 func (t *Rooted) PathEdges(u, v int) []int {
+	return t.AppendPathEdges(make([]int, 0, t.PathLen(u, v)), u, v)
+}
+
+// AppendPathEdges appends the graph edge IDs of the u–v tree path to buf and
+// returns the extended slice. Allocation-free when buf has capacity
+// (bulk callers size it with PathLen).
+func (t *Rooted) AppendPathEdges(buf []int, u, v int) []int {
 	l := t.LCA(u, v)
-	var out []int
 	for x := u; x != l; x = t.Parent[x] {
-		out = append(out, t.ParentEdge[x])
+		buf = append(buf, t.ParentEdge[x])
 	}
 	for x := v; x != l; x = t.Parent[x] {
-		out = append(out, t.ParentEdge[x])
+		buf = append(buf, t.ParentEdge[x])
 	}
-	return out
+	return buf
 }
 
 // PathVertices returns the vertices on the tree path from u to v, inclusive,

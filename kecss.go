@@ -76,12 +76,20 @@ func WithSeed(seed int64) Option {
 	return func(c *config) { c.seed = seed; c.seedSet = true }
 }
 
-// WithParallelExecutor runs the CONGEST simulations with one goroutine per
-// vertex per round instead of the deterministic sequential executor.
-// Results are identical; wall-clock behaviour differs (see the executor
-// ablation benchmark).
+// WithParallelExecutor runs the CONGEST simulations on a persistent worker
+// pool (chunked vertex ranges, one worker per CPU) instead of the
+// deterministic sequential executor. Results are identical; wall-clock
+// behaviour differs (see the executor ablation benchmark).
 func WithParallelExecutor() Option {
 	return func(c *config) { c.executor = congest.ParallelExecutor{} }
+}
+
+// WithShardedExecutor runs the CONGEST simulations on the same persistent
+// worker pool as WithParallelExecutor, but with one contiguous vertex shard
+// per worker — friendlier to caches when per-node work is uniform. Results
+// are identical to the other executors.
+func WithShardedExecutor() Option {
+	return func(c *config) { c.executor = congest.ShardedExecutor{} }
 }
 
 // WithSimulatedMST computes MSTs by the genuinely message-passing Borůvka
