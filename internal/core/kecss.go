@@ -27,6 +27,13 @@ type KECSSOptions struct {
 	// Arena, if set, supplies reusable simulation buffers (for repetition
 	// sweeps that solve many same-sized instances).
 	Arena *congest.NetworkArena
+	// SkipValidation skips the up-front k-edge-connectivity check of the
+	// input graph. The check costs a capped max-flow sweep per call; sweep
+	// drivers that solve many trials on one already-validated graph (the
+	// kecss.Pool does) validate once and set this for the per-trial solves.
+	// With an input that is not k-edge-connected the solver fails later,
+	// with a less precise error.
+	SkipValidation bool
 }
 
 // KECSSResult is the outcome of the k-ECSS computation.
@@ -56,7 +63,7 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	if !g.IsKEdgeConnected(k) {
+	if !opts.SkipValidation && !g.IsKEdgeConnected(k) {
 		return nil, fmt.Errorf("core: input graph is not %d-edge-connected", k)
 	}
 	res := &KECSSResult{}

@@ -31,6 +31,9 @@ type ThreeECSSOptions struct {
 	Arena *congest.NetworkArena
 	// MaxIterations caps the loop (0 = generous O(log³ n) default).
 	MaxIterations int
+	// SkipValidation skips the up-front 3-edge-connectivity check of the
+	// input graph (see KECSSOptions.SkipValidation).
+	SkipValidation bool
 }
 
 // ThreeECSSResult is the outcome of the 3-ECSS computation.
@@ -66,7 +69,7 @@ func Solve3ECSSUnweighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResu
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
 	}
-	if !g.IsKEdgeConnected(3) {
+	if !opts.SkipValidation && !g.IsKEdgeConnected(3) {
 		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
 	}
 	var acc rounds.Accountant
@@ -88,7 +91,7 @@ func Solve3ECSSWeighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResult
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
 	}
-	if !g.IsKEdgeConnected(3) {
+	if !opts.SkipValidation && !g.IsKEdgeConnected(3) {
 		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
 	}
 	var acc rounds.Accountant

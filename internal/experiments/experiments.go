@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mst"
 	"repro/internal/rounds"
+	"repro/internal/service"
 	"repro/internal/tap"
 	"repro/internal/tree"
 )
@@ -19,6 +20,10 @@ import (
 type Scale struct {
 	// Quick trims the sweeps to their smallest sizes for smoke runs.
 	Quick bool
+	// Workers sets how many pool workers run each experiment's independent
+	// trials (0 = GOMAXPROCS). Tables are identical at any worker count;
+	// only wall-clock changes.
+	Workers int
 }
 
 func log2(x float64) float64 { return math.Log2(x) }
@@ -82,7 +87,8 @@ func E1(s Scale) (*Table, error) {
 		}
 		cases = append(cases, inst{"ring+chords", g})
 	}
-	for _, tc := range cases {
+	err := runTrials(s, t, len(cases), func(i int, _ *service.Worker) ([][]any, error) {
+		tc := cases[i]
 		g := tc.g
 		res, err := core.Solve2ECSS(g, core.TwoECSSOptions{Rng: rand.New(rand.NewSource(42))})
 		if err != nil {
@@ -94,8 +100,11 @@ func E1(s Scale) (*Table, error) {
 		logn := log2(float64(n))
 		ref := (float64(d) + math.Sqrt(float64(n))) * logn * logn
 		base := rounds.TAPBaselineCH(n, h)
-		t.AddRow(tc.family, n, d, h, res.TAP.Iterations, res.Rounds, int64(ref), base,
-			float64(res.Rounds)/ref)
+		return one(tc.family, n, d, h, res.TAP.Iterations, res.Rounds, int64(ref), base,
+			float64(res.Rounds)/ref), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"rounds/ref staying O(1) across n reproduces the theorem's shape",
@@ -118,37 +127,42 @@ func E2(s Scale) (*Table, error) {
 	if s.Quick {
 		trials = 3
 	}
-	for trial := 0; trial < trials; trial++ {
-		n := 8 + trial
-		g := randomWeighted(n, 2, 6, int64(100+trial))
-		tr := mstTreeOf(g)
-		_, optAug, err := baselines.ExactTAP(g, tr)
-		if err != nil {
-			return nil, fmt.Errorf("E2 exact: %w", err)
-		}
-		_, mstW := mst.Kruskal(g)
-		res, err := core.Solve2ECSS(g, core.TwoECSSOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
-		if err != nil {
-			return nil, fmt.Errorf("E2 alg: %w", err)
-		}
-		// Exact 2-ECSS optimum is lower-bounded by MST + exact TAP optimum
-		// of the MST... not exactly, so report ratio vs (mstW + optAug),
-		// the optimum of the algorithm's own decomposition, and vs MST.
-		oracle := mstW + optAug
-		t.AddRow(n, "MST+TAP*", res.Weight, oracle, float64(res.Weight)/float64(oracle), math.Log(float64(n)))
-	}
 	large := []int{128, 512}
 	if s.Quick {
 		large = []int{128}
 	}
-	for _, n := range large {
+	err := runTrials(s, t, trials+len(large), func(i int, _ *service.Worker) ([][]any, error) {
+		if i < trials {
+			trial := i
+			n := 8 + trial
+			g := randomWeighted(n, 2, 6, int64(100+trial))
+			tr := mstTreeOf(g)
+			_, optAug, err := baselines.ExactTAP(g, tr)
+			if err != nil {
+				return nil, fmt.Errorf("E2 exact: %w", err)
+			}
+			_, mstW := mst.Kruskal(g)
+			res, err := core.Solve2ECSS(g, core.TwoECSSOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
+			if err != nil {
+				return nil, fmt.Errorf("E2 alg: %w", err)
+			}
+			// Exact 2-ECSS optimum is lower-bounded by MST + exact TAP optimum
+			// of the MST... not exactly, so report ratio vs (mstW + optAug),
+			// the optimum of the algorithm's own decomposition, and vs MST.
+			oracle := mstW + optAug
+			return one(n, "MST+TAP*", res.Weight, oracle, float64(res.Weight)/float64(oracle), math.Log(float64(n))), nil
+		}
+		n := large[i-trials]
 		g := randomWeighted(n, 2, 3*n, int64(n+7))
 		res, err := core.Solve2ECSS(g, core.TwoECSSOptions{Rng: rand.New(rand.NewSource(5))})
 		if err != nil {
 			return nil, fmt.Errorf("E2 large: %w", err)
 		}
-		t.AddRow(n, "MST bound", res.Weight, res.MSTWeight,
-			float64(res.Weight)/float64(res.MSTWeight), math.Log(float64(n)))
+		return one(n, "MST bound", res.Weight, res.MSTWeight,
+			float64(res.Weight)/float64(res.MSTWeight), math.Log(float64(n))), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "ratio growing no faster than ln n reproduces the guarantee")
 	return t, nil
@@ -169,7 +183,8 @@ func E3(s Scale) (*Table, error) {
 		sizes = []int{64, 128, 256}
 		reps = 3
 	}
-	for _, n := range sizes {
+	err := runTrials(s, t, len(sizes), func(i int, _ *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 2, 3*n, int64(n+13))
 		tr := mstTreeOf(g)
 		var iters []int
@@ -182,7 +197,10 @@ func E3(s Scale) (*Table, error) {
 		}
 		med, max := medianMax(iters)
 		l2 := log2(float64(n)) * log2(float64(n))
-		t.AddRow(n, med, max, int(l2), float64(med)/l2)
+		return one(n, med, max, int(l2), float64(med)/l2), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "med/log²n staying bounded (in fact shrinking) reproduces the lemma")
 	return t, nil
@@ -203,8 +221,23 @@ func E4(s Scale) (*Table, error) {
 		ks = []int{2, 3}
 		sizes = []int{32, 64}
 	}
+	type combo struct{ k, n int }
+	var combos []combo
 	for _, k := range ks {
 		for _, n := range sizes {
+			combos = append(combos, combo{k, n})
+		}
+	}
+	// High-diameter instance where the primal-dual baseline collapses: a
+	// sparse ring (D = Θ(n)) with a few chords. knD = Θ(n²) here, while this
+	// algorithm stays near-linear. It runs as the final trial.
+	ringN := 600
+	if s.Quick {
+		ringN = 200
+	}
+	err := runTrials(s, t, len(combos)+1, func(i int, _ *service.Worker) ([][]any, error) {
+		if i < len(combos) {
+			k, n := combos[i].k, combos[i].n
 			g := randomWeighted(n, k, 2*n, int64(k*1000+n))
 			res, err := core.SolveKECSS(g, k, core.KECSSOptions{Rng: rand.New(rand.NewSource(3))})
 			if err != nil {
@@ -214,33 +247,29 @@ func E4(s Scale) (*Table, error) {
 			logn := log2(float64(n))
 			ref := float64(k) * (float64(d)*logn*logn*logn + float64(n))
 			pd := rounds.PrimalDualBaseline(k, n, d)
-			t.AddRow(k, n, d, res.Iterations, res.Rounds, int64(ref), pd, float64(res.Rounds)/ref)
+			return one(k, n, d, res.Iterations, res.Rounds, int64(ref), pd, float64(res.Rounds)/ref), nil
 		}
-	}
-	// High-diameter instance where the primal-dual baseline collapses: a
-	// sparse ring (D = Θ(n)) with a few chords. knD = Θ(n²) here, while this
-	// algorithm stays near-linear.
-	ringN := 600
-	if s.Quick {
-		ringN = 200
-	}
-	rng := rand.New(rand.NewSource(77))
-	g := graph.Cycle(ringN, graph.RandomWeights(rng, 1000))
-	for i := 0; i < 6; i++ {
-		u, v := rng.Intn(ringN), rng.Intn(ringN)
-		if u != v {
-			g.AddEdge(u, v, 1+rng.Int63n(1000))
+		rng := rand.New(rand.NewSource(77))
+		g := graph.Cycle(ringN, graph.RandomWeights(rng, 1000))
+		for j := 0; j < 6; j++ {
+			u, v := rng.Intn(ringN), rng.Intn(ringN)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Int63n(1000))
+			}
 		}
-	}
-	res, err := core.SolveKECSS(g, 2, core.KECSSOptions{Rng: rand.New(rand.NewSource(4))})
+		res, err := core.SolveKECSS(g, 2, core.KECSSOptions{Rng: rand.New(rand.NewSource(4))})
+		if err != nil {
+			return nil, fmt.Errorf("E4 ring: %w", err)
+		}
+		n, d := g.N(), g.DiameterEstimate()
+		logn := log2(float64(n))
+		ref := 2 * (float64(d)*logn*logn*logn + float64(n))
+		return one(2, n, d, res.Iterations, res.Rounds, int64(ref), rounds.PrimalDualBaseline(2, n, d),
+			float64(res.Rounds)/ref), nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("E4 ring: %w", err)
+		return nil, err
 	}
-	n, d := g.N(), g.DiameterEstimate()
-	logn := log2(float64(n))
-	ref := 2 * (float64(d)*logn*logn*logn + float64(n))
-	t.AddRow(2, n, d, res.Iterations, res.Rounds, int64(ref), rounds.PrimalDualBaseline(2, n, d),
-		float64(res.Rounds)/ref)
 	t.Notes = append(t.Notes,
 		"small-D rows: the knD baseline [35] is fine when D is tiny (knD < k(Dlog³n+n))",
 		"last row: Θ(D)=Θ(n) ring — knD = Θ(n²) explodes, this algorithm stays near-linear")
@@ -262,27 +291,29 @@ func E5(s Scale) (*Table, error) {
 	if s.Quick {
 		small = 2
 	}
-	for trial := 0; trial < small; trial++ {
-		g := randomWeighted(7, 2, 3, int64(trial+900))
-		if g.M() > baselines.MaxExactKECSSEdges {
-			continue
-		}
-		_, opt, err := baselines.ExactKECSS(g, 2)
-		if err != nil {
-			return nil, fmt.Errorf("E5 exact: %w", err)
-		}
-		res, err := core.SolveKECSS(g, 2, core.KECSSOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
-		if err != nil {
-			return nil, fmt.Errorf("E5 alg: %w", err)
-		}
-		t.AddRow(2, 7, "exact OPT", res.Weight, opt, float64(res.Weight)/float64(opt),
-			2*math.Log(7.0))
-	}
 	ks := []int{2, 3, 4}
 	if s.Quick {
 		ks = []int{2, 3}
 	}
-	for _, k := range ks {
+	err := runTrials(s, t, small+len(ks), func(i int, _ *service.Worker) ([][]any, error) {
+		if i < small {
+			trial := i
+			g := randomWeighted(7, 2, 3, int64(trial+900))
+			if g.M() > baselines.MaxExactKECSSEdges {
+				return nil, nil
+			}
+			_, opt, err := baselines.ExactKECSS(g, 2)
+			if err != nil {
+				return nil, fmt.Errorf("E5 exact: %w", err)
+			}
+			res, err := core.SolveKECSS(g, 2, core.KECSSOptions{Rng: rand.New(rand.NewSource(int64(trial)))})
+			if err != nil {
+				return nil, fmt.Errorf("E5 alg: %w", err)
+			}
+			return one(2, 7, "exact OPT", res.Weight, opt, float64(res.Weight)/float64(opt),
+				2*math.Log(7.0)), nil
+		}
+		k := ks[i-small]
 		n := 60
 		g := randomWeighted(n, k, 2*n, int64(k*31))
 		res, err := core.SolveKECSS(g, k, core.KECSSOptions{Rng: rand.New(rand.NewSource(9))})
@@ -290,8 +321,11 @@ func E5(s Scale) (*Table, error) {
 			return nil, fmt.Errorf("E5 k=%d: %w", k, err)
 		}
 		lb := baselines.DegreeLowerBound(g, k)
-		t.AddRow(k, n, "degree LB", res.Weight, lb, float64(res.Weight)/float64(lb),
-			float64(k)*math.Log(float64(n)))
+		return one(k, n, "degree LB", res.Weight, lb, float64(res.Weight)/float64(lb),
+			float64(k)*math.Log(float64(n))), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "ratios below k·ln n reproduce the expected guarantee")
 	return t, nil
@@ -310,7 +344,8 @@ func E6(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{48, 96}
 	}
-	for _, n := range sizes {
+	err := runTrials(s, t, len(sizes), func(i int, _ *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 2, 2*n, int64(n+3))
 		treeIDs, _ := mst.Kruskal(g)
 		res, err := core.Aug(g, treeIDs, 2, core.AugOptions{Rng: rand.New(rand.NewSource(21))})
@@ -328,13 +363,16 @@ func E6(s Scale) (*Table, error) {
 		// Lemma 4.5 check: in the phase with exponent l, max degree <= 2^l
 		// — count violations (expected ~0 with slack factor 4).
 		violations := 0
-		for i, deg := range trace {
-			l := res.PTrace[i]
+		for j, deg := range trace {
+			l := res.PTrace[j]
 			if int64(deg) > 4<<uint(l) {
 				violations++
 			}
 		}
-		t.AddRow(n, res.Iterations, int(l3), float64(res.Iterations)/l3, start, mid, end, violations)
+		return one(n, res.Iterations, int(l3), float64(res.Iterations)/l3, start, mid, end, violations), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "degree trace shrinking along the schedule reproduces Lemma 4.5")
 	return t, nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/rounds"
 	"repro/internal/segments"
+	"repro/internal/service"
 	"repro/internal/tap"
 	"repro/internal/tree"
 )
@@ -47,9 +48,10 @@ func E7(s Scale) (*Table, error) {
 		rng := rand.New(rand.NewSource(int64(n)))
 		cases = append(cases, inst{"random", graph.RandomKConnected(n, 3, 2*n, rng, graph.UnitWeights())})
 	}
-	for _, tc := range cases {
+	err := runTrials(s, t, len(cases), func(i int, w *service.Worker) ([][]any, error) {
+		tc := cases[i]
 		g := tc.g
-		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(7))})
+		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(7)), Arena: w.Arena})
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", tc.family, err)
 		}
@@ -60,8 +62,11 @@ func E7(s Scale) (*Table, error) {
 		n, d := g.N(), g.DiameterEstimate()
 		logn := log2(float64(n))
 		ref := float64(d) * logn * logn * logn
-		t.AddRow(tc.family, n, d, res.Iterations, res.Rounds, int64(ref),
-			float64(res.Rounds)/ref, gen.Rounds)
+		return one(tc.family, n, d, res.Iterations, res.Rounds, int64(ref),
+			float64(res.Rounds)/ref, gen.Rounds), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"rounds/ref bounded across the D sweep reproduces the theorem",
@@ -93,14 +98,20 @@ func E8(s Scale) (*Table, error) {
 		cases = append(cases, inst{"random64", graph.RandomKConnected(64, 2, 20, rng, graph.UnitWeights())})
 	}
 	widths := []int{1, 4, 16, 48}
-	for _, tc := range cases {
+	err := runTrials(s, t, len(cases), func(i int, w *service.Worker) ([][]any, error) {
+		tc := cases[i]
 		truth := pairSet(tc.g.CutPairs())
 		tr, err := tree.FromBFS(tc.g.BFS(0))
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", tc.name, err)
 		}
+		var rows [][]any
 		for _, b := range widths {
-			l, err := cycles.ComputeLabels(tc.g, tr, b, rand.New(rand.NewSource(5)))
+			var opts []congest.Option
+			if w.Arena != nil {
+				opts = append(opts, congest.WithArena(w.Arena))
+			}
+			l, err := cycles.ComputeLabels(tc.g, tr, b, rand.New(rand.NewSource(5)), opts...)
 			if err != nil {
 				return nil, fmt.Errorf("E8 %s b=%d: %w", tc.name, b, err)
 			}
@@ -116,9 +127,13 @@ func E8(s Scale) (*Table, error) {
 					missed++
 				}
 			}
-			t.AddRow(tc.name, tc.g.N(), b, l.Metrics.Rounds, tr.Height(),
-				len(truth), len(detected), falsePos, missed)
+			rows = append(rows, []any{tc.name, tc.g.N(), b, l.Metrics.Rounds, tr.Height(),
+				len(truth), len(detected), falsePos, missed})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"missed always 0 (one-sided error); false+ vanishes by b=16",
@@ -147,7 +162,8 @@ func E9(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{100, 400}
 	}
-	for _, n := range sizes {
+	err := runTrials(s, t, len(sizes), func(i int, _ *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 2, n, int64(n+1))
 		ids, _ := mst.Kruskal(g)
 		tr := tree.MustFromEdges(g, ids, 0)
@@ -156,8 +172,11 @@ func E9(s Scale) (*Table, error) {
 			return nil, fmt.Errorf("E9 n=%d: %w", n, err)
 		}
 		sq := math.Sqrt(float64(n))
-		t.AddRow(n, int(sq), dec.MarkedCount(), len(dec.Segments), dec.MaxSegmentDiameter(),
-			float64(len(dec.Segments))/sq, float64(dec.MaxSegmentDiameter())/sq)
+		return one(n, int(sq), dec.MarkedCount(), len(dec.Segments), dec.MaxSegmentDiameter(),
+			float64(len(dec.Segments))/sq, float64(dec.MaxSegmentDiameter())/sq), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "both normalized columns flat across n reproduces the lemma")
 	return t, nil
@@ -187,17 +206,21 @@ func E10(s Scale) (*Table, error) {
 		cases = append(cases, inst{graph.RandomKConnected(n, 3, 2*n, rng, graph.UnitWeights()), 3})
 	}
 	cases = append(cases, inst{graph.CliqueChain(12, 6, 3, graph.UnitWeights()), 3})
-	for _, tc := range cases {
+	err := runTrials(s, t, len(cases), func(i int, w *service.Worker) ([][]any, error) {
+		tc := cases[i]
 		g := tc.g
 		cert := baselines.ThurimellaCertificate(g, tc.k)
-		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(6))})
+		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(6)), Arena: w.Arena})
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
 		}
 		n, d := g.N(), g.DiameterEstimate()
 		lb := (tc.k*n + 1) / 2
-		t.AddRow(n, d, tc.k, lb, len(cert), res.Size,
-			rounds.ThurimellaBaseline(tc.k, n, d), res.Rounds)
+		return one(n, d, tc.k, lb, len(cert), res.Size,
+			rounds.ThurimellaBaseline(tc.k, n, d), res.Rounds), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"both sizes sit between LB and their guarantees; measured sizes favour this paper",
@@ -221,12 +244,17 @@ func AblationVoteThreshold(s Scale) (*Table, error) {
 	}
 	g := randomWeighted(n, 2, 3*n, 1234)
 	tr := mstTreeOf(g)
-	for _, d := range []int64{2, 4, 8, 16, 32} {
+	denoms := []int64{2, 4, 8, 16, 32}
+	err := runTrials(s, t, len(denoms), func(i int, _ *service.Worker) ([][]any, error) {
+		d := denoms[i]
 		res, err := tap.Augment(g, tr, tap.Options{Rng: rand.New(rand.NewSource(5)), VoteDenom: d})
 		if err != nil {
 			return nil, fmt.Errorf("ablation d=%d: %w", d, err)
 		}
-		t.AddRow(d, res.Iterations, res.Weight, len(res.Augmentation))
+		return one(d, res.Iterations, res.Weight, len(res.Augmentation)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -246,7 +274,9 @@ func AblationRounding(s Scale) (*Table, error) {
 	}
 	g := randomWeighted(n, 2, 3*n, 777)
 	tr := mstTreeOf(g)
-	for _, exact := range []bool{false, true} {
+	modes := []bool{false, true}
+	err := runTrials(s, t, len(modes), func(i int, _ *service.Worker) ([][]any, error) {
+		exact := modes[i]
 		res, err := tap.Augment(g, tr, tap.Options{Rng: rand.New(rand.NewSource(5)), DisableRounding: exact})
 		if err != nil {
 			return nil, fmt.Errorf("ablation rounding: %w", err)
@@ -255,7 +285,10 @@ func AblationRounding(s Scale) (*Table, error) {
 		if exact {
 			mode = "exact"
 		}
-		t.AddRow(mode, res.Iterations, res.Weight)
+		return one(mode, res.Iterations, res.Weight), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -274,12 +307,17 @@ func AblationPhaseLength(s Scale) (*Table, error) {
 	}
 	g := randomWeighted(n, 2, 2*n, 999)
 	treeIDs, _ := mst.Kruskal(g)
-	for _, m := range []int{1, 2, 4} {
+	ms := []int{1, 2, 4}
+	err := runTrials(s, t, len(ms), func(i int, _ *service.Worker) ([][]any, error) {
+		m := ms[i]
 		res, err := core.Aug(g, treeIDs, 2, core.AugOptions{Rng: rand.New(rand.NewSource(5)), PhaseLen: m})
 		if err != nil {
 			return nil, fmt.Errorf("ablation M=%d: %w", m, err)
 		}
-		t.AddRow(m, res.Iterations, res.Weight, len(res.Added))
+		return one(m, res.Iterations, res.Weight, len(res.Added)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -299,22 +337,26 @@ func AblationExecutor(s Scale) (*Table, error) {
 		n = 48
 	}
 	g := randomWeighted(n, 2, 2*n, 321)
-	// One arena across the executor sweep: each run reuses the previous
-	// run's simulation buffers.
-	arena := congest.NewArena()
-	for _, tc := range []struct {
+	// Each trial runs on a pool worker whose arena recycles the simulation
+	// buffers of whatever ran on that worker before it.
+	execs := []struct {
 		name string
 		exec congest.Executor
 	}{
 		{"sequential", congest.SequentialExecutor{}},
 		{"parallel", congest.ParallelExecutor{}},
 		{"sharded", congest.ShardedExecutor{}},
-	} {
-		res, err := mst.DistributedBoruvka(g, congest.WithExecutor(tc.exec), congest.WithArena(arena))
+	}
+	err := runTrials(s, t, len(execs), func(i int, w *service.Worker) ([][]any, error) {
+		tc := execs[i]
+		res, err := mst.DistributedBoruvka(g, congest.WithExecutor(tc.exec), congest.WithArena(w.Arena))
 		if err != nil {
 			return nil, fmt.Errorf("ablation executor: %w", err)
 		}
-		t.AddRow(tc.name, res.Weight, res.Phases, res.Metrics.Rounds)
+		return one(tc.name, res.Weight, res.Phases, res.Metrics.Rounds), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mst"
 	"repro/internal/segments"
+	"repro/internal/service"
 	"repro/internal/tapdist"
 	"repro/internal/tree"
 	"repro/internal/verify"
@@ -30,10 +31,10 @@ func E11(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{100, 400}
 	}
-	// One arena across the size sweep: each instance's four information-flow
-	// networks reuse the previous instance's simulation buffers.
-	arena := congest.NewArena()
-	for _, n := range sizes {
+	// Each trial's four information-flow networks share the trial's worker
+	// arena, reusing the buffers of whatever that worker ran before.
+	err := runTrials(s, t, len(sizes), func(i int, w *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 2, 2*n, int64(n+17))
 		ids, _ := mst.Kruskal(g)
 		tr := tree.MustFromEdges(g, ids, 0)
@@ -46,7 +47,7 @@ func E11(s Scale) (*Table, error) {
 		for _, id := range tr.EdgeIDs() {
 			covered[id] = rng.Float64() < 0.5
 		}
-		res, err := tapdist.ComputeCe(g, dec, covered, nil, congest.WithArena(arena))
+		res, err := tapdist.ComputeCe(g, dec, covered, nil, congest.WithArena(w.Arena))
 		if err != nil {
 			return nil, fmt.Errorf("E11 n=%d: %w", n, err)
 		}
@@ -70,8 +71,11 @@ func E11(s Scale) (*Table, error) {
 		d := g.DiameterEstimate()
 		sq := segments.DefaultTarget(n)
 		ref := float64(d + sq)
-		t.AddRow(n, d, sq, res.Metrics.Rounds, res.Metrics.Messages, int(ref),
-			float64(res.Metrics.Rounds)/ref, mismatches)
+		return one(n, d, sq, res.Metrics.Rounds, res.Metrics.Messages, int(ref),
+			float64(res.Metrics.Rounds)/ref, mismatches), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"Ce mismatches must be 0: the distributed Case 1–3 computation is exact",
@@ -105,22 +109,29 @@ func E12(s Scale) (*Table, error) {
 			inst{"chain", graph.CliqueChain(12, 5, 3, graph.UnitWeights())},
 		)
 	}
-	rng := rand.New(rand.NewSource(5))
-	// One arena across the case sweep: every verification phase's network
-	// reuses the previous one's simulation buffers.
-	arena := congest.NewArena()
-	for _, tc := range cases {
+	// Per-case RNG (derived from the case index) instead of one stream
+	// threaded through the loop, so cases are independent trials; at 48-bit
+	// labels the verdicts are unaffected w.h.p. Verification networks use
+	// the trial's worker arena.
+	err := runTrials(s, t, len(cases), func(i int, w *service.Worker) ([][]any, error) {
+		tc := cases[i]
+		rng := rand.New(rand.NewSource(int64(5 + i)))
 		d := tc.g.DiameterEstimate()
-		rep2, err := verify.TwoEdgeConnectivity(tc.g, 48, rng, congest.WithArena(arena))
+		rep2, err := verify.TwoEdgeConnectivity(tc.g, 48, rng, congest.WithArena(w.Arena))
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", tc.name, err)
 		}
-		t.AddRow(tc.name, tc.g.N(), d, "2EC", rep2.OK, tc.g.TwoEdgeConnected(), rep2.Rounds)
-		rep3, err := verify.ThreeEdgeConnectivity(tc.g, 48, rng, congest.WithArena(arena))
+		rep3, err := verify.ThreeEdgeConnectivity(tc.g, 48, rng, congest.WithArena(w.Arena))
 		if err != nil {
 			return nil, fmt.Errorf("E12 %s: %w", tc.name, err)
 		}
-		t.AddRow(tc.name, tc.g.N(), d, "3EC", rep3.OK, tc.g.IsKEdgeConnected(3), rep3.Rounds)
+		return [][]any{
+			{tc.name, tc.g.N(), d, "2EC", rep2.OK, tc.g.TwoEdgeConnected(), rep2.Rounds},
+			{tc.name, tc.g.N(), d, "3EC", rep3.OK, tc.g.IsKEdgeConnected(3), rep3.Rounds},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "verdict must equal oracle on every row; rounds track D (plus #labels for 3EC)")
 	return t, nil
@@ -149,7 +160,8 @@ func E13(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{30}
 	}
-	for _, n := range sizes {
+	err := runTrials(s, t, len(sizes), func(i int, _ *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 2, 2*n, int64(n+23))
 		res, err := mst.FaultTolerantMST(g)
 		if err != nil {
@@ -176,7 +188,10 @@ func E13(s Scale) (*Table, error) {
 				violations++
 			}
 		}
-		t.AddRow(n, g.M(), len(res.MSTEdges), len(res.Edges), 2*(n-1), checked, violations)
+		return one(n, g.M(), len(res.MSTEdges), len(res.Edges), 2*(n-1), checked, violations), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "violations must be 0 on every row")
 	return t, nil
@@ -195,28 +210,34 @@ func E14(s Scale) (*Table, error) {
 	if s.Quick {
 		sizes = []int{24}
 	}
-	for _, n := range sizes {
+	err := runTrials(s, t, len(sizes), func(i int, w *service.Worker) ([][]any, error) {
+		n := sizes[i]
 		g := randomWeighted(n, 3, n, int64(n+29))
 		lb := baselines.DegreeLowerBound(g, 3)
-		wres, err := coreSolve3Weighted(g, 11)
+		wres, err := coreSolve3Weighted(g, 11, w)
 		if err != nil {
 			return nil, fmt.Errorf("E14 n=%d: %w", n, err)
 		}
-		ures, err := coreSolve3Unweighted(g, 11)
+		ures, err := coreSolve3Unweighted(g, 11, w)
 		if err != nil {
 			return nil, fmt.Errorf("E14 n=%d: %w", n, err)
 		}
-		t.AddRow(n, "weighted §5.4", wres.Weight, lb, float64(wres.Weight)/float64(lb), wres.Iterations, wres.Rounds)
-		t.AddRow(n, "weight-blind §5", ures.Weight, lb, float64(ures.Weight)/float64(lb), ures.Iterations, ures.Rounds)
+		return [][]any{
+			{n, "weighted §5.4", wres.Weight, lb, float64(wres.Weight) / float64(lb), wres.Iterations, wres.Rounds},
+			{n, "weight-blind §5", ures.Weight, lb, float64(ures.Weight) / float64(lb), ures.Iterations, ures.Rounds},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "the weighted variant's ratio should not exceed the weight-blind one's")
 	return t, nil
 }
 
-func coreSolve3Weighted(g *graph.Graph, seed int64) (*core.ThreeECSSResult, error) {
-	return core.Solve3ECSSWeighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(seed))})
+func coreSolve3Weighted(g *graph.Graph, seed int64, w *service.Worker) (*core.ThreeECSSResult, error) {
+	return core.Solve3ECSSWeighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(seed)), Arena: w.Arena})
 }
 
-func coreSolve3Unweighted(g *graph.Graph, seed int64) (*core.ThreeECSSResult, error) {
-	return core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(seed))})
+func coreSolve3Unweighted(g *graph.Graph, seed int64, w *service.Worker) (*core.ThreeECSSResult, error) {
+	return core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(seed)), Arena: w.Arena})
 }

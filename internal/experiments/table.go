@@ -1,9 +1,15 @@
-// Package experiments implements the reproduction experiments E1–E10 of
+// Package experiments implements the reproduction experiments E1–E14 of
 // DESIGN.md: one per theorem/lemma/figure of the paper. Each experiment
 // returns a Table whose rows are the series the paper's claim is about
 // (measured rounds or ratios next to the claimed asymptotic reference and
 // the prior-work baselines). The cmd/kecss-bench binary prints them; the
 // root bench_test.go wraps each in a testing.B benchmark.
+//
+// Every experiment's independent trials run on a service.Pool sized by
+// Scale.Workers (see runTrials): trials are index-addressed, derive their
+// randomness from fixed per-trial seeds, and append their rows in trial
+// order, so a table is byte-identical at any worker count while the wall
+// clock scales with the host's cores.
 package experiments
 
 import (

@@ -249,6 +249,112 @@ func RandomGeometric(n int, radius float64, minConn int, rng *rand.Rand) *Graph 
 	return g
 }
 
+// ChungLu returns a Chung–Lu random graph with a power-law expected degree
+// sequence: vertex i gets target weight w_i ∝ (i+1)^(-1/(beta-1)) scaled so
+// the mean degree is avgDeg, and each pair {i,j} is joined independently
+// with probability min(1, w_i·w_j/Σw). beta is the power-law exponent
+// (2 < beta <= 3 is the scale-free regime; beta=2.5 is a sensible default).
+// Because a bare Chung–Lu draw has isolated and pendant vertices, a
+// Circulant(1..j) backbone over a random vertex permutation is added, which
+// guarantees the result is at least 2j-edge-connected with j = ⌈minConn/2⌉
+// while leaving the heavy-tailed degree shape intact.
+func ChungLu(n int, beta, avgDeg float64, minConn int, rng *rand.Rand, wf WeightFn) *Graph {
+	if n < 5 {
+		panic("graph: ChungLu needs n >= 5")
+	}
+	if beta <= 2 {
+		panic("graph: ChungLu needs beta > 2 (finite mean degree)")
+	}
+	if avgDeg <= 0 {
+		panic("graph: ChungLu needs avgDeg > 0")
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -1/(beta-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	sum *= scale
+
+	g := New(n)
+	type pair struct{ u, v int }
+	present := make(map[pair]bool, int(avgDeg)*n)
+	idx := 0
+	add := func(u, v int) {
+		p := pair{u, v}
+		if u > v {
+			p = pair{v, u}
+		}
+		if present[p] {
+			return
+		}
+		present[p] = true
+		g.AddEdge(u, v, wf(idx))
+		idx++
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := w[i] * w[j] / sum
+			if p >= 1 || rng.Float64() < p {
+				add(i, j)
+			}
+		}
+	}
+	// Connectivity backbone over a random permutation, so the guarantee ring
+	// does not correlate with the degree ranking.
+	perm := rng.Perm(n)
+	j := (minConn + 1) / 2
+	if j < 1 {
+		j = 1
+	}
+	for off := 1; off <= j; off++ {
+		for i := 0; i < n; i++ {
+			add(perm[i], perm[(i+off)%n])
+		}
+	}
+	return g
+}
+
+// FatTree returns the switch layer of a k-ary fat-tree datacenter topology
+// (k even, k >= 4): (k/2)² core switches and k pods of k/2 aggregation plus
+// k/2 edge switches. Every edge switch links to all k/2 aggregation
+// switches of its pod, and the j-th aggregation switch of each pod links to
+// core switches j·k/2 .. j·k/2+k/2-1. The graph has k²·5/4 vertices, k³/2
+// edges, diameter 4 and edge connectivity exactly k/2 (each edge switch has
+// k/2 uplinks), so FatTree(2k') is the standard datacenter family for
+// k'-ECSS sweeps. Vertex layout: cores first, then pod by pod (aggregation
+// before edge switches).
+func FatTree(k int, wf WeightFn) *Graph {
+	if k < 4 || k%2 != 0 {
+		panic(fmt.Sprintf("graph: FatTree needs even k >= 4, got %d", k))
+	}
+	h := k / 2
+	cores := h * h
+	g := New(cores + k*k)
+	idx := 0
+	for p := 0; p < k; p++ {
+		podBase := cores + p*k
+		for a := 0; a < h; a++ {
+			agg := podBase + a
+			// Aggregation a serves core group a.
+			for c := 0; c < h; c++ {
+				g.AddEdge(agg, a*h+c, wf(idx))
+				idx++
+			}
+			// Full bipartite aggregation–edge mesh within the pod.
+			for e := 0; e < h; e++ {
+				g.AddEdge(agg, podBase+h+e, wf(idx))
+				idx++
+			}
+		}
+	}
+	return g
+}
+
 // PaperFigure2Graph returns the 2-edge-connected example graph of the
 // paper's Figure 2 (left side): a spanning tree with 3 non-tree edges whose
 // cycle-space labels expose two cut pairs. The exact drawing is not

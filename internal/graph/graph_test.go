@@ -511,3 +511,66 @@ func TestRandomKConnectedQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChungLu(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ChungLu(200, 2.5, 6, 2, rng, UnitWeights())
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.IsKEdgeConnected(2) {
+		t.Fatal("minConn=2 backbone did not guarantee 2-edge-connectivity")
+	}
+	// Heavy tail: the maximum degree must far exceed the mean (a power law
+	// at beta=2.5 and n=200 concentrates a large share of edges on the top
+	// vertices; a uniform G(n,p) at the same density stays within ~2x).
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sumDeg) / float64(g.N())
+	if float64(maxDeg) < 3*mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, mean)
+	}
+	// 3-edge-connected variant for the 3-ECSS sweeps.
+	g3 := ChungLu(60, 2.5, 8, 3, rng, UnitWeights())
+	if !g3.IsKEdgeConnected(3) {
+		t.Fatal("minConn=3 backbone did not guarantee 3-edge-connectivity")
+	}
+}
+
+func TestChungLuDeterministic(t *testing.T) {
+	a := ChungLu(80, 2.5, 5, 2, rand.New(rand.NewSource(3)), UnitWeights())
+	b := ChungLu(80, 2.5, 5, 2, rand.New(rand.NewSource(3)), UnitWeights())
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		g := FatTree(k, UnitWeights())
+		h := k / 2
+		if want := h*h + k*k; g.N() != want {
+			t.Fatalf("FatTree(%d): n = %d, want %d", k, g.N(), want)
+		}
+		if want := k * k * k / 2; g.M() != want {
+			t.Fatalf("FatTree(%d): m = %d, want %d", k, g.M(), want)
+		}
+		if d := g.Diameter(); d != 4 {
+			t.Fatalf("FatTree(%d): diameter = %d, want 4", k, d)
+		}
+		if lam := g.EdgeConnectivity(); lam != h {
+			t.Fatalf("FatTree(%d): edge connectivity = %d, want %d", k, lam, h)
+		}
+	}
+}

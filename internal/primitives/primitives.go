@@ -7,6 +7,7 @@
 package primitives
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -73,15 +74,37 @@ func (b *bfsProgram) Round(ctx *congest.Context, inbox []congest.Message) bool {
 	return b.joined
 }
 
+// ErrBFSNotSpanning reports that a BFS finished without reaching every
+// vertex, i.e. the graph is disconnected. Callers that treat "disconnected"
+// as a verdict rather than a failure (verify.Connectivity) test for it with
+// errors.Is; every other BuildBFSTree error still indicates a genuine bug.
+var ErrBFSNotSpanning = errors.New("BFS tree does not span the graph")
+
 // BuildBFSTree constructs a BFS tree rooted at root by running the
 // distributed BFS program, returning the tree and the simulation metrics.
+// On a disconnected graph the returned error wraps ErrBFSNotSpanning and
+// the metrics still report the rounds the failed BFS consumed.
 func BuildBFSTree(g *graph.Graph, root int, opts ...congest.Option) (*tree.Rooted, congest.Metrics, error) {
 	net := congest.NewNetwork(g, func(int) congest.Program {
 		return &bfsProgram{root: root}
 	}, opts...)
-	m, err := net.Run(g.N() + 2)
-	if err != nil {
-		return nil, m, fmt.Errorf("primitives: BFS did not quiesce: %w", err)
+	m, runErr := net.Run(g.N() + 2)
+	// Distinguish "some vertices never joined" (disconnected input — the
+	// exploration wave cannot reach them, so the network never quiesces and
+	// runErr fires) from a genuine non-termination bug: inspect the joined
+	// flags directly instead of inferring from downstream tree validation.
+	unreached := 0
+	for v := 0; v < g.N(); v++ {
+		if !net.Program(v).(*bfsProgram).joined {
+			unreached++
+		}
+	}
+	if unreached > 0 {
+		return nil, m, fmt.Errorf("primitives: BFS from %d left %d of %d vertices unreached: %w",
+			root, unreached, g.N(), ErrBFSNotSpanning)
+	}
+	if runErr != nil {
+		return nil, m, fmt.Errorf("primitives: BFS did not quiesce: %w", runErr)
 	}
 	parent := make([]int, g.N())
 	parentEdge := make([]int, g.N())
@@ -347,8 +370,15 @@ func ElectLeader(g *graph.Graph, opts ...congest.Option) (int, congest.Metrics, 
 	leader := net.Program(0).(*minIDProgram).best
 	for v := 0; v < g.N(); v++ {
 		if got := net.Program(v).(*minIDProgram).best; got != leader {
-			return -1, m, fmt.Errorf("primitives: leader disagreement at vertex %d: %d vs %d", v, got, leader)
+			return -1, m, fmt.Errorf("primitives: leader disagreement at vertex %d: %d vs %d: %w",
+				v, got, leader, ErrNoGlobalLeader)
 		}
 	}
 	return int(leader), m, nil
 }
+
+// ErrNoGlobalLeader reports that min-ID flooding quiesced with different
+// components holding different minima — which happens exactly when the graph
+// is disconnected. Like ErrBFSNotSpanning, callers verifying connectivity
+// treat it as a verdict, not a failure.
+var ErrNoGlobalLeader = errors.New("leader election disagreed (graph disconnected)")

@@ -1,0 +1,157 @@
+// Package service provides the persistent worker pool behind kecss.Pool and
+// the experiment sweeps: a fixed set of long-lived workers, each owning a
+// private congest.NetworkArena, executing index-addressed task batches.
+//
+// The pool's contract is built around determinism under arbitrary
+// scheduling: Run hands out task *indices* through a work-stealing cursor,
+// so which worker executes which index is unspecified — but results are
+// written by index, and callers derive all per-task state (RNG seeds in
+// particular) from the index, never from the worker. A batch therefore
+// produces byte-identical results whether the pool has one worker or many.
+//
+// Arenas, by contrast, are deliberately per-worker: a worker runs its tasks
+// sequentially, so its arena is never borrowed by two live networks at once
+// (the ownership rule in congest.NetworkArena), while consecutive tasks on
+// the same worker recycle each other's simulation buffers.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/congest"
+)
+
+// Worker is the per-goroutine state a task runs with. A worker executes one
+// task at a time, so a task may use every field without locking.
+type Worker struct {
+	// ID is the worker's index in 0..Size()-1. It identifies the goroutine,
+	// not the task: per-task state (RNGs especially) must be derived from
+	// the task index passed to Run, or results become schedule-dependent.
+	ID int
+	// Arena is the worker's private simulation arena, or nil for a pool
+	// built with arenas disabled. Tasks pass it to the congest layer
+	// (congest.WithArena) so consecutive tasks on this worker reuse each
+	// other's network buffers.
+	Arena *congest.NetworkArena
+}
+
+// batch is one Run call: n tasks claimed through a shared cursor by every
+// worker of the pool.
+type batch struct {
+	n      int
+	fn     func(i int, w *Worker)
+	cursor *atomic.Int64
+	wg     *sync.WaitGroup
+	failed *atomic.Value // first recovered panic, if any
+}
+
+// Pool is a fixed-size pool of persistent workers. Create with NewPool, use
+// with Run, shut down with Close. Run may be called from multiple
+// goroutines concurrently and is safe, but batches are coarse-grained: a
+// worker services its current batch until the batch is out of tasks, so a
+// small batch submitted while a large one is in flight waits for workers
+// to free up rather than interleaving task-by-task. Tasks must not call
+// Run on their own pool (the workers are all busy running them — it would
+// deadlock).
+type Pool struct {
+	workers []*Worker
+	jobs    chan batch
+	done    sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewPool returns a running pool of n workers; n <= 0 means GOMAXPROCS.
+// arenas selects whether each worker owns a congest.NetworkArena (disable
+// only to measure the arenas' effect; results are identical either way).
+func NewPool(n int, arenas bool) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan batch)}
+	for i := 0; i < n; i++ {
+		w := &Worker{ID: i}
+		if arenas {
+			w.Arena = congest.NewArena()
+		}
+		p.workers = append(p.workers, w)
+		p.done.Add(1)
+		go p.loop(w)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Run executes fn(i, w) for every i in 0..n-1 on the pool's workers and
+// returns when all n calls have finished. Indices are claimed dynamically,
+// so fn must derive per-task state from i, never from w.ID. If a task
+// panics, the remaining tasks of the batch are abandoned and Run re-panics
+// with the first recovered value.
+func (p *Pool) Run(n int, fn func(i int, w *Worker)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("service: Run on a closed Pool")
+	}
+	b := batch{
+		n:      n,
+		fn:     fn,
+		cursor: new(atomic.Int64),
+		wg:     new(sync.WaitGroup),
+		failed: new(atomic.Value),
+	}
+	b.wg.Add(len(p.workers))
+	for range p.workers {
+		p.jobs <- b
+	}
+	b.wg.Wait()
+	if v := b.failed.Load(); v != nil {
+		panic(fmt.Sprintf("service: task panicked: %v", v))
+	}
+}
+
+// Close shuts the workers down and waits for them to exit. Batches already
+// submitted complete first. Close must not be called concurrently with Run.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.jobs)
+	p.done.Wait()
+}
+
+func (p *Pool) loop(w *Worker) {
+	defer p.done.Done()
+	for b := range p.jobs {
+		b.run(w)
+	}
+}
+
+// run claims tasks until the batch is exhausted or a task has panicked.
+func (b batch) run(w *Worker) {
+	defer b.wg.Done()
+	for b.failed.Load() == nil {
+		i := int(b.cursor.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.call(i, w)
+	}
+}
+
+// call runs one task, converting a panic into the batch's failure marker so
+// the other workers stop claiming and Run can re-panic on the caller's
+// goroutine instead of killing a pool worker.
+func (b batch) call(i int, w *Worker) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.failed.CompareAndSwap(nil, fmt.Sprintf("task %d: %v", i, r))
+		}
+	}()
+	b.fn(i, w)
+}

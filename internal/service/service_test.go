@@ -1,0 +1,151 @@
+package service
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers, false)
+		const n = 100
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		p.Run(n, func(i int, w *Worker) {
+			if w.Arena != nil {
+				t.Error("pool built without arenas handed out an arena")
+			}
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		p.Close()
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolWorkersOwnDistinctArenas(t *testing.T) {
+	p := NewPool(4, true)
+	defer p.Close()
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	seen := map[*congest.NetworkArena]int{}
+	var mu sync.Mutex
+	p.Run(64, func(i int, w *Worker) {
+		if w.Arena == nil {
+			t.Error("arena-enabled pool handed out a nil arena")
+			return
+		}
+		mu.Lock()
+		seen[w.Arena] = w.ID
+		mu.Unlock()
+	})
+	for a, id := range seen {
+		_ = id
+		if a == nil {
+			t.Fatal("nil arena recorded")
+		}
+	}
+	if len(seen) > 4 {
+		t.Fatalf("more arenas (%d) than workers (4)", len(seen))
+	}
+}
+
+// The load-bearing property: per-index derivation makes batch output
+// independent of worker count and scheduling, including when tasks drive
+// real simulations through per-worker arenas.
+func TestPoolResultsIndependentOfWorkerCount(t *testing.T) {
+	run := func(workers int, arenas bool) []int64 {
+		p := NewPool(workers, arenas)
+		defer p.Close()
+		out := make([]int64, 12)
+		p.Run(len(out), func(i int, w *Worker) {
+			g := graph.Harary(3, 16+2*i, graph.UnitWeights())
+			var opts []congest.Option
+			if w.Arena != nil {
+				opts = append(opts, congest.WithArena(w.Arena))
+			}
+			res, err := mst.DistributedBoruvka(g, opts...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = res.Weight + int64(res.Metrics.Rounds)<<20
+		})
+		return out
+	}
+	want := run(1, false)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 2} {
+		for _, arenas := range []bool{false, true} {
+			got := run(workers, arenas)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d arenas=%v: task %d diverged: %d vs %d",
+						workers, arenas, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentBatches(t *testing.T) {
+	p := NewPool(3, true)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := make([]int, 50)
+			p.Run(50, func(i int, w *Worker) { sum[i] = i })
+			for i, v := range sum {
+				if v != i {
+					t.Errorf("batch task %d not run", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolTaskPanicPropagates(t *testing.T) {
+	p := NewPool(2, false)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in task did not propagate to Run")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v does not carry the task's message", r)
+		}
+	}()
+	p.Run(10, func(i int, w *Worker) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestPoolRunAfterCloseRejected(t *testing.T) {
+	p := NewPool(1, false)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on a closed pool did not panic")
+		}
+	}()
+	p.Run(1, func(int, *Worker) {})
+}

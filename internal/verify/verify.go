@@ -13,6 +13,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -42,14 +43,26 @@ func Connectivity(g *graph.Graph, opts ...congest.Option) (*Report, error) {
 	opts = congest.WithDefaultArena(opts)
 	leader, m1, err := primitives.ElectLeader(g, opts...)
 	if err != nil {
-		return nil, fmt.Errorf("verify: leader election: %w", err)
+		if !errors.Is(err, primitives.ErrNoGlobalLeader) {
+			return nil, fmt.Errorf("verify: leader election: %w", err)
+		}
+		// Disagreeing minima already prove disconnection, but the protocol's
+		// BFS phase still runs — from the true global minimum, vertex 0 —
+		// so the verdict below comes from the explicit non-spanning
+		// detection and the report charges the full cost actually incurred.
+		leader = 0
 	}
 	tr, m2, err := primitives.BuildBFSTree(g, leader, opts...)
 	if err != nil {
-		// BFS failing to span is itself the "disconnected" verdict, but our
-		// simulator builds the network over the full vertex set, so a
-		// non-spanning BFS surfaces as a tree-validation error.
-		return &Report{OK: false, Rounds: m1.Rounds}, nil
+		// A non-spanning BFS is itself the "disconnected" verdict — and an
+		// explicit one (ErrBFSNotSpanning), not an inference from tree
+		// validation. The rounds the failed BFS consumed are real simulator
+		// work and count toward the verification's cost. Any other BFS
+		// error is a genuine failure and propagates.
+		if errors.Is(err, primitives.ErrBFSNotSpanning) {
+			return &Report{OK: false, Rounds: m1.Rounds + m2.Rounds}, nil
+		}
+		return nil, fmt.Errorf("verify: BFS: %w", err)
 	}
 	ones := make([]int64, g.N())
 	for i := range ones {

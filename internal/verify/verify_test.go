@@ -1,11 +1,13 @@
 package verify
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/primitives"
 )
 
 func TestConnectivity(t *testing.T) {
@@ -20,6 +22,43 @@ func TestConnectivity(t *testing.T) {
 		}
 		if d := g.Diameter(); rep.Rounds > 4*d+12 {
 			t.Errorf("rounds = %d, want O(D)=O(%d)", rep.Rounds, d)
+		}
+	})
+	t.Run("disconnected graph rejected with full round accounting", func(t *testing.T) {
+		// Two separate triangles: leader election disagrees across the
+		// components and the BFS from the global minimum cannot span.
+		g := graph.New(6)
+		for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+			g.AddEdge(e[0], e[1], 1)
+		}
+		rep, err := Connectivity(g)
+		if err != nil {
+			t.Fatalf("disconnected graph must be a verdict, not an error: %v", err)
+		}
+		if rep.OK {
+			t.Fatal("disconnected graph verified as connected")
+		}
+		// Regression: the report must include the rounds of the failed BFS
+		// phase, not just leader election.
+		_, m1, electErr := primitives.ElectLeader(g)
+		if !errors.Is(electErr, primitives.ErrNoGlobalLeader) {
+			t.Fatalf("expected ErrNoGlobalLeader on disconnected graph, got %v", electErr)
+		}
+		if rep.Rounds <= m1.Rounds {
+			t.Fatalf("Rounds = %d: dropped the failed BFS phase (election alone = %d)", rep.Rounds, m1.Rounds)
+		}
+	})
+	t.Run("isolated vertex detected", func(t *testing.T) {
+		g := graph.New(4)
+		g.AddEdge(0, 1, 1)
+		g.AddEdge(1, 2, 1)
+		g.AddEdge(2, 0, 1) // vertex 3 is isolated
+		rep, err := Connectivity(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK {
+			t.Fatal("graph with isolated vertex verified as connected")
 		}
 	})
 	t.Run("empty graph", func(t *testing.T) {

@@ -20,6 +20,27 @@
 // Graphs are built with NewGraph/AddEdge or the generator helpers. All
 // randomness is controlled by WithSeed for reproducibility; round counts,
 // iteration counts and approximation diagnostics are in the result structs.
+//
+// # Concurrency
+//
+// The package-level solvers (Solve2ECSS, SolveKECSS, Solve3ECSSUnweighted,
+// Solve3ECSSWeighted, SolveTAP) are goroutine-safe with respect to each
+// other and to themselves: each call derives its own random stream from
+// WithSeed and touches no shared mutable state, so concurrent calls — even
+// on the same *Graph — are race-free. A *Graph itself is safe for
+// concurrent readers only; do not AddEdge while any solver is running on it.
+//
+// What is NOT goroutine-safe is sharing solver-internal state across calls
+// yourself: a *rand.Rand, a congest.NetworkArena, or a result struct being
+// mutated. The public API never hands these out for sharing — seeds go in,
+// results come out — so the only way to race is through the internal
+// packages.
+//
+// For solving many instances, Pool runs batches on a fixed set of workers,
+// each with its own recycled simulation arena and a per-task RNG derived as
+// baseSeed XOR taskIndex, making batch results byte-identical regardless of
+// worker count or scheduling. See NewPool, Pool.Sweep and the batch
+// helpers; examples/fleet is a worked example.
 package kecss
 
 import (
@@ -127,17 +148,55 @@ func buildConfig(opts []Option) config {
 
 func (c config) rng() *rand.Rand { return rand.New(rand.NewSource(c.seed)) }
 
+// solveEnv is the per-call execution state a solver run gets on top of its
+// config: its private random stream plus, for pool workers, the worker's
+// recycled arena and the marker that the graph was already validated.
+type solveEnv struct {
+	rng            *rand.Rand
+	arena          *congest.NetworkArena
+	skipValidation bool
+}
+
+func (c config) serialEnv() solveEnv { return solveEnv{rng: c.rng()} }
+
+func (c config) twoOpts(env solveEnv) core.TwoECSSOptions {
+	return core.TwoECSSOptions{
+		Rng:         env.rng,
+		TAP:         tap.Options{VoteDenom: c.voteDenom},
+		SimulateMST: c.simulateMST,
+		Executor:    c.executor,
+		Arena:       env.arena,
+	}
+}
+
+func (c config) kecssOpts(env solveEnv) core.KECSSOptions {
+	return core.KECSSOptions{
+		Rng:            env.rng,
+		PhaseLen:       c.phaseLen,
+		SimulateMST:    c.simulateMST,
+		Executor:       c.executor,
+		Arena:          env.arena,
+		SkipValidation: env.skipValidation,
+	}
+}
+
+func (c config) threeOpts(env solveEnv) core.ThreeECSSOptions {
+	return core.ThreeECSSOptions{
+		Rng:            env.rng,
+		LabelBits:      c.labelBits,
+		PhaseLen:       c.phaseLen,
+		Executor:       c.executor,
+		Arena:          env.arena,
+		SkipValidation: env.skipValidation,
+	}
+}
+
 // Solve2ECSS computes an O(log n)-approximate minimum weight
 // 2-edge-connected spanning subgraph of g (Theorem 1.1). g must be
 // 2-edge-connected.
 func Solve2ECSS(g *Graph, opts ...Option) (*TwoECSSResult, error) {
 	c := buildConfig(opts)
-	return core.Solve2ECSS(g, core.TwoECSSOptions{
-		Rng:         c.rng(),
-		TAP:         tap.Options{VoteDenom: c.voteDenom},
-		SimulateMST: c.simulateMST,
-		Executor:    c.executor,
-	})
+	return core.Solve2ECSS(g, c.twoOpts(c.serialEnv()))
 }
 
 // SolveKECSS computes an O(k·log n)-expected-approximate minimum weight
@@ -145,12 +204,7 @@ func Solve2ECSS(g *Graph, opts ...Option) (*TwoECSSResult, error) {
 // k-edge-connected.
 func SolveKECSS(g *Graph, k int, opts ...Option) (*KECSSResult, error) {
 	c := buildConfig(opts)
-	return core.SolveKECSS(g, k, core.KECSSOptions{
-		Rng:         c.rng(),
-		PhaseLen:    c.phaseLen,
-		SimulateMST: c.simulateMST,
-		Executor:    c.executor,
-	})
+	return core.SolveKECSS(g, k, c.kecssOpts(c.serialEnv()))
 }
 
 // Solve3ECSSUnweighted computes an O(log n)-expected-approximate minimum
@@ -158,12 +212,7 @@ func SolveKECSS(g *Graph, k int, opts ...Option) (*KECSSResult, error) {
 // weights. g must be 3-edge-connected.
 func Solve3ECSSUnweighted(g *Graph, opts ...Option) (*ThreeECSSResult, error) {
 	c := buildConfig(opts)
-	return core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{
-		Rng:       c.rng(),
-		LabelBits: c.labelBits,
-		PhaseLen:  c.phaseLen,
-		Executor:  c.executor,
-	})
+	return core.Solve3ECSSUnweighted(g, c.threeOpts(c.serialEnv()))
 }
 
 // Solve3ECSSWeighted computes an O(log n)-expected-approximate minimum
@@ -173,12 +222,7 @@ func Solve3ECSSUnweighted(g *Graph, opts ...Option) (*ThreeECSSResult, error) {
 // spanning-tree height of the weighted base rather than D.
 func Solve3ECSSWeighted(g *Graph, opts ...Option) (*ThreeECSSResult, error) {
 	c := buildConfig(opts)
-	return core.Solve3ECSSWeighted(g, core.ThreeECSSOptions{
-		Rng:       c.rng(),
-		LabelBits: c.labelBits,
-		PhaseLen:  c.phaseLen,
-		Executor:  c.executor,
-	})
+	return core.Solve3ECSSWeighted(g, c.threeOpts(c.serialEnv()))
 }
 
 // SolveTAP augments the spanning tree given by treeEdges (graph edge IDs)

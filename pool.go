@@ -1,0 +1,323 @@
+package kecss
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// Solver names one of the pool's algorithms in a Task.
+type Solver int
+
+const (
+	// Solver2ECSS runs Solve2ECSS (weighted 2-ECSS, Theorem 1.1).
+	Solver2ECSS Solver = iota
+	// SolverKECSS runs SolveKECSS with the task's K (Theorem 1.2).
+	SolverKECSS
+	// Solver3ECSSUnweighted runs Solve3ECSSUnweighted (Theorem 1.3).
+	Solver3ECSSUnweighted
+	// Solver3ECSSWeighted runs Solve3ECSSWeighted (§5.4).
+	Solver3ECSSWeighted
+)
+
+// String returns the solver's short name (matching the sweep scenario
+// vocabulary of cmd/kecss-bench).
+func (s Solver) String() string {
+	switch s {
+	case Solver2ECSS:
+		return "2ecss"
+	case SolverKECSS:
+		return "kecss"
+	case Solver3ECSSUnweighted:
+		return "3ecss"
+	case Solver3ECSSWeighted:
+		return "3ecss-weighted"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// Task is one solve in a Pool sweep.
+type Task struct {
+	// Graph is the instance to solve. Several tasks may share one *Graph
+	// (per-trial sweeps); the pool validates each distinct graph once.
+	Graph *Graph
+	// Solver selects the algorithm.
+	Solver Solver
+	// K is the target connectivity for SolverKECSS (ignored otherwise).
+	K int
+	// Opts are per-task options, applied on top of the pool's defaults.
+	// WithSeed here sets the task's base seed; the effective seed is
+	// baseSeed XOR the task's index in the sweep, so repeating a graph
+	// across tasks yields independent, reproducible trials.
+	Opts []Option
+}
+
+// Result is one task's outcome. Exactly one of Two/KECSS/Three is non-nil
+// on success, matching the task's solver; Edges, Weight and Rounds mirror
+// that result for solver-agnostic consumers.
+type Result struct {
+	// Task is the task's index in the sweep (results keep sweep order).
+	Task int
+	// Err is the task's failure, nil on success.
+	Err error
+	// Edges, Weight and Rounds are the solved subgraph's edge IDs, total
+	// weight and charged/measured round count.
+	Edges  []int
+	Weight int64
+	Rounds int64
+	// Two/KECSS/Three hold the full per-solver result struct.
+	Two   *TwoECSSResult
+	KECSS *KECSSResult
+	Three *ThreeECSSResult
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*poolConfig)
+
+type poolConfig struct {
+	arenas   bool
+	defaults []Option
+}
+
+// WithoutArenas builds the pool's workers without recycled simulation
+// arenas, so every network allocates fresh buffers. Results are identical
+// either way; this exists to measure the arenas' effect and for the
+// determinism tests.
+func WithoutArenas() PoolOption {
+	return func(c *poolConfig) { c.arenas = false }
+}
+
+// WithPoolDefaults sets solver options applied to every task of every sweep
+// (a task's own Opts are applied after these and win on conflict).
+func WithPoolDefaults(opts ...Option) PoolOption {
+	return func(c *poolConfig) { c.defaults = append(c.defaults, opts...) }
+}
+
+// Pool solves batches of instances on a fixed set of worker goroutines.
+//
+// Each worker owns a private simulation arena, recycled across the tasks it
+// runs; each task draws from its own RNG seeded with baseSeed XOR task
+// index. Together these make every batch API deterministic: the same tasks
+// produce byte-identical results whether the pool has 1 worker or
+// GOMAXPROCS, with arenas or without, and regardless of how the scheduler
+// interleaves the workers.
+//
+// A Pool is goroutine-safe: Sweep and the batch helpers may be called
+// concurrently from multiple goroutines. Close releases the workers; it
+// must not race with an in-flight sweep.
+type Pool struct {
+	svc      *service.Pool
+	defaults []Option
+}
+
+// NewPool starts a solver pool with the given number of workers (<= 0 means
+// GOMAXPROCS). Call Close when done.
+func NewPool(workers int, opts ...PoolOption) *Pool {
+	c := poolConfig{arenas: true}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Pool{
+		svc:      service.NewPool(workers, c.arenas),
+		defaults: c.defaults,
+	}
+}
+
+// Workers returns the number of workers.
+func (p *Pool) Workers() int { return p.svc.Size() }
+
+// Close shuts the workers down. The pool must not be used afterwards.
+func (p *Pool) Close() { p.svc.Close() }
+
+// Sweep solves every task on the pool's workers and returns one Result per
+// task, in task order. Individual failures land in Result.Err; Sweep itself
+// never fails. Before solving, each distinct graph's edge connectivity is
+// checked once (up to the largest k any of its tasks needs, using the
+// capped max-flow's early exit) instead of once per task, so multi-trial
+// sweeps do not re-validate identical graphs.
+func (p *Pool) Sweep(tasks []Task) []Result {
+	results := make([]Result, len(tasks))
+	for i := range results {
+		results[i].Task = i
+	}
+	p.preValidate(tasks, results)
+	p.svc.Run(len(tasks), func(i int, w *service.Worker) {
+		if results[i].Err != nil {
+			return // validation already rejected this task
+		}
+		results[i] = p.solveOne(i, tasks[i], w)
+	})
+	return results
+}
+
+// requiredConnectivity returns the edge connectivity the task's solver
+// demands of its input (0 = no up-front requirement).
+func (t Task) requiredConnectivity() (int, error) {
+	switch t.Solver {
+	case Solver2ECSS:
+		// core.Solve2ECSS validates only n >= 2 itself; keep parity.
+		return 0, nil
+	case SolverKECSS:
+		if t.K < 1 {
+			return 0, fmt.Errorf("kecss: SolverKECSS needs K >= 1, got %d", t.K)
+		}
+		return t.K, nil
+	case Solver3ECSSUnweighted, Solver3ECSSWeighted:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("kecss: unknown solver %d", int(t.Solver))
+}
+
+// preValidate computes, once per distinct graph, min(λ, maxK) with maxK the
+// largest connectivity any of the graph's tasks requires — one capped Dinic
+// sweep answers every task's "is it k-edge-connected?" — and records an
+// error on each task whose requirement fails. Validations of distinct
+// graphs run on the pool's workers.
+func (p *Pool) preValidate(tasks []Task, results []Result) {
+	needBy := make(map[*Graph]int)
+	var order []*Graph
+	for i, t := range tasks {
+		if t.Graph == nil {
+			results[i].Err = fmt.Errorf("kecss: task %d has a nil graph", i)
+			continue
+		}
+		k, err := t.requiredConnectivity()
+		if err != nil {
+			results[i].Err = fmt.Errorf("kecss: task %d: %w", i, err)
+			continue
+		}
+		if k == 0 {
+			continue
+		}
+		if prev, seen := needBy[t.Graph]; !seen {
+			needBy[t.Graph] = k
+			order = append(order, t.Graph)
+		} else if k > prev {
+			needBy[t.Graph] = k
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	lam := make(map[*Graph]int, len(order))
+	lams := make([]int, len(order))
+	p.svc.Run(len(order), func(i int, _ *service.Worker) {
+		lams[i] = order[i].EdgeConnectivityUpTo(needBy[order[i]])
+	})
+	for i, g := range order {
+		lam[g] = lams[i]
+	}
+	for i, t := range tasks {
+		if results[i].Err != nil || t.Graph == nil {
+			continue
+		}
+		k, _ := t.requiredConnectivity()
+		if k > 0 && lam[t.Graph] < k {
+			results[i].Err = fmt.Errorf("kecss: task %d: input graph is not %d-edge-connected", i, k)
+		}
+	}
+}
+
+// solveOne runs one validated task on a worker. All state is derived from
+// the task index and the task itself, never from the worker, so results are
+// schedule-independent; the worker contributes only its recycled arena.
+func (p *Pool) solveOne(idx int, t Task, w *service.Worker) Result {
+	opts := make([]Option, 0, len(p.defaults)+len(t.Opts))
+	opts = append(opts, p.defaults...)
+	opts = append(opts, t.Opts...)
+	c := buildConfig(opts)
+	env := solveEnv{
+		// The task-index XOR keeps trials on a shared graph independent
+		// while index 0 with the default seed reproduces the serial API.
+		rng:            rand.New(rand.NewSource(c.seed ^ int64(idx))),
+		arena:          w.Arena,
+		skipValidation: true, // preValidate already ran
+	}
+	r := Result{Task: idx}
+	switch t.Solver {
+	case Solver2ECSS:
+		res, err := core.Solve2ECSS(t.Graph, c.twoOpts(env))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Two, r.Edges, r.Weight, r.Rounds = res, res.Edges, res.Weight, res.Rounds
+	case SolverKECSS:
+		res, err := core.SolveKECSS(t.Graph, t.K, c.kecssOpts(env))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.KECSS, r.Edges, r.Weight, r.Rounds = res, res.Edges, res.Weight, res.Rounds
+	case Solver3ECSSUnweighted:
+		res, err := core.Solve3ECSSUnweighted(t.Graph, c.threeOpts(env))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Three, r.Edges, r.Weight, r.Rounds = res, res.Edges, res.Weight, res.Rounds
+	case Solver3ECSSWeighted:
+		res, err := core.Solve3ECSSWeighted(t.Graph, c.threeOpts(env))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		r.Three, r.Edges, r.Weight, r.Rounds = res, res.Edges, res.Weight, res.Rounds
+	default:
+		r.Err = fmt.Errorf("kecss: unknown solver %d", int(t.Solver))
+	}
+	return r
+}
+
+// Solve2ECSS solves every graph with Solve2ECSS on the pool, returning
+// results in input order. The first failure aborts with its error.
+func (p *Pool) Solve2ECSS(graphs []*Graph, opts ...Option) ([]*TwoECSSResult, error) {
+	results := p.Sweep(makeTasks(graphs, Solver2ECSS, 0, opts))
+	out := make([]*TwoECSSResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("kecss: batch 2-ECSS task %d: %w", i, r.Err)
+		}
+		out[i] = r.Two
+	}
+	return out, nil
+}
+
+// SolveKECSS solves every graph with SolveKECSS(k) on the pool, returning
+// results in input order. The first failure aborts with its error.
+func (p *Pool) SolveKECSS(graphs []*Graph, k int, opts ...Option) ([]*KECSSResult, error) {
+	results := p.Sweep(makeTasks(graphs, SolverKECSS, k, opts))
+	out := make([]*KECSSResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("kecss: batch %d-ECSS task %d: %w", k, i, r.Err)
+		}
+		out[i] = r.KECSS
+	}
+	return out, nil
+}
+
+// Solve3ECSS solves every graph with Solve3ECSSUnweighted on the pool,
+// returning results in input order. The first failure aborts with its
+// error.
+func (p *Pool) Solve3ECSS(graphs []*Graph, opts ...Option) ([]*ThreeECSSResult, error) {
+	results := p.Sweep(makeTasks(graphs, Solver3ECSSUnweighted, 0, opts))
+	out := make([]*ThreeECSSResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("kecss: batch 3-ECSS task %d: %w", i, r.Err)
+		}
+		out[i] = r.Three
+	}
+	return out, nil
+}
+
+func makeTasks(graphs []*Graph, s Solver, k int, opts []Option) []Task {
+	tasks := make([]Task, len(graphs))
+	for i, g := range graphs {
+		tasks[i] = Task{Graph: g, Solver: s, K: k, Opts: opts}
+	}
+	return tasks
+}
