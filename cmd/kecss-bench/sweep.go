@@ -1,168 +1,30 @@
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
 	kecss "repro"
 	"repro/internal/experiments"
-	"repro/internal/graph"
+	"repro/internal/scenario"
+	"repro/internal/wire"
 )
 
-// scenarioFile is the JSON schema of a sweep scenario set (see scenarios/).
-type scenarioFile struct {
-	// Name labels the set in the output.
-	Name string `json:"name"`
-	// Scenarios are run as one pooled sweep (all trials of all scenarios in
-	// a single task batch).
-	Scenarios []scenario `json:"scenarios"`
-}
-
-// scenario describes one (topology, solver) pair swept over Trials
-// independent runs. Exactly one graph is built per scenario; the pool
-// validates it once and derives each trial's RNG from the trial's task
-// index, so results are reproducible at any worker count.
-type scenario struct {
-	Name   string `json:"name"`
-	Family string `json:"family"` // random | grid | ring | clique-chain | chung-lu | geometric | fattree | harary
-	N      int    `json:"n"`      // vertices (approximate for grid/fattree)
-	K      int    `json:"k"`      // generator connectivity floor and kecss solver target (default 2)
-	Extra  int    `json:"extra"`  // random family: extra edges (default 2n)
-
-	Beta   float64 `json:"beta"`    // chung-lu exponent (default 2.5)
-	AvgDeg float64 `json:"avg_deg"` // chung-lu mean degree (default 6)
-	Radius float64 `json:"radius"`  // geometric radius (default 0.2)
-	Pods   int     `json:"pods"`    // fattree arity k (default 4; N ignored)
-
-	MaxW int64 `json:"max_w"` // edge weight cap; 0 = unit weights
-
-	Solver      string `json:"solver"` // 2ecss | kecss | 3ecss | 3ecss-weighted
-	SimulateMST bool   `json:"simulate_mst"`
-	Trials      int    `json:"trials"` // default 1
-	Seed        int64  `json:"seed"`   // base seed passed to WithSeed (omitted = 0)
-}
-
-func (sc scenario) buildGraph() (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(sc.Seed + 1))
-	wf := graph.UnitWeights()
-	if sc.MaxW > 0 {
-		wf = graph.RandomWeights(rng, sc.MaxW)
-	}
-	k := sc.K
-	if k == 0 {
-		k = 2
-	}
-	switch sc.Family {
-	case "random", "":
-		extra := sc.Extra
-		if extra == 0 {
-			extra = 2 * sc.N
-		}
-		return graph.RandomKConnected(sc.N, k, extra, rng, wf), nil
-	case "grid":
-		cols := sc.N / 4
-		if cols < 2 {
-			cols = 2
-		}
-		return graph.Grid(4, cols, wf), nil
-	case "ring":
-		return graph.Cycle(sc.N, wf), nil
-	case "clique-chain":
-		size := 6
-		length := sc.N / size
-		if length < 1 {
-			length = 1
-		}
-		return graph.CliqueChain(length, size, k, wf), nil
-	case "chung-lu":
-		beta := sc.Beta
-		if beta == 0 {
-			beta = 2.5
-		}
-		avg := sc.AvgDeg
-		if avg == 0 {
-			avg = 6
-		}
-		return graph.ChungLu(sc.N, beta, avg, k, rng, wf), nil
-	case "geometric":
-		r := sc.Radius
-		if r == 0 {
-			r = 0.2
-		}
-		return graph.RandomGeometric(sc.N, r, k, rng), nil
-	case "fattree":
-		pods := sc.Pods
-		if pods == 0 {
-			pods = 4
-		}
-		return graph.FatTree(pods, wf), nil
-	case "harary":
-		return graph.Harary(k, sc.N, wf), nil
-	}
-	return nil, fmt.Errorf("unknown family %q", sc.Family)
-}
-
-func (sc scenario) solver() (kecss.Solver, error) {
-	switch sc.Solver {
-	case "2ecss", "":
-		return kecss.Solver2ECSS, nil
-	case "kecss":
-		return kecss.SolverKECSS, nil
-	case "3ecss":
-		return kecss.Solver3ECSSUnweighted, nil
-	case "3ecss-weighted":
-		return kecss.Solver3ECSSWeighted, nil
-	}
-	return 0, fmt.Errorf("unknown solver %q", sc.Solver)
-}
-
-// buildTasks expands the scenario set into one flat task list, returning
-// the per-scenario task count for the report.
-func buildTasks(sf *scenarioFile) ([]kecss.Task, []int, error) {
-	var tasks []kecss.Task
-	counts := make([]int, len(sf.Scenarios))
-	for i, sc := range sf.Scenarios {
-		g, err := sc.buildGraph()
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
-		}
-		solver, err := sc.solver()
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
-		}
-		opts := []kecss.Option{kecss.WithSeed(sc.Seed)}
-		if sc.SimulateMST {
-			opts = append(opts, kecss.WithSimulatedMST())
-		}
-		trials := sc.Trials
-		if trials == 0 {
-			trials = 1
-		}
-		k := sc.K
-		if k == 0 {
-			k = 2
-		}
-		counts[i] = trials
-		for trial := 0; trial < trials; trial++ {
-			tasks = append(tasks, kecss.Task{Graph: g, Solver: solver, K: k, Opts: opts})
-		}
-	}
-	return tasks, counts, nil
-}
-
 // resultDigest hashes the sweep's visible outcome (edge sets, weights,
-// rounds, errors), the byte-identity check across worker counts.
+// rounds, errors) through the shared wire.ResultDigest — the same function
+// the serve stack uses, so the bench's byte-identity check and the server's
+// cache keys can never drift apart.
 func resultDigest(results []kecss.Result) string {
-	h := sha256.New()
-	for _, r := range results {
-		fmt.Fprintf(h, "%d|%v|%d|%d|%v\n", r.Task, r.Edges, r.Weight, r.Rounds, r.Err)
+	lines := make([]wire.ResultLine, len(results))
+	for i, r := range results {
+		lines[i] = wire.ResultLine{Task: r.Task, Edges: r.Edges, Weight: r.Weight, Rounds: r.Rounds}
+		if r.Err != nil {
+			lines[i].Err = r.Err.Error()
+		}
 	}
-	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+	return wire.ResultDigest(lines)
 }
 
 // runSweepOnce executes the whole task batch on a fresh pool.
@@ -179,18 +41,11 @@ func runSweepOnce(tasks []kecss.Task, workers int) ([]kecss.Result, time.Duratio
 // compare=true it runs the identical batch at workers=1 and workers=N and
 // reports speedup plus the byte-identity of the two result sets.
 func runSweep(path string, workers int, compare bool) error {
-	raw, err := os.ReadFile(path)
+	sf, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
-	var sf scenarioFile
-	if err := json.Unmarshal(raw, &sf); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if len(sf.Scenarios) == 0 {
-		return fmt.Errorf("%s: no scenarios", path)
-	}
-	tasks, counts, err := buildTasks(&sf)
+	tasks, counts, err := sf.Tasks()
 	if err != nil {
 		return err
 	}

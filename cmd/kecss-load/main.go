@@ -1,0 +1,372 @@
+// Command kecss-load replays scenario families (scenarios/*.json) against a
+// running kecss-serve instance at a target QPS and reports throughput,
+// latency percentiles, cache behaviour and — with -check — verifies that
+// every served result is byte-identical to a direct in-process solve of the
+// same request.
+//
+// Usage:
+//
+//	kecss-load -addr http://127.0.0.1:8080 -scenario scenarios/serve.json \
+//	           -duration 5s -conc 8 -qps 0 -check
+//
+// The run has three phases: an optional -check phase (solve every distinct
+// request locally to learn the expected digests), a warm phase (send every
+// distinct request once, cold, measuring cold-solve latency), and the timed
+// replay phase (cycle the request mix from -conc connections, cache-hot).
+// The tool exits non-zero on transport errors, HTTP failures, or any digest
+// mismatch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kecss "repro"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+type request struct {
+	body []byte
+	// expected is the direct in-process result (nil without -check).
+	expected *wire.SolveResponse
+}
+
+// sample is one measured round-trip of the replay phase.
+type sample struct {
+	latency time.Duration
+	cached  bool
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "kecss-serve base URL")
+		path     = flag.String("scenario", "scenarios/serve.json", "scenario file to replay")
+		duration = flag.Duration("duration", 5*time.Second, "timed replay phase length")
+		conc     = flag.Int("conc", 8, "concurrent connections")
+		qps      = flag.Float64("qps", 0, "target requests/s across all connections (0 = unthrottled)")
+		warm     = flag.Bool("warm", true, "send every distinct request once before timing (cache-hot replay)")
+		check    = flag.Bool("check", true, "verify served results against direct in-process solves")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *path, *duration, *conc, *qps, *warm, *check, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "kecss-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, path string, duration time.Duration, conc int, qps float64, warm, check bool, timeout time.Duration) error {
+	sf, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	wireReqs, err := sf.Requests()
+	if err != nil {
+		return err
+	}
+	reqs := make([]*request, len(wireReqs))
+	for i, wr := range wireReqs {
+		body, err := json.Marshal(wr)
+		if err != nil {
+			return err
+		}
+		reqs[i] = &request{body: body}
+	}
+	fmt.Printf("kecss-load: %s → %s: %d scenarios, %d distinct requests\n",
+		path, addr, len(sf.Scenarios), len(reqs))
+
+	if check {
+		start := time.Now()
+		if err := solveDirect(wireReqs, reqs); err != nil {
+			return err
+		}
+		fmt.Printf("check: solved all %d requests in-process in %v\n",
+			len(reqs), time.Since(start).Round(time.Millisecond))
+	}
+
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        conc,
+			MaxIdleConnsPerHost: conc,
+		},
+	}
+
+	// Warm phase: every distinct request once, measuring cold round-trips,
+	// then once more to measure unloaded cache-hit round-trips — the
+	// like-for-like pair behind the reported cache speedup (the timed replay
+	// below measures hits under full concurrency instead).
+	var coldRTT, hitRTT []time.Duration
+	var coldSolveMS []float64
+	if warm {
+		for i, r := range reqs {
+			start := time.Now()
+			resp, err := post(client, addr, r.body)
+			if err != nil {
+				return fmt.Errorf("warm request %d: %w", i, err)
+			}
+			coldRTT = append(coldRTT, time.Since(start))
+			if !resp.Cached {
+				coldSolveMS = append(coldSolveMS, resp.SolveMillis)
+			}
+			if err := verify(r, resp, check); err != nil {
+				return fmt.Errorf("warm request %d: %w", i, err)
+			}
+		}
+		for i, r := range reqs {
+			start := time.Now()
+			resp, err := post(client, addr, r.body)
+			if err != nil {
+				return fmt.Errorf("hit-measure request %d: %w", i, err)
+			}
+			hitRTT = append(hitRTT, time.Since(start))
+			if !resp.Cached {
+				return fmt.Errorf("hit-measure request %d missed the cache", i)
+			}
+			if err := verify(r, resp, check); err != nil {
+				return fmt.Errorf("hit-measure request %d: %w", i, err)
+			}
+		}
+		fmt.Printf("warm: %d requests, mean cold round-trip %v, mean cache-hit round-trip %v\n",
+			len(coldRTT), meanDuration(coldRTT).Round(time.Microsecond),
+			meanDuration(hitRTT).Round(time.Microsecond))
+	}
+
+	// Timed replay phase.
+	var (
+		next      atomic.Int64
+		mismatch  atomic.Int64
+		throttled atomic.Int64
+		failures  atomic.Int64
+		mu        sync.Mutex
+		samples   []sample
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]sample, 0, 4096)
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					break
+				}
+				seq := next.Add(1) - 1
+				if qps > 0 {
+					// Global pacing: request #seq is due at start + seq/qps.
+					due := start.Add(time.Duration(float64(seq) / qps * float64(time.Second)))
+					if wait := time.Until(due); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				r := reqs[int(seq)%len(reqs)]
+				t0 := time.Now()
+				resp, err := post(client, addr, r.body)
+				rtt := time.Since(t0)
+				if err != nil {
+					if isThrottle(err) {
+						throttled.Add(1)
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
+					continue
+				}
+				if err := verify(r, resp, check); err != nil {
+					mismatch.Add(1)
+					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
+				}
+				local = append(local, sample{latency: rtt, cached: resp.Cached})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(samples) == 0 {
+		return fmt.Errorf("no successful requests in %v", elapsed)
+	}
+	report(samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), failures.Load(), mismatch.Load(), check)
+
+	if failures.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failures.Load())
+	}
+	if mismatch.Load() > 0 {
+		return fmt.Errorf("%d digest mismatches — served results diverge from direct solves", mismatch.Load())
+	}
+	return nil
+}
+
+// solveDirect computes every request's expected result with the in-process
+// pool (one single-task sweep per request, matching the server's execution
+// exactly) and records it on the request.
+func solveDirect(wireReqs []*wire.SolveRequest, reqs []*request) error {
+	pool := kecss.NewPool(0)
+	defer pool.Close()
+	for i, wr := range wireReqs {
+		g, err := wr.Graph.ToGraph()
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		solver, err := kecss.ParseSolver(wr.Solver)
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		res := pool.Sweep([]kecss.Task{{
+			Graph:  g,
+			Solver: solver,
+			K:      wr.K,
+			Opts:   server.OptionsFromSpec(wr.SolveSpec),
+		}})[0]
+		if res.Err != nil {
+			return fmt.Errorf("request %d: direct solve: %w", i, res.Err)
+		}
+		reqs[i].expected = &wire.SolveResponse{
+			Edges:        res.Edges,
+			Weight:       res.Weight,
+			Rounds:       res.Rounds,
+			ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
+		}
+	}
+	return nil
+}
+
+// throttleError marks a 429 so the replay loop can back off without
+// counting it as a failure.
+type throttleError struct{ msg string }
+
+func (e *throttleError) Error() string { return e.msg }
+
+func isThrottle(err error) bool {
+	_, ok := err.(*throttleError)
+	return ok
+}
+
+func post(client *http.Client, addr string, body []byte) (*wire.SolveResponse, error) {
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, &throttleError{fmt.Sprintf("429: %s", raw)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out wire.SolveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// verify checks a served response against the request's expected direct
+// result (when -check gathered one) and its internal digest consistency.
+func verify(r *request, resp *wire.SolveResponse, check bool) error {
+	if got := wire.SolveResultDigest(resp.Edges, resp.Weight, resp.Rounds); got != resp.ResultDigest {
+		return fmt.Errorf("response digest %s does not match its own payload (%s)", resp.ResultDigest, got)
+	}
+	if !check || r.expected == nil {
+		return nil
+	}
+	if resp.ResultDigest != r.expected.ResultDigest ||
+		!reflect.DeepEqual(resp.Edges, r.expected.Edges) ||
+		resp.Weight != r.expected.Weight || resp.Rounds != r.expected.Rounds {
+		return fmt.Errorf("served result digest %s != direct solve digest %s",
+			resp.ResultDigest, r.expected.ResultDigest)
+	}
+	return nil
+}
+
+func meanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Duration, coldSolveMS []float64,
+	throttled, failures, mismatches int64, check bool) {
+	lat := make([]time.Duration, 0, len(samples))
+	hits := 0
+	for _, s := range samples {
+		lat = append(lat, s.latency)
+		if s.cached {
+			hits++
+		}
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+
+	rps := float64(len(samples)) / elapsed.Seconds()
+	fmt.Printf("\nreplay: %d requests in %v (%.0f req/s), %d failures, %d throttled (429)\n",
+		len(samples), elapsed.Round(time.Millisecond), rps, failures, throttled)
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(lat, 0.50).Round(time.Microsecond),
+		percentile(lat, 0.90).Round(time.Microsecond),
+		percentile(lat, 0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
+	fmt.Printf("cache: %d/%d hits (%.1f%%)\n", hits, len(samples), 100*float64(hits)/float64(len(samples)))
+
+	if len(coldRTT) > 0 && len(hitRTT) > 0 {
+		coldMean := meanDuration(coldRTT)
+		hitMean := meanDuration(hitRTT)
+		fmt.Printf("speedup: mean cold round-trip %v vs mean cache-hit round-trip %v → %.1fx (mean in-server cold solve %v)\n",
+			coldMean.Round(time.Microsecond), hitMean.Round(time.Microsecond),
+			float64(coldMean)/float64(hitMean),
+			time.Duration(meanFloat(coldSolveMS)*float64(time.Millisecond)).Round(time.Microsecond))
+	}
+	if check {
+		if mismatches == 0 {
+			fmt.Println("digests: every served result matches the direct in-process solve")
+		} else {
+			fmt.Printf("digests: %d MISMATCHES\n", mismatches)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command kecss-serve exposes the k-ECSS solver stack as an HTTP service:
+// a shared solver pool behind a content-addressed result cache, with
+// bounded-queue backpressure, Prometheus metrics and graceful drain.
+//
+// Usage:
+//
+//	kecss-serve -addr :8080 -workers 4 -cache 4096 -queue 64
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/solve      synchronous solve
+//	POST /v1/jobs       asynchronous solve (202 + job id)
+//	GET  /v1/jobs/{id}  poll a job
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text metrics
+//
+// On SIGTERM/SIGINT the server stops accepting work, finishes in-flight
+// solves (bounded by -drain-timeout), and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 4096, "result cache entries (negative disables)")
+		queueDepth   = flag.Int("queue", 0, "max admitted solves before 429 (0 = 4×workers)")
+		jobHistory   = flag.Int("job-history", 1024, "finished async jobs kept pollable")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		QueueDepth: *queueDepth,
+		JobHistory: *jobHistory,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("kecss-serve: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("kecss-serve: %v", err)
+	case got := <-sig:
+		log.Printf("kecss-serve: %v received, draining", got)
+	}
+
+	// Refuse new work (healthz → 503) before closing the listener, so load
+	// balancers and in-flight keep-alive clients see the drain, then stop
+	// accepting connections and wait for admitted solves.
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("kecss-serve: http shutdown: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		s.Close()
+		log.Fatalf("kecss-serve: %v", err)
+	}
+	s.Close()
+	fmt.Println("kecss-serve: drain complete")
+}

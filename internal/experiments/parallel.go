@@ -18,9 +18,11 @@ func runTrials(s Scale, t *Table, n int, trial func(i int, w *service.Worker) ([
 	defer pool.Close()
 	rows := make([][][]any, n)
 	errs := make([]error, n)
-	pool.Run(n, func(i int, w *service.Worker) {
+	if err := pool.Run(n, func(i int, w *service.Worker) {
 		rows[i], errs[i] = trial(i, w)
-	})
+	}); err != nil {
+		return err // unreachable for this private pool, but keep the contract
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,214 @@
+// Package scenario defines the JSON scenario-set schema shared by
+// cmd/kecss-bench (pooled sweeps) and cmd/kecss-load (HTTP load replay):
+// named (topology, solver) pairs swept over independent trials, built
+// deterministically from the scenario's seed.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	kecss "repro"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// File is a JSON scenario set (see scenarios/).
+type File struct {
+	// Name labels the set in reports.
+	Name string `json:"name"`
+	// Scenarios are run as one pooled sweep (all trials of all scenarios in
+	// a single task batch) by kecss-bench, or replayed as the request mix by
+	// kecss-load.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario describes one (topology, solver) pair swept over Trials
+// independent runs. Exactly one graph is built per scenario, and trial
+// randomness is derived deterministically — but the two consumers derive it
+// differently: Tasks gives every trial the scenario seed and lets the pool
+// XOR in the trial's index in the whole batch, while Requests bakes
+// scenario-seed XOR trial-index into each request explicitly. Each is
+// reproducible run-to-run; the same named trial does not produce the same
+// edges across the two paths.
+type Scenario struct {
+	Name   string `json:"name"`
+	Family string `json:"family"` // random | grid | ring | clique-chain | chung-lu | geometric | fattree | harary
+	N      int    `json:"n"`      // vertices (approximate for grid/fattree)
+	K      int    `json:"k"`      // generator connectivity floor and kecss solver target (default 2)
+	Extra  int    `json:"extra"`  // random family: extra edges (default 2n)
+
+	Beta   float64 `json:"beta"`    // chung-lu exponent (default 2.5)
+	AvgDeg float64 `json:"avg_deg"` // chung-lu mean degree (default 6)
+	Radius float64 `json:"radius"`  // geometric radius (default 0.2)
+	Pods   int     `json:"pods"`    // fattree arity k (default 4; N ignored)
+
+	MaxW int64 `json:"max_w"` // edge weight cap; 0 = unit weights
+
+	Solver      string `json:"solver"` // 2ecss | kecss | 3ecss | 3ecss-weighted
+	SimulateMST bool   `json:"simulate_mst"`
+	Trials      int    `json:"trials"` // default 1
+	Seed        int64  `json:"seed"`   // base seed passed to WithSeed (omitted = 0)
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	return &f, nil
+}
+
+// TrialCount returns Trials with its default applied.
+func (sc *Scenario) TrialCount() int {
+	if sc.Trials == 0 {
+		return 1
+	}
+	return sc.Trials
+}
+
+// TargetK returns K with its default applied.
+func (sc *Scenario) TargetK() int {
+	if sc.K == 0 {
+		return 2
+	}
+	return sc.K
+}
+
+// BuildGraph deterministically constructs the scenario's topology.
+func (sc *Scenario) BuildGraph() (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	wf := graph.UnitWeights()
+	if sc.MaxW > 0 {
+		wf = graph.RandomWeights(rng, sc.MaxW)
+	}
+	k := sc.TargetK()
+	switch sc.Family {
+	case "random", "":
+		extra := sc.Extra
+		if extra == 0 {
+			extra = 2 * sc.N
+		}
+		return graph.RandomKConnected(sc.N, k, extra, rng, wf), nil
+	case "grid":
+		cols := sc.N / 4
+		if cols < 2 {
+			cols = 2
+		}
+		return graph.Grid(4, cols, wf), nil
+	case "ring":
+		return graph.Cycle(sc.N, wf), nil
+	case "clique-chain":
+		size := 6
+		length := sc.N / size
+		if length < 1 {
+			length = 1
+		}
+		return graph.CliqueChain(length, size, k, wf), nil
+	case "chung-lu":
+		beta := sc.Beta
+		if beta == 0 {
+			beta = 2.5
+		}
+		avg := sc.AvgDeg
+		if avg == 0 {
+			avg = 6
+		}
+		return graph.ChungLu(sc.N, beta, avg, k, rng, wf), nil
+	case "geometric":
+		r := sc.Radius
+		if r == 0 {
+			r = 0.2
+		}
+		return graph.RandomGeometric(sc.N, r, k, rng), nil
+	case "fattree":
+		pods := sc.Pods
+		if pods == 0 {
+			pods = 4
+		}
+		return graph.FatTree(pods, wf), nil
+	case "harary":
+		return graph.Harary(k, sc.N, wf), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", sc.Family)
+}
+
+// SolverKind maps the scenario's solver name to the kecss constant.
+func (sc *Scenario) SolverKind() (kecss.Solver, error) {
+	return kecss.ParseSolver(sc.Solver)
+}
+
+// Tasks expands the scenario set into one flat kecss.Task list (the
+// kecss-bench sweep batch), returning the per-scenario trial count for
+// reports.
+func (f *File) Tasks() ([]kecss.Task, []int, error) {
+	var tasks []kecss.Task
+	counts := make([]int, len(f.Scenarios))
+	for i := range f.Scenarios {
+		sc := &f.Scenarios[i]
+		g, err := sc.BuildGraph()
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		solver, err := sc.SolverKind()
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		opts := []kecss.Option{kecss.WithSeed(sc.Seed)}
+		if sc.SimulateMST {
+			opts = append(opts, kecss.WithSimulatedMST())
+		}
+		trials := sc.TrialCount()
+		counts[i] = trials
+		for trial := 0; trial < trials; trial++ {
+			tasks = append(tasks, kecss.Task{Graph: g, Solver: solver, K: sc.TargetK(), Opts: opts})
+		}
+	}
+	return tasks, counts, nil
+}
+
+// Requests expands the scenario set into the wire-form request mix replayed
+// by kecss-load: one request per trial, with the trial's seed baked in
+// explicitly as scenario seed XOR trial index, so distinct trials are
+// distinct cache entries and each request is self-contained (its served
+// result depends only on the request bytes, never on batch position).
+func (f *File) Requests() ([]*wire.SolveRequest, error) {
+	var reqs []*wire.SolveRequest
+	for i := range f.Scenarios {
+		sc := &f.Scenarios[i]
+		g, err := sc.BuildGraph()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if _, err := sc.SolverKind(); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		solver := sc.Solver
+		if solver == "" {
+			solver = "2ecss"
+		}
+		gj := wire.GraphToJSON(g)
+		for trial := 0; trial < sc.TrialCount(); trial++ {
+			reqs = append(reqs, &wire.SolveRequest{
+				Graph: gj,
+				SolveSpec: wire.SolveSpec{
+					Solver:      solver,
+					K:           sc.TargetK(),
+					Seed:        sc.Seed ^ int64(trial),
+					SimulateMST: sc.SimulateMST,
+				},
+			})
+		}
+	}
+	return reqs, nil
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// resultCache is a digest-keyed LRU over solved responses. Values are
+// treated as immutable once stored: readers copy the struct before mutating
+// presentation fields (Cached), so one entry can serve many requests
+// concurrently.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *wire.SolveResponse
+}
+
+// newResultCache returns a cache holding at most max entries; max <= 0
+// disables caching entirely (every lookup misses, every add is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*wire.SolveResponse, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *resultCache) add(key string, resp *wire.SolveResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Deterministic solves make duplicates byte-identical; just refresh.
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

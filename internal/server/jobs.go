@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// job is one async solve. State transitions are queued → running →
+// done|failed; a job created for an already-cached digest is born done.
+type job struct {
+	id string
+
+	mu    sync.Mutex
+	state string
+	resp  *wire.SolveResponse
+	err   *solveError
+}
+
+func (j *job) snapshot() wire.JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := wire.JobResponse{ID: j.id, State: j.state}
+	switch j.state {
+	case wire.JobDone:
+		out.Result = j.resp
+	case wire.JobFailed:
+		out.Error = j.err.msg
+	}
+	return out
+}
+
+func (j *job) finish(resp *wire.SolveResponse, err *solveError) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state, j.err = wire.JobFailed, err
+		return
+	}
+	j.state, j.resp = wire.JobDone, resp
+}
+
+// jobStore indexes jobs by ID and evicts the oldest *finished* jobs beyond
+// the history bound; queued/running jobs are never evicted.
+type jobStore struct {
+	mu      sync.Mutex
+	max     int
+	jobs    map[string]*job
+	order   []string // creation order, for eviction scans
+	counter atomic.Int64
+}
+
+func newJobStore(max int) *jobStore {
+	return &jobStore{max: max, jobs: make(map[string]*job)}
+}
+
+func (s *jobStore) create(digest string) *job {
+	n := s.counter.Add(1)
+	j := &job{
+		id:    fmt.Sprintf("j%06d-%s", n, digest[:12]),
+		state: wire.JobQueued,
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+	return j
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// evictLocked drops the oldest finished jobs until at most max remain.
+func (s *jobStore) evictLocked() {
+	if len(s.jobs) <= s.max {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		finished := j.state == wire.JobDone || j.state == wire.JobFailed
+		j.mu.Unlock()
+		if finished && len(s.jobs) > s.max {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// handleJobCreate is POST /v1/jobs: 202 with a queued job (or a born-done
+// job on a cache hit); 429 when the queue is full.
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	work, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if resp, ok := s.cache.get(work.digest); ok {
+		s.metrics.cacheHits.Add(1)
+		j := s.jobs.create(work.digest)
+		out := *resp
+		out.Cached = true
+		j.finish(&out, nil)
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+		return
+	}
+	// Reserve the queue slot at submission time so a full queue is explicit
+	// backpressure (429) instead of an ever-growing set of pending jobs.
+	if serr := s.admitSolve(); serr != nil {
+		if serr.code == http.StatusTooManyRequests {
+			s.metrics.throttled.Add(1)
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, serr.code, "%s", serr.msg)
+		return
+	}
+	j := s.jobs.create(work.digest)
+	go func() {
+		defer s.releaseSolve()
+		j.mu.Lock()
+		j.state = wire.JobRunning
+		j.mu.Unlock()
+		// Single-flight with concurrent solves of the same digest; the job
+		// already holds its queue slot, so the solve closure needs no
+		// admission of its own.
+		j.finish(s.solveShared(work, func() (*wire.SolveResponse, *solveError) {
+			return s.solveOnPool(work)
+		}))
+	}()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve/request latency
+// histograms, Prometheus cumulative-bucket style.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	counts []atomic.Int64 // one per bucket, non-cumulative; +Inf is implicit
+	inf    atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	placed := false
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name string) {
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// metrics is the server's instrumentation: request counters by
+// (path, status), cache hit/miss counters, queue gauges, and latency
+// histograms for cold solves and for whole requests.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // key: path + "|" + code
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	throttled   atomic.Int64
+	queueDepth  atomic.Int64 // solves currently admitted (queued or running)
+
+	solveLatency   *histogram // cold solves only
+	requestLatency *histogram // every /v1/solve round-trip
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:       make(map[string]*atomic.Int64),
+		solveLatency:   newHistogram(),
+		requestLatency: newHistogram(),
+	}
+}
+
+func (m *metrics) countRequest(path string, code int) {
+	key := fmt.Sprintf("%s|%d", path, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = new(atomic.Int64)
+		m.requests[key] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// write renders every metric in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, s *Server) {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = m.requests[k].Load()
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE kecss_requests_total counter")
+	for i, k := range keys {
+		sep := strings.LastIndex(k, "|")
+		fmt.Fprintf(w, "kecss_requests_total{path=%q,code=%q} %d\n", k[:sep], k[sep+1:], counts[i])
+	}
+	fmt.Fprintln(w, "# TYPE kecss_cache_hits_total counter")
+	fmt.Fprintf(w, "kecss_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintln(w, "# TYPE kecss_cache_misses_total counter")
+	fmt.Fprintf(w, "kecss_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintln(w, "# TYPE kecss_throttled_total counter")
+	fmt.Fprintf(w, "kecss_throttled_total %d\n", m.throttled.Load())
+	fmt.Fprintln(w, "# TYPE kecss_cache_entries gauge")
+	fmt.Fprintf(w, "kecss_cache_entries %d\n", s.cache.len())
+	fmt.Fprintln(w, "# TYPE kecss_queue_depth gauge")
+	fmt.Fprintf(w, "kecss_queue_depth %d\n", m.queueDepth.Load())
+	fmt.Fprintln(w, "# TYPE kecss_queue_capacity gauge")
+	fmt.Fprintf(w, "kecss_queue_capacity %d\n", cap(s.sem))
+	fmt.Fprintln(w, "# TYPE kecss_pool_workers gauge")
+	fmt.Fprintf(w, "kecss_pool_workers %d\n", s.pool.Workers())
+	fmt.Fprintln(w, "# TYPE kecss_solve_seconds histogram")
+	m.solveLatency.write(w, "kecss_solve_seconds")
+	fmt.Fprintln(w, "# TYPE kecss_request_seconds histogram")
+	m.requestLatency.write(w, "kecss_request_seconds")
+}

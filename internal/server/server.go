@@ -1,0 +1,410 @@
+// Package server implements the kecss-serve HTTP API: a network-facing
+// front end over a shared kecss.Pool with a content-addressed result cache.
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve synchronously (wire.SolveRequest → wire.SolveResponse)
+//	POST /v1/jobs         enqueue an async solve (202 + wire.JobResponse)
+//	GET  /v1/jobs/{id}    poll an async solve
+//	GET  /healthz         liveness/readiness (503 while draining)
+//	GET  /metrics         Prometheus text metrics
+//
+// Every request is content-addressed by wire.Digest(graph, spec); because
+// the solver stack is deterministic in (graph, spec), a digest hit can be
+// served from the LRU cache with byte-identical results to a fresh solve.
+// Concurrent identical misses are deduplicated (single-flight): one request
+// solves, the rest wait for its result. Distinct misses are admitted up to
+// a bounded queue; beyond that the server sheds load explicitly with
+// 429 + Retry-After rather than queueing unboundedly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kecss "repro"
+	"repro/internal/wire"
+)
+
+// Config sizes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers is the solver pool size (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the maximum number of cached results (0 = 4096;
+	// negative disables the cache).
+	CacheSize int
+	// QueueDepth bounds how many non-cached solves may be admitted
+	// (queued + running) before the server answers 429 (0 = 4×workers).
+	QueueDepth int
+	// JobHistory bounds how many finished async jobs stay pollable
+	// (0 = 1024). Oldest finished jobs are evicted first.
+	JobHistory int
+}
+
+// Server is the HTTP solve service. Create with New, mount Handler, stop
+// with Drain (stop accepting, wait for in-flight solves) then Close.
+type Server struct {
+	cfg     Config
+	pool    *kecss.Pool
+	cache   *resultCache
+	sem     chan struct{} // admission tokens for non-cached solves
+	metrics *metrics
+	jobs    *jobStore
+	start   time.Time
+
+	// drainMu makes admission atomic with the draining flag: admitSolve
+	// holds it shared around (check draining, Add to inflight), Drain holds
+	// it exclusively while setting the flag — so once Drain owns the flag,
+	// no late admission can Add to a WaitGroup that Drain is Waiting on.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	inflight sync.WaitGroup // every admitted solve, sync or async
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+// flightCall is one in-progress cold solve that duplicate requests wait on.
+type flightCall struct {
+	done chan struct{}
+	resp *wire.SolveResponse
+	err  *solveError
+}
+
+// solveError is a solve failure with its HTTP classification.
+type solveError struct {
+	code int
+	msg  string
+}
+
+// maxBodyBytes bounds request bodies; a million-edge graph is ~20 MB of
+// JSON, well inside this.
+const maxBodyBytes = 64 << 20
+
+// New starts a Server with its own solver pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 0 // kecss.NewPool reads 0 as GOMAXPROCS
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 4096
+	}
+	pool := kecss.NewPool(cfg.Workers)
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * pool.Workers()
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 1024
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    pool,
+		cache:   newResultCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.QueueDepth),
+		metrics: newMetrics(),
+		jobs:    newJobStore(cfg.JobHistory),
+		flight:  make(map[string]*flightCall),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the server's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// StartDrain flips the server into draining mode: /healthz turns 503 (so
+// load balancers stop routing here) and new solves are refused, while
+// cached results keep being served. Call it before shutting the HTTP
+// listener down; Drain calls it implicitly.
+func (s *Server) StartDrain() {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+}
+
+// Drain stops admitting new solves and waits (bounded by ctx) for in-flight
+// ones — the SIGTERM half of graceful shutdown; pair with Close once the
+// HTTP listener has stopped.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with solves in flight: %w", ctx.Err())
+	}
+}
+
+// Close releases the solver pool. Requests arriving afterwards fail cleanly
+// (the pool reports kecss.ErrPoolClosed, mapped to 503). Idempotent.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.pool.Close()
+}
+
+// instrument wraps a handler with request counting and latency observation.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.countRequest(path, rec.code)
+		if path == "/v1/solve" {
+			s.metrics.requestLatency.observe(time.Since(start))
+		}
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeRequest parses and validates a solve request body and computes its
+// graph and content digest. A nil return with code != 0 means the response
+// was already written.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveWork, bool) {
+	var req wire.SolveRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	g, err := req.Graph.ToGraph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	solver, err := kecss.ParseSolver(req.Solver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return &solveWork{
+		digest: wire.Digest(g, req.SolveSpec),
+		task: kecss.Task{
+			Graph:  g,
+			Solver: solver,
+			K:      req.K,
+			Opts:   OptionsFromSpec(req.SolveSpec),
+		},
+	}, true
+}
+
+// solveWork is a decoded, validated request: its content digest and the
+// pool task it maps to.
+type solveWork struct {
+	digest string
+	task   kecss.Task
+}
+
+// OptionsFromSpec maps the wire-level solver knobs onto kecss options —
+// the single definition of how a network request configures a solve, shared
+// with cmd/kecss-load's direct-solve verification.
+func OptionsFromSpec(spec wire.SolveSpec) []kecss.Option {
+	opts := []kecss.Option{kecss.WithSeed(spec.Seed)}
+	if spec.SimulateMST {
+		opts = append(opts, kecss.WithSimulatedMST())
+	}
+	if spec.VoteDenom > 0 {
+		opts = append(opts, kecss.WithVoteDenominator(spec.VoteDenom))
+	}
+	if spec.LabelBits > 0 {
+		opts = append(opts, kecss.WithLabelBits(spec.LabelBits))
+	}
+	if spec.PhaseLen > 0 {
+		opts = append(opts, kecss.WithPhaseLength(spec.PhaseLen))
+	}
+	return opts
+}
+
+// handleSolve is POST /v1/solve: cache hit → immediate response; miss →
+// admit (or 429), solve on the pool, cache, respond.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	work, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if resp, ok := s.cache.get(work.digest); ok {
+		s.metrics.cacheHits.Add(1)
+		s.serveCached(w, resp)
+		return
+	}
+	resp, serr := s.solveShared(work, func() (*wire.SolveResponse, *solveError) {
+		if serr := s.admitSolve(); serr != nil {
+			return nil, serr
+		}
+		defer s.releaseSolve()
+		return s.solveOnPool(work)
+	})
+	if serr != nil {
+		if serr.code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+			s.metrics.throttled.Add(1)
+		}
+		writeError(w, serr.code, "%s", serr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveCached re-serves a cached response (value copied; cache entries are
+// immutable).
+func (s *Server) serveCached(w http.ResponseWriter, resp *wire.SolveResponse) {
+	out := *resp
+	out.Cached = true
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// solveShared runs a cold solve with single-flight deduplication: the first
+// caller for a digest becomes the leader and runs solve (the cache miss is
+// counted once, on the leader), every concurrent duplicate waits for the
+// leader's result — a cache-equivalent hit — instead of burning a queue
+// slot on identical work. Shared by the sync and async paths, which differ
+// only in the solve closure's admission handling.
+func (s *Server) solveShared(work *solveWork, solve func() (*wire.SolveResponse, *solveError)) (*wire.SolveResponse, *solveError) {
+	s.flightMu.Lock()
+	if fc, ok := s.flight[work.digest]; ok {
+		s.flightMu.Unlock()
+		<-fc.done
+		if fc.err != nil {
+			return nil, fc.err
+		}
+		s.metrics.cacheHits.Add(1)
+		out := *fc.resp
+		out.Cached = true
+		return &out, nil
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	s.flight[work.digest] = fc
+	s.flightMu.Unlock()
+
+	s.metrics.cacheMisses.Add(1)
+	fc.resp, fc.err = solve()
+	s.flightMu.Lock()
+	delete(s.flight, work.digest)
+	s.flightMu.Unlock()
+	close(fc.done)
+	return fc.resp, fc.err
+}
+
+// admitSolve reserves a queue slot for one cold solve, refusing while
+// draining (503) or when the queue is full (429). Each successful call must
+// be paired with releaseSolve. The drainMu read lock makes the draining
+// check atomic with the inflight registration (see drainMu).
+func (s *Server) admitSolve() *solveError {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return &solveError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return &solveError{http.StatusTooManyRequests,
+			fmt.Sprintf("solve queue full (%d in flight); retry later", cap(s.sem))}
+	}
+	s.metrics.queueDepth.Add(1)
+	s.inflight.Add(1)
+	return nil
+}
+
+// releaseSolve returns an admitSolve reservation.
+func (s *Server) releaseSolve() {
+	<-s.sem
+	s.metrics.queueDepth.Add(-1)
+	s.inflight.Done()
+}
+
+// solveOnPool runs one already-admitted solve on the shared pool and caches
+// the response. Callers hold a queue slot.
+func (s *Server) solveOnPool(work *solveWork) (*wire.SolveResponse, *solveError) {
+	start := time.Now()
+	results := s.pool.Sweep([]kecss.Task{work.task})
+	elapsed := time.Since(start)
+	res := results[0]
+	if res.Err != nil {
+		if errors.Is(res.Err, kecss.ErrPoolClosed) {
+			return nil, &solveError{http.StatusServiceUnavailable, "server is shut down"}
+		}
+		// Anything else is an input the solver rejected (wrong connectivity,
+		// bad k, ...): the request was well-formed but unsolvable.
+		return nil, &solveError{http.StatusUnprocessableEntity, res.Err.Error()}
+	}
+	s.metrics.solveLatency.observe(elapsed)
+	resp := &wire.SolveResponse{
+		Digest:       work.digest,
+		Edges:        res.Edges,
+		Weight:       res.Weight,
+		Rounds:       res.Rounds,
+		ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
+		SolveMillis:  float64(elapsed) / float64(time.Millisecond),
+	}
+	s.cache.add(work.digest, resp)
+	return resp, nil
+}
+
+// handleHealth is GET /healthz: 200 with a status document while serving,
+// 503 once draining begins (so load balancers stop routing here).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ok"
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"workers":        s.pool.Workers(),
+		"cache_entries":  s.cache.len(),
+		"queue_depth":    s.metrics.queueDepth.Load(),
+		"queue_capacity": cap(s.sem),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// handleMetrics is GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s)
+	s.metrics.countRequest("/metrics", http.StatusOK)
+}

@@ -16,6 +16,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,11 @@ import (
 
 	"repro/internal/congest"
 )
+
+// ErrClosed is returned by Run on a pool whose Close has begun. Callers that
+// race Run against Close get either a fully-executed batch or ErrClosed,
+// never a partial batch and never a panic.
+var ErrClosed = errors.New("service: pool is closed")
 
 // Worker is the per-goroutine state a task runs with. A worker executes one
 // task at a time, so a task may use every field without locking.
@@ -56,11 +62,22 @@ type batch struct {
 // to free up rather than interleaving task-by-task. Tasks must not call
 // Run on their own pool (the workers are all busy running them — it would
 // deadlock).
+//
+// Close is idempotent and may race with Run: a Run that wins admission
+// completes its whole batch before Close returns, and a Run that loses
+// returns ErrClosed.
 type Pool struct {
 	workers []*Worker
 	jobs    chan batch
 	done    sync.WaitGroup
-	closed  atomic.Bool
+
+	// mu serialises batch submission against Close: Run holds it shared
+	// while checking closed and handing its batch to the workers, Close
+	// holds it exclusively while marking closed and closing jobs. This is
+	// what turns the Run/Close race from a send-on-closed-channel panic
+	// into a clean ErrClosed.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewPool returns a running pool of n workers; n <= 0 means GOMAXPROCS.
@@ -91,12 +108,12 @@ func (p *Pool) Size() int { return len(p.workers) }
 // so fn must derive per-task state from i, never from w.ID. If a task
 // panics, the remaining tasks of the batch are abandoned and Run re-panics
 // with the first recovered value.
-func (p *Pool) Run(n int, fn func(i int, w *Worker)) {
+//
+// On a closed pool Run executes nothing and returns ErrClosed; a Run that
+// was admitted before Close always completes its whole batch.
+func (p *Pool) Run(n int, fn func(i int, w *Worker)) error {
 	if n <= 0 {
-		return
-	}
-	if p.closed.Load() {
-		panic("service: Run on a closed Pool")
+		return nil
 	}
 	b := batch{
 		n:      n,
@@ -106,23 +123,37 @@ func (p *Pool) Run(n int, fn func(i int, w *Worker)) {
 		failed: new(atomic.Value),
 	}
 	b.wg.Add(len(p.workers))
+	// Hand the batch to every worker under the shared lock: once the last
+	// send returns, each worker holds its copy, so Close (which waits for
+	// the exclusive lock) can close jobs without stranding this batch.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
 	for range p.workers {
 		p.jobs <- b
 	}
+	p.mu.RUnlock()
 	b.wg.Wait()
 	if v := b.failed.Load(); v != nil {
 		panic(fmt.Sprintf("service: task panicked: %v", v))
 	}
+	return nil
 }
 
-// Close shuts the workers down and waits for them to exit. Batches already
-// submitted complete first. Close must not be called concurrently with Run.
+// Close shuts the workers down and waits for them to exit. Close is
+// idempotent, safe to call concurrently with Run (in-flight batches
+// complete first; not-yet-admitted Runs return ErrClosed), and safe to call
+// from multiple goroutines.
 func (p *Pool) Close() {
-	if p.closed.Swap(true) {
-		return
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
 	}
-	close(p.jobs)
-	p.done.Wait()
+	p.mu.Unlock()
+	p.done.Wait() // every Close caller returns only once the workers exit
 }
 
 func (p *Pool) loop(w *Worker) {

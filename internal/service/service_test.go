@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/congest"
@@ -142,10 +143,44 @@ func TestPoolRunAfterCloseRejected(t *testing.T) {
 	p := NewPool(1, false)
 	p.Close()
 	p.Close() // idempotent
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run on a closed pool did not panic")
+	ran := false
+	if err := p.Run(1, func(int, *Worker) { ran = true }); err != ErrClosed {
+		t.Fatalf("Run on a closed pool returned %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Fatal("Run on a closed pool executed its task")
+	}
+}
+
+// Run racing Close must yield either a fully-executed batch or ErrClosed —
+// never a panic, never a partial batch. Exercised under -race in CI.
+func TestPoolCloseConcurrentWithRun(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		p := NewPool(2, false)
+		const n = 32
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var count atomic.Int64
+				err := p.Run(n, func(int, *Worker) { count.Add(1) })
+				switch {
+				case err == nil && count.Load() != n:
+					t.Errorf("admitted batch ran %d/%d tasks", count.Load(), n)
+				case err == ErrClosed && count.Load() != 0:
+					t.Errorf("rejected batch still ran %d tasks", count.Load())
+				case err != nil && err != ErrClosed:
+					t.Errorf("unexpected Run error: %v", err)
+				}
+			}()
 		}
-	}()
-	p.Run(1, func(int, *Worker) {})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+		wg.Wait()
+		p.Close()
+	}
 }

@@ -1,0 +1,75 @@
+package wire
+
+import "fmt"
+
+// SolveRequest is the JSON body of POST /v1/solve and POST /v1/jobs: the
+// graph in wire form plus the embedded SolveSpec fields (solver, k, seed and
+// the option overrides) at the top level.
+type SolveRequest struct {
+	Graph *GraphJSON `json:"graph"`
+	SolveSpec
+}
+
+// Validate checks the request shape (graph present, solver named, k sane)
+// without building the graph. Solver-specific connectivity requirements are
+// checked by the solve itself.
+func (r *SolveRequest) Validate() error {
+	if r.Graph == nil {
+		return fmt.Errorf("wire: request has no graph")
+	}
+	switch r.Solver {
+	case "2ecss", "3ecss", "3ecss-weighted":
+	case "kecss":
+		if r.K < 1 {
+			return fmt.Errorf("wire: solver %q needs k >= 1, got %d", r.Solver, r.K)
+		}
+	case "":
+		return fmt.Errorf("wire: request names no solver")
+	default:
+		return fmt.Errorf("wire: unknown solver %q", r.Solver)
+	}
+	return nil
+}
+
+// SolveResponse is the JSON body returned for a solved request, and the
+// value cached by the server (cached copies are re-served with Cached set).
+type SolveResponse struct {
+	// Digest is the request's content key (wire.Digest of graph + spec).
+	Digest string `json:"digest"`
+	// Cached reports whether this response was served from the result cache
+	// rather than freshly solved.
+	Cached bool `json:"cached"`
+	// Edges, Weight and Rounds mirror the solver result.
+	Edges  []int `json:"edges"`
+	Weight int64 `json:"weight"`
+	Rounds int64 `json:"rounds"`
+	// ResultDigest is wire.SolveResultDigest(Edges, Weight, Rounds); clients
+	// compare it against direct in-process solves.
+	ResultDigest string `json:"result_digest"`
+	// SolveMillis is the wall-clock of the underlying solve (the original
+	// cold solve for cached responses).
+	SolveMillis float64 `json:"solve_ms"`
+}
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobResponse is the JSON body of the async-job endpoints.
+type JobResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is the failure message when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Result is present when State is "done".
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// generatorFamilies builds one representative of every generator family in
+// internal/graph/generators.go, deterministically.
+func generatorFamilies() map[string]*graph.Graph {
+	rng := func(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	unit := graph.UnitWeights()
+	return map[string]*graph.Graph{
+		"cycle":       graph.Cycle(17, unit),
+		"circulant":   graph.Circulant(16, 3, unit),
+		"harary":      graph.Harary(4, 15, graph.RandomWeights(rng(2), 50)),
+		"random":      graph.RandomKConnected(30, 3, 40, rng(3), graph.RandomWeights(rng(4), 100)),
+		"grid":        graph.Grid(4, 6, unit),
+		"cliquechain": graph.CliqueChain(4, 5, 3, unit),
+		"geometric":   graph.RandomGeometric(40, 0.3, 2, rng(5)),
+		"chunglu":     graph.ChungLu(36, 2.5, 6, 2, rng(6), unit),
+		"fattree":     graph.FatTree(4, unit),
+		"figure2":     graph.PaperFigure2Graph(),
+	}
+}
+
+// goldenDigests pins the content digest of every family's representative
+// under a fixed spec. These values must never change: they freeze both the
+// canonical binary encoding and the generators' outputs. If a digest moves,
+// either the wire format or a generator changed — both invalidate every
+// cache and recorded comparison in the wild.
+var goldenDigests = map[string]string{
+	"chunglu":     "a46ace521897cba232f9e691808b96fac5fc9d68355b0a85ea76e6b32726e868",
+	"circulant":   "6a06c35b1929b491ff73adb3583e001b02b93583992ea94660ceb952b782129a",
+	"cliquechain": "7f6cff3a41728232bfe447b45472c808ac30129e70e639d8e4d9b76256c8d06c",
+	"cycle":       "8afa7e7abeba0e8474a00ded15ecd9774552320358ae8b59aed7e216015a29e9",
+	"fattree":     "3a69dd72c8dc246fdc5249637195103f5882d1f0b3662d5738c838dcc11864f5",
+	"figure2":     "02ee8ed596c3ea4974fc7cae1c291c958ff85ffe88a9f5dddbd1395d2e954446",
+	"geometric":   "26c4cb4117033c36e27c8bbef983efaa0e63bf6379fdc58f67478dac5d15020d",
+	"grid":        "cf2e3dbae7ab82af82e949a6d665241327f3976b1e37a23d5a90c6e2adbbcd94",
+	"harary":      "f0e904090dd16226b81ac6560185ad14a02ebbcb89e32c592fb2680880673b5d",
+	"random":      "70133ffd0132cd1b235e819503592b33ed922a8896326b8e30646f74ec207556",
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	return reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+func TestRoundTripEveryFamily(t *testing.T) {
+	spec := SolveSpec{Solver: "kecss", K: 3, Seed: 42}
+	for name, g := range generatorFamilies() {
+		// Graph → JSON → Graph.
+		gj := GraphToJSON(g)
+		raw, err := json.Marshal(gj)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var gj2 GraphJSON
+		if err := json.Unmarshal(raw, &gj2); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		fromJSON, err := gj2.ToGraph()
+		if err != nil {
+			t.Fatalf("%s: ToGraph: %v", name, err)
+		}
+		if !graphsEqual(g, fromJSON) {
+			t.Fatalf("%s: JSON round trip changed the graph", name)
+		}
+		// Graph → binary → Graph.
+		fromBinary, err := DecodeGraph(EncodeGraph(g))
+		if err != nil {
+			t.Fatalf("%s: DecodeGraph: %v", name, err)
+		}
+		if !graphsEqual(g, fromBinary) {
+			t.Fatalf("%s: binary round trip changed the graph", name)
+		}
+		// JSON-decoded and binary-decoded copies digest identically to the
+		// original — the property the server's cache keys rely on.
+		d0 := Digest(g, spec)
+		if d1 := Digest(fromJSON, spec); d1 != d0 {
+			t.Fatalf("%s: JSON round trip changed the digest: %s vs %s", name, d1, d0)
+		}
+		if d2 := Digest(fromBinary, spec); d2 != d0 {
+			t.Fatalf("%s: binary round trip changed the digest: %s vs %s", name, d2, d0)
+		}
+	}
+}
+
+func TestGoldenDigestsStable(t *testing.T) {
+	spec := SolveSpec{Solver: "kecss", K: 3, Seed: 42}
+	families := generatorFamilies()
+	if len(families) != len(goldenDigests) {
+		t.Fatalf("have %d families but %d golden digests", len(families), len(goldenDigests))
+	}
+	for name, g := range families {
+		want, ok := goldenDigests[name]
+		if !ok {
+			t.Fatalf("no golden digest recorded for family %q (got %s)", name, Digest(g, spec))
+		}
+		if got := Digest(g, spec); got != want {
+			t.Errorf("family %q digest drifted:\n  got  %s\n  want %s", name, got, want)
+		}
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	g := graph.Harary(3, 12, graph.UnitWeights())
+	base := SolveSpec{Solver: "kecss", K: 3, Seed: 7}
+	d0 := Digest(g, base)
+
+	variants := []SolveSpec{
+		{Solver: "3ecss", K: 3, Seed: 7},
+		{Solver: "kecss", K: 4, Seed: 7},
+		{Solver: "kecss", K: 3, Seed: 8},
+		{Solver: "kecss", K: 3, Seed: 7, SimulateMST: true},
+		{Solver: "kecss", K: 3, Seed: 7, VoteDenom: 4},
+		{Solver: "kecss", K: 3, Seed: 7, LabelBits: 32},
+		{Solver: "kecss", K: 3, Seed: 7, PhaseLen: 2},
+	}
+	for i, v := range variants {
+		if Digest(g, v) == d0 {
+			t.Errorf("variant %d (%+v) collided with the base spec", i, v)
+		}
+	}
+	// A different graph with the same spec must differ too.
+	g2 := graph.Harary(3, 12, graph.UnitWeights())
+	g2.AddEdge(0, 6, 1)
+	if Digest(g2, base) == d0 {
+		t.Error("adding an edge did not change the digest")
+	}
+	// And an equal graph built independently must collide (content address).
+	g3 := graph.Harary(3, 12, graph.UnitWeights())
+	if Digest(g3, base) != d0 {
+		t.Error("identical graphs digested differently")
+	}
+}
+
+func TestDecodeGraphRejectsMalformed(t *testing.T) {
+	g := graph.Harary(2, 8, graph.UnitWeights())
+	enc := EncodeGraph(g)
+	if _, err := DecodeGraph(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	if _, err := DecodeGraph(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeGraph([]byte("nope")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestGraphJSONRejectsMalformed(t *testing.T) {
+	bad := []GraphJSON{
+		{N: -1},
+		{N: 4, Edges: [][3]int64{{0, 4, 1}}},  // endpoint out of range
+		{N: 4, Edges: [][3]int64{{2, 2, 1}}},  // self-loop
+		{N: 4, Edges: [][3]int64{{0, 1, -5}}}, // negative weight
+	}
+	for i, gj := range bad {
+		if _, err := gj.ToGraph(); err == nil {
+			t.Errorf("malformed graph %d accepted", i)
+		}
+	}
+}
+
+func TestResultDigestMatchesPinnedFormat(t *testing.T) {
+	lines := []ResultLine{
+		{Task: 0, Edges: []int{3, 1, 2}, Weight: 10, Rounds: 99},
+		{Task: 1, Err: "boom"},
+	}
+	// Golden value pins the "%d|%v|%d|%d|%v\n" line format (with "<nil>"
+	// for success) that cmd/kecss-bench -compare has used since PR 2.
+	const want = "fc3854e1d692bb96"
+	if got := ResultDigest(lines); got != want {
+		t.Errorf("ResultDigest = %s, want %s", got, want)
+	}
+	if SolveResultDigest([]int{3, 1, 2}, 10, 99) != ResultDigest(lines[:1]) {
+		t.Error("SolveResultDigest disagrees with ResultDigest on the same line")
+	}
+	if ResultDigest(lines) == ResultDigest(lines[:1]) {
+		t.Error("dropping a line did not change the digest")
+	}
+}

@@ -40,7 +40,20 @@
 // each with its own recycled simulation arena and a per-task RNG derived as
 // baseSeed XOR taskIndex, making batch results byte-identical regardless of
 // worker count or scheduling. See NewPool, Pool.Sweep and the batch
-// helpers; examples/fleet is a worked example.
+// helpers; examples/fleet is a worked example. Pool.Close is idempotent and
+// may race with sweeps: work submitted after Close begins reports
+// ErrPoolClosed instead of running.
+//
+// # Serving
+//
+// The solver stack is also exposed as an HTTP service (cmd/kecss-serve,
+// implemented in internal/server): POST /v1/solve and the async /v1/jobs
+// endpoints accept a graph in the canonical wire form of internal/wire plus
+// the solver spec (solver name, k, seed, option overrides). Because every
+// solve is deterministic in (graph, spec), the service content-addresses
+// requests with wire.Digest and answers repeats from an LRU cache with
+// byte-identical results; cmd/kecss-load replays scenario families against
+// a server and verifies served results against direct in-process calls.
 package kecss
 
 import (

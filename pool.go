@@ -1,12 +1,18 @@
 package kecss
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/service"
 )
+
+// ErrPoolClosed is reported for every task of a Sweep (and wrapped by the
+// batch helpers' errors) submitted after the pool's Close has begun. Test
+// with errors.Is.
+var ErrPoolClosed = errors.New("kecss: pool is closed")
 
 // Solver names one of the pool's algorithms in a Task.
 type Solver int
@@ -36,6 +42,24 @@ func (s Solver) String() string {
 		return "3ecss-weighted"
 	}
 	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// ParseSolver maps a solver's short name ("2ecss", "kecss", "3ecss",
+// "3ecss-weighted" — the vocabulary of Solver.String, the bench scenario
+// files and the serve API) back to the Solver constant. The empty string
+// defaults to Solver2ECSS, matching the scenario files.
+func ParseSolver(name string) (Solver, error) {
+	switch name {
+	case "2ecss", "":
+		return Solver2ECSS, nil
+	case "kecss":
+		return SolverKECSS, nil
+	case "3ecss":
+		return Solver3ECSSUnweighted, nil
+	case "3ecss-weighted":
+		return Solver3ECSSWeighted, nil
+	}
+	return 0, fmt.Errorf("kecss: unknown solver %q", name)
 }
 
 // Task is one solve in a Pool sweep.
@@ -105,8 +129,9 @@ func WithPoolDefaults(opts ...Option) PoolOption {
 // interleaves the workers.
 //
 // A Pool is goroutine-safe: Sweep and the batch helpers may be called
-// concurrently from multiple goroutines. Close releases the workers; it
-// must not race with an in-flight sweep.
+// concurrently from multiple goroutines, and Close may race with them —
+// sweeps admitted before Close complete normally, later ones report
+// ErrPoolClosed on every task. Close is idempotent.
 type Pool struct {
 	svc      *service.Pool
 	defaults []Option
@@ -128,27 +153,49 @@ func NewPool(workers int, opts ...PoolOption) *Pool {
 // Workers returns the number of workers.
 func (p *Pool) Workers() int { return p.svc.Size() }
 
-// Close shuts the workers down. The pool must not be used afterwards.
+// Close shuts the workers down, waiting for in-flight sweeps to finish.
+// Close is idempotent; sweeps and batch solves submitted after it report
+// ErrPoolClosed instead of running.
 func (p *Pool) Close() { p.svc.Close() }
 
 // Sweep solves every task on the pool's workers and returns one Result per
 // task, in task order. Individual failures land in Result.Err; Sweep itself
-// never fails. Before solving, each distinct graph's edge connectivity is
-// checked once (up to the largest k any of its tasks needs, using the
-// capped max-flow's early exit) instead of once per task, so multi-trial
-// sweeps do not re-validate identical graphs.
+// never fails (on a closed pool every Result carries ErrPoolClosed). Before
+// solving, each distinct graph's edge connectivity is checked once (up to
+// the largest k any of its tasks needs, using the capped max-flow's early
+// exit) instead of once per task, so multi-trial sweeps do not re-validate
+// identical graphs.
 func (p *Pool) Sweep(tasks []Task) []Result {
 	results := make([]Result, len(tasks))
 	for i := range results {
 		results[i].Task = i
 	}
-	p.preValidate(tasks, results)
-	p.svc.Run(len(tasks), func(i int, w *service.Worker) {
+	if err := p.preValidate(tasks, results); err != nil {
+		return p.failAll(results, err)
+	}
+	err := p.svc.Run(len(tasks), func(i int, w *service.Worker) {
 		if results[i].Err != nil {
 			return // validation already rejected this task
 		}
 		results[i] = p.solveOne(i, tasks[i], w)
 	})
+	if err != nil {
+		return p.failAll(results, err)
+	}
+	return results
+}
+
+// failAll marks every not-yet-failed result with the sweep-level error,
+// translating the service layer's ErrClosed into the public ErrPoolClosed.
+func (p *Pool) failAll(results []Result, err error) []Result {
+	if errors.Is(err, service.ErrClosed) {
+		err = ErrPoolClosed
+	}
+	for i := range results {
+		if results[i].Err == nil {
+			results[i].Err = err
+		}
+	}
 	return results
 }
 
@@ -174,8 +221,9 @@ func (t Task) requiredConnectivity() (int, error) {
 // largest connectivity any of the graph's tasks requires — one capped Dinic
 // sweep answers every task's "is it k-edge-connected?" — and records an
 // error on each task whose requirement fails. Validations of distinct
-// graphs run on the pool's workers.
-func (p *Pool) preValidate(tasks []Task, results []Result) {
+// graphs run on the pool's workers; a non-nil return means the pool was
+// closed and nothing was validated.
+func (p *Pool) preValidate(tasks []Task, results []Result) error {
 	needBy := make(map[*Graph]int)
 	var order []*Graph
 	for i, t := range tasks {
@@ -199,13 +247,15 @@ func (p *Pool) preValidate(tasks []Task, results []Result) {
 		}
 	}
 	if len(order) == 0 {
-		return
+		return nil
 	}
 	lam := make(map[*Graph]int, len(order))
 	lams := make([]int, len(order))
-	p.svc.Run(len(order), func(i int, _ *service.Worker) {
+	if err := p.svc.Run(len(order), func(i int, _ *service.Worker) {
 		lams[i] = order[i].EdgeConnectivityUpTo(needBy[order[i]])
-	})
+	}); err != nil {
+		return err
+	}
 	for i, g := range order {
 		lam[g] = lams[i]
 	}
@@ -218,6 +268,7 @@ func (p *Pool) preValidate(tasks []Task, results []Result) {
 			results[i].Err = fmt.Errorf("kecss: task %d: input graph is not %d-edge-connected", i, k)
 		}
 	}
+	return nil
 }
 
 // solveOne runs one validated task on a worker. All state is derived from

@@ -1,6 +1,7 @@
 package kecss
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -227,5 +228,84 @@ func TestSolverString(t *testing.T) {
 		if got := s.String(); got != want {
 			t.Errorf("Solver(%d).String() = %q, want %q", int(s), got, want)
 		}
+	}
+}
+
+func TestPoolCloseIdempotentAndTyped(t *testing.T) {
+	p := NewPool(2)
+	g := graph.Harary(2, 10, graph.UnitWeights())
+	if _, err := p.Solve2ECSS([]*Graph{g}, WithSeed(3)); err != nil {
+		t.Fatalf("solve before close: %v", err)
+	}
+	p.Close()
+	p.Close() // idempotent
+
+	results := p.Sweep([]Task{{Graph: g, Solver: Solver2ECSS}, {Graph: g, Solver: SolverKECSS, K: 2}})
+	if len(results) != 2 {
+		t.Fatalf("Sweep on a closed pool returned %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrPoolClosed) {
+			t.Fatalf("task %d after Close: err = %v, want ErrPoolClosed", i, r.Err)
+		}
+	}
+	if _, err := p.Solve2ECSS([]*Graph{g}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("batch helper after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.SolveKECSS([]*Graph{g}, 2); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("SolveKECSS after Close: err = %v, want ErrPoolClosed", err)
+	}
+}
+
+// Sweeps racing Close must each either complete fully or fail every task
+// with ErrPoolClosed — never panic, never mix. Exercised under -race in CI.
+func TestPoolCloseConcurrentWithSweep(t *testing.T) {
+	g := graph.Harary(2, 12, graph.UnitWeights())
+	for trial := 0; trial < 8; trial++ {
+		p := NewPool(2)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results := p.Sweep([]Task{{Graph: g, Solver: Solver2ECSS}, {Graph: g, Solver: Solver2ECSS}})
+				closed, solved := 0, 0
+				for _, res := range results {
+					switch {
+					case errors.Is(res.Err, ErrPoolClosed):
+						closed++
+					case res.Err == nil:
+						solved++
+					default:
+						t.Errorf("unexpected sweep error: %v", res.Err)
+					}
+				}
+				if closed != 0 && solved != 0 {
+					t.Errorf("sweep mixed %d solved with %d pool-closed tasks", solved, closed)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+		wg.Wait()
+		p.Close()
+	}
+}
+
+func TestParseSolverRoundTrips(t *testing.T) {
+	for _, s := range []Solver{Solver2ECSS, SolverKECSS, Solver3ECSSUnweighted, Solver3ECSSWeighted} {
+		got, err := ParseSolver(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSolver(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if got, err := ParseSolver(""); err != nil || got != Solver2ECSS {
+		t.Errorf("ParseSolver(\"\") = %v, %v; want Solver2ECSS", got, err)
+	}
+	if _, err := ParseSolver("nope"); err == nil {
+		t.Error("ParseSolver accepted an unknown name")
 	}
 }
