@@ -22,6 +22,11 @@ type AugOptions struct {
 	// MaxIterations bounds the main loop; 0 derives a generous O(log³ n)
 	// cap.
 	MaxIterations int
+	// CutEnum tunes the minimum-cut enumeration that opens the level
+	// (parallel Karger–Stein trials, trial count). Aug computes H's
+	// connectivity itself with one capped max-flow pass and hands it to the
+	// enumerator, so CutEnum.KnownConnectivity is ignored here.
+	CutEnum CutEnumOptions
 }
 
 // AugResult is the outcome of one connectivity augmentation step.
@@ -62,9 +67,30 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 		return nil, fmt.Errorf("core: Aug requires k >= 2 (k=1 is the MST step)")
 	}
 	hs, _ := g.SubgraphOf(h)
-	cuts, err := EnumerateMinCuts(hs, k-1, opts.Rng)
+	size := k - 1
+	enumOpts := opts.CutEnum
+	enumOpts.KnownConnectivity = 0
+	var cuts []Cut
+	var err error
+	if size >= 3 {
+		// One capped max-flow pass (on the pooled Dinic scratch) decides
+		// whether H is already k-edge-connected; the enumerator is told the
+		// answer instead of re-verifying it with a cold check of its own.
+		switch lam := hs.EdgeConnectivityUpTo(size + 1); {
+		case lam > size:
+			cuts = nil // H is already k-edge-connected: nothing to cover
+		case lam < size:
+			return nil, fmt.Errorf("core: enumerating size-%d cuts: subgraph H has connectivity %d < %d", size, lam, size)
+		default:
+			enumOpts.KnownConnectivity = size
+			cuts, err = EnumerateMinCutsOpts(hs, size, opts.Rng, enumOpts)
+		}
+	} else {
+		// Sizes 1–2 use the exact enumerators, which need no λ pre-check.
+		cuts, err = EnumerateMinCutsOpts(hs, size, opts.Rng, enumOpts)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: enumerating size-%d cuts: %w", k-1, err)
+		return nil, fmt.Errorf("core: enumerating size-%d cuts: %w", size, err)
 	}
 	res := &AugResult{Cuts: len(cuts)}
 	var acc rounds.Accountant
@@ -117,8 +143,11 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 
 	covered := make([]bool, len(cuts))
 	uncovered := len(cuts)
-	// Union-find seeded fresh each iteration with A's forest, realising the
-	// MST filter of Line 4 (Claims 4.1–4.3).
+	// Union-find re-seeded (Reset, one allocation for the whole loop) each
+	// iteration with A's forest, realising the MST filter of Line 4
+	// (Claims 4.1–4.3).
+	uf := graph.NewUnionFind(n)
+	deg := make([]int, len(cuts))
 	var a []int
 
 	// expOf returns the rounded cost-effectiveness exponent, with weight-0
@@ -183,7 +212,9 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 		res.PTrace = append(res.PTrace, pExp)
 
 		// Record the max cut degree for E6 before sampling.
-		deg := make([]int, len(cuts))
+		for i := range deg {
+			deg[i] = 0
+		}
 		for _, c := range pool {
 			for _, ci := range c.cuts {
 				if !covered[ci] {
@@ -209,7 +240,7 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 		sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
 
 		// Line 4: MST filter — active candidates joining the forest A.
-		uf := graph.NewUnionFind(n)
+		uf.Reset()
 		for _, id := range a {
 			e := g.Edge(id)
 			uf.Union(e.U, e.V)

@@ -1,1 +1,47 @@
+// Package core implements the paper's contribution: the Aug_k covering
+// framework (§2.1, Claim 2.1), the weighted k-ECSS algorithm (§4), the
+// weighted 2-ECSS algorithm (MST + weighted TAP, §3 / Theorem 1.1) and the
+// unweighted 3-ECSS algorithm via cycle space sampling (§5 / Theorem 1.3).
+//
+// # Minimum-cut enumeration
+//
+// Every Aug_k level must cover every minimum cut of its current subgraph H
+// (Definition 2.1). EnumerateMinCuts produces them as canonical vertex
+// bipartitions: exact enumerators handle sizes 1 (bridges) and 2 (cut
+// pairs); size >= 3 runs recursive Karger–Stein contraction — contract to
+// floor(n/√2) supernodes (see ksTarget for why the analysis' ⌈1+n/√2⌉ is
+// deliberately rounded down), recurse twice on the shared prefix, and at
+// <= 6 supernodes enumerate every bipartition of the contracted graph
+// exactly. A fixed minimum cut survives one such trial with probability
+// Ω(1/log n), so Θ(log²n) trials enumerate all minimum cuts w.h.p., versus
+// the Θ(n²·log n) flat contractions of EnumerateMinCutsReference (retained
+// as the testing oracle).
+//
+// # Determinism of parallel trials
+//
+// Contraction trials may run on several goroutines
+// (CutEnumOptions.Workers) and follow the contract internal/service
+// established for sweeps: trial t draws from a private RNG seeded
+// baseSeed XOR t (baseSeed is one Int63 from the caller's RNG), trial
+// results merge in trial order, and the merged set is sorted canonically —
+// so the output is byte-identical at any worker count and scheduling.
+//
+// # Arena ownership
+//
+// All trial scratch (per-level union-find, relabelling and contracted edge
+// buffers, side-bitset buffers, the per-trial RNG and intern tables) lives
+// in a cutArena recycled through a package sync.Pool. An arena is owned by
+// exactly one goroutine at a time; materialised cut bitsets are carved
+// from blocks that the arena detaches on reset, so cuts returned to
+// callers keep sole ownership of their memory after the arena is recycled.
+// Warm trials allocate only when they discover a never-before-seen
+// bipartition.
+//
+// Cut identity is 64-bit FNV-1a hashed and resolved by intern tables that
+// compare the underlying data on hash collision — inside trials over the
+// sorted crossing-edge signature (O(λ) per probe; for a minimum cut the λ
+// crossing edges determine the bipartition), across trial merges and the
+// size-2 exact enumerator over the bipartition bitset. Aug's coverage
+// bookkeeping then works on dense cut indices (covered bitmaps, candidate
+// cut-index lists) — no string keys on any hot path.
 package core

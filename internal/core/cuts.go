@@ -1,11 +1,8 @@
-// Package core implements the paper's contribution: the Aug_k covering
-// framework (§2.1, Claim 2.1), the weighted k-ECSS algorithm (§4), the
-// weighted 2-ECSS algorithm (MST + weighted TAP, §3 / Theorem 1.1) and the
-// unweighted 3-ECSS algorithm via cycle space sampling (§5 / Theorem 1.3).
 package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -22,7 +19,7 @@ type Cut struct {
 }
 
 func newCut(n int, inSide func(v int) bool) Cut {
-	c := Cut{side: make([]uint64, (n+63)/64)}
+	c := Cut{side: make([]uint64, cutWords(n))}
 	for v := 0; v < n; v++ {
 		if inSide(v) {
 			c.side[v/64] |= 1 << uint(v%64)
@@ -41,7 +38,14 @@ func newCut(n int, inSide func(v int) bool) Cut {
 	return c
 }
 
-// Key returns a map key identifying the bipartition.
+// cutWords returns the number of 64-bit words a side bitset over n vertices
+// occupies.
+func cutWords(n int) int { return (n + 63) / 64 }
+
+// Key returns a string identifying the bipartition. It survives as the
+// oracle-friendly identity used by tests and the reference enumerator; the
+// hot paths intern cuts through cutInterner's 64-bit hash table instead and
+// never materialise strings.
 func (c Cut) Key() string {
 	b := make([]byte, 0, len(c.side)*8)
 	for _, w := range c.side {
@@ -61,12 +65,171 @@ func (c Cut) contains(v int) bool {
 	return c.side[v/64]&(1<<uint(v%64)) != 0
 }
 
+// hashWords is word-at-a-time FNV-1a over a side bitset.
+func hashWords(ws []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range ws {
+		h = (h ^ w) * prime64
+	}
+	return h
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cutLess orders canonical bipartitions by their bitset words (word 0
+// first). Any fixed total order works; this one needs no string
+// materialisation.
+func cutLess(a, b Cut) bool {
+	for i := range a.side {
+		if a.side[i] != b.side[i] {
+			return a.side[i] < b.side[i]
+		}
+	}
+	return false
+}
+
+func sortCuts(cuts []Cut) {
+	sort.Slice(cuts, func(i, j int) bool { return cutLess(cuts[i], cuts[j]) })
+}
+
+// cutStore carves materialised cut bitsets out of large blocks (few
+// allocations, good locality). Ownership rule: reset detaches the blocks,
+// so cuts handed out before a reset keep sole ownership of their memory
+// even after the store's owner (an arena or interner) is recycled.
+type cutStore struct {
+	words int
+	block []uint64
+}
+
+// cutBlockWords sizes the backing blocks interned bitsets are carved from.
+const cutBlockWords = 4096
+
+func (cs *cutStore) reset(n int) {
+	cs.words = cutWords(n)
+	cs.block = nil
+}
+
+// alloc returns a Cut owning a copy of side, carved from the current block.
+func (cs *cutStore) alloc(side []uint64) Cut {
+	if len(cs.block) < cs.words {
+		bw := cutBlockWords
+		if bw < cs.words {
+			bw = cs.words
+		}
+		cs.block = make([]uint64, bw)
+	}
+	stored := cs.block[:cs.words:cs.words]
+	cs.block = cs.block[cs.words:]
+	copy(stored, side)
+	return Cut{side: stored}
+}
+
+// cutInterner assigns dense indices to canonical bipartitions: a 64-bit
+// FNV-1a hash keys the table and the full bitset is compared on collision,
+// so no string keys are ever built. Interned bitsets live in a cutStore,
+// whose detach-on-reset rule keeps handed-out cuts safe across reuse.
+type cutInterner struct {
+	table map[uint64][]int32
+	cuts  []Cut
+	store cutStore
+}
+
+func (it *cutInterner) reset(n int) {
+	if it.table == nil {
+		it.table = make(map[uint64][]int32)
+	} else {
+		clear(it.table)
+	}
+	it.cuts = it.cuts[:0]
+	it.store.reset(n)
+}
+
+// lookup returns the index of the interned cut equal to side, or -1.
+func (it *cutInterner) lookup(h uint64, side []uint64) int32 {
+	for _, idx := range it.table[h] {
+		if wordsEqual(it.cuts[idx].side, side) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// add interns the canonical side bitset, copying it into interner-owned
+// block storage when unseen. It returns the interned Cut and whether it was
+// new.
+func (it *cutInterner) add(side []uint64) (Cut, bool) {
+	h := hashWords(side)
+	if idx := it.lookup(h, side); idx >= 0 {
+		return it.cuts[idx], false
+	}
+	return it.insert(h, it.store.alloc(side)), true
+}
+
+// addCut interns an already-materialised Cut without copying its bitset.
+// Used when merging per-trial results whose cuts already own their memory.
+func (it *cutInterner) addCut(c Cut) bool {
+	h := hashWords(c.side)
+	if it.lookup(h, c.side) >= 0 {
+		return false
+	}
+	it.insert(h, c)
+	return true
+}
+
+func (it *cutInterner) insert(h uint64, c Cut) Cut {
+	it.table[h] = append(it.table[h], int32(len(it.cuts)))
+	it.cuts = append(it.cuts, c)
+	return c
+}
+
+// CutEnumOptions tunes EnumerateMinCutsOpts. The zero value is the default:
+// sequential trials, the default Karger–Stein repetition count, and λ(h)
+// verified by a capped max-flow pass.
+type CutEnumOptions struct {
+	// Workers spreads the size >= 3 contraction trials over this many
+	// goroutines (via service.Do). 0 or 1 keeps them on the calling
+	// goroutine. Results are byte-identical at any worker count: trial t
+	// always draws from its own RNG seeded baseSeed XOR t and trial results
+	// merge in trial order. The exact enumerators for sizes 1–2 ignore this.
+	Workers int
+	// TrialFactor multiplies the default Θ(log²n) Karger–Stein repetition
+	// count (0 or 1 = default). The default is chosen for w.h.p.
+	// completeness; raising it buys a lower miss probability with CPU.
+	TrialFactor int
+	// KnownConnectivity > 0 is the caller's promise that λ(h) equals this
+	// value, letting the enumerator skip its own capped max-flow
+	// verification (an Aug level has just computed the connectivity of the
+	// subgraph it augments). A cheap min-degree assertion still guards
+	// against contradictory promises.
+	KnownConnectivity int
+}
+
 // EnumerateMinCuts returns every cut of size exactly `size` of the connected
 // graph h, where size must equal h's edge connectivity (the cuts the Aug_k
 // step must cover). It dispatches to exact enumerators for sizes 1 and 2
-// (bridges, cut pairs) and to repeated Karger contraction with verification
-// for size >= 3. rng drives the contraction and is only used for size >= 3.
+// (bridges, cut pairs) and to recursive Karger–Stein contraction for
+// size >= 3. rng drives the contraction and is only used for size >= 3.
 func EnumerateMinCuts(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
+	return EnumerateMinCutsOpts(h, size, rng, CutEnumOptions{})
+}
+
+// EnumerateMinCutsOpts is EnumerateMinCuts with explicit enumeration
+// options; see CutEnumOptions for the determinism contract.
+func EnumerateMinCutsOpts(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOptions) ([]Cut, error) {
 	if !h.Connected() {
 		return nil, fmt.Errorf("core: cut enumeration needs a connected graph")
 	}
@@ -78,53 +241,124 @@ func EnumerateMinCuts(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
 	case size == 2:
 		return cutsFromCutPairs(h)
 	default:
-		return cutsByContraction(h, size, rng)
+		return cutsByContraction(h, size, rng, opts)
 	}
 }
 
-// cutsFromBridges converts each bridge into its bipartition.
+// componentsSkipping labels the connected components of h with up to two
+// edges (skip1, skip2; pass -1 for none) ignored, writing component indices
+// into comp (length h.N()) and using queue (capacity >= h.N()) as BFS
+// scratch. It returns the component count. Replaces the per-exclusion
+// SubgraphWithout + Components pattern: no subgraph or exclusion map is
+// built, and the caller's scratch is reused across scans.
+func componentsSkipping(h *graph.Graph, comp, queue []int, skip1, skip2 int) int {
+	for v := range comp {
+		comp[v] = -1
+	}
+	count := 0
+	for s := 0; s < h.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, a := range h.Adj(v) {
+				if a.Edge == skip1 || a.Edge == skip2 || comp[a.To] != -1 {
+					continue
+				}
+				comp[a.To] = count
+				queue = append(queue, a.To)
+			}
+		}
+		count++
+	}
+	return count
+}
+
+// cutsFromBridges converts each bridge into its bipartition with one
+// component scan per bridge over shared scratch.
 func cutsFromBridges(h *graph.Graph) []Cut {
-	var out []Cut
-	for _, b := range h.Bridges() {
-		rem, _ := h.SubgraphWithout(map[int]bool{b: true})
-		comp, _ := rem.Components()
+	bridges := h.Bridges()
+	if len(bridges) == 0 {
+		return nil
+	}
+	n := h.N()
+	comp := make([]int, n)
+	queue := make([]int, 0, n)
+	out := make([]Cut, 0, len(bridges))
+	for _, b := range bridges {
+		componentsSkipping(h, comp, queue, b, -1)
 		e := h.Edge(b)
 		side := comp[e.U]
-		out = append(out, newCut(h.N(), func(v int) bool { return comp[v] == side }))
+		out = append(out, newCut(n, func(v int) bool { return comp[v] == side }))
 	}
 	return out
 }
 
-// cutsFromCutPairs converts each cut pair into its bipartition.
+// cutsFromCutPairs converts each cut pair into its bipartition, deduping
+// pairs that induce the same bipartition through the intern table.
 func cutsFromCutPairs(h *graph.Graph) ([]Cut, error) {
 	pairs := h.CutPairs()
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	n := h.N()
+	comp := make([]int, n)
+	queue := make([]int, 0, n)
+	side := make([]uint64, cutWords(n))
+	var itn cutInterner
+	itn.reset(n)
 	out := make([]Cut, 0, len(pairs))
-	seen := make(map[string]bool, len(pairs))
 	for _, p := range pairs {
-		rem, _ := h.SubgraphWithout(map[int]bool{p.A: true, p.B: true})
-		comp, count := rem.Components()
-		if count != 2 {
+		if count := componentsSkipping(h, comp, queue, p.A, p.B); count != 2 {
 			// A minimum cut always splits into exactly two components.
 			return nil, fmt.Errorf("core: cut pair %v split graph into %d components", p, count)
 		}
-		e := h.Edge(p.A)
-		side := comp[e.U]
-		c := newCut(h.N(), func(v int) bool { return comp[v] == side })
-		if k := c.Key(); !seen[k] {
-			seen[k] = true
+		// Vertex 0 seeds the first BFS, so comp[0] == 0 and the side
+		// {v : comp[v] == 1} is already canonically oriented.
+		for i := range side {
+			side[i] = 0
+		}
+		for v, cv := range comp {
+			if cv == 1 {
+				side[v/64] |= 1 << uint(v%64)
+			}
+		}
+		if c, isNew := itn.add(side); isNew {
 			out = append(out, c)
 		}
 	}
 	return out, nil
 }
 
-// cutsByContraction enumerates minimum cuts of the given size by repeated
-// Karger contraction. Each minimum cut survives a contraction run with
-// probability >= 2/(n(n-1)), so O(n²·log n) runs find all of them w.h.p.;
-// the caller's final connectivity verification catches the (negligible)
-// failure case. Returns an error if h's connectivity is not `size` (then
-// these would not be minimum cuts and the survival bound would not apply).
-func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
+// EnumerateMinCutsReference is the pre-Karger–Stein enumerator, retained as
+// the oracle for the equivalence corpus and for before/after benchmarking.
+// Semantics match EnumerateMinCuts; only the size >= 3 strategy differs:
+// 3n²·log n independent single-level contractions, each paying an O(m)
+// permutation allocation, a fresh union-find, and a string-keyed dedup.
+func EnumerateMinCutsReference(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
+	if !h.Connected() {
+		return nil, fmt.Errorf("core: cut enumeration needs a connected graph")
+	}
+	switch {
+	case size <= 0:
+		return nil, fmt.Errorf("core: cut size %d out of range", size)
+	case size == 1:
+		return cutsFromBridges(h), nil
+	case size == 2:
+		return cutsFromCutPairs(h)
+	default:
+		return cutsByFlatContraction(h, size, rng)
+	}
+}
+
+// cutsByFlatContraction enumerates minimum cuts of the given size by
+// repeated single-level Karger contraction. Each minimum cut survives a
+// contraction run with probability >= 2/(n(n-1)), so O(n²·log n) runs find
+// all of them w.h.p.
+func cutsByFlatContraction(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: contraction enumeration requires rng")
 	}
@@ -136,7 +370,7 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) 
 		return nil, fmt.Errorf("core: graph has connectivity %d < requested cut size %d", lambda, size)
 	}
 	n := h.N()
-	trials := 3 * n * n * (bitLen(n) + 1)
+	trials := 3 * n * n * (bits.Len(uint(n)) + 1)
 	if trials < 200 {
 		trials = 200
 	}
@@ -178,13 +412,4 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand) ([]Cut, error) 
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out, nil
-}
-
-func bitLen(n int) int {
-	b := 0
-	for n > 0 {
-		b++
-		n >>= 1
-	}
-	return b
 }

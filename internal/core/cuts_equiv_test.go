@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// multiplyEdges returns g with every edge duplicated `times` times, which
+// multiplies the edge connectivity by `times` (families like Grid or Cycle
+// whose λ is pinned at 2 join the size >= 3 corpus this way; the model
+// permits multigraphs).
+func multiplyEdges(g *graph.Graph, times int) *graph.Graph {
+	d := graph.New(g.N())
+	for _, e := range g.Edges() {
+		for i := 0; i < times; i++ {
+			d.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	return d
+}
+
+// equivCase is one corpus instance: a generator-family representative whose
+// edge connectivity (pinned by `lambda`) lies in the contraction range
+// {3,4,5}.
+type equivCase struct {
+	name   string
+	lambda int
+	build  func() *graph.Graph
+}
+
+func equivCorpus() []equivCase {
+	u := graph.UnitWeights()
+	return []equivCase{
+		{"harary/k=3", 3, func() *graph.Graph { return graph.Harary(3, 14, u) }},
+		{"harary/k=4", 4, func() *graph.Graph { return graph.Harary(4, 14, u) }},
+		{"harary/k=5", 5, func() *graph.Graph { return graph.Harary(5, 14, u) }},
+		{"cycle-x2/k=4", 4, func() *graph.Graph { return multiplyEdges(graph.Cycle(12, u), 2) }},
+		{"circulant/k=4", 4, func() *graph.Graph { return graph.Circulant(13, 2, u) }},
+		{"randomk/k=4a", 4, func() *graph.Graph {
+			return graph.RandomKConnected(14, 3, 6, rand.New(rand.NewSource(11)), u)
+		}},
+		{"randomk/k=4b", 4, func() *graph.Graph {
+			return graph.RandomKConnected(16, 4, 2, rand.New(rand.NewSource(7)), u)
+		}},
+		{"grid-x2/k=4", 4, func() *graph.Graph { return multiplyEdges(graph.Grid(3, 5, u), 2) }},
+		{"cliquechain/k=3", 3, func() *graph.Graph { return graph.CliqueChain(3, 5, 3, u) }},
+		{"cliquechain/k=4", 4, func() *graph.Graph { return graph.CliqueChain(3, 6, 4, u) }},
+		{"cliquechain/k=5", 5, func() *graph.Graph { return graph.CliqueChain(2, 6, 5, u) }},
+		{"geometric/k=3", 3, func() *graph.Graph {
+			return graph.RandomGeometric(16, 0.30, 2, rand.New(rand.NewSource(2)))
+		}},
+		{"geometric/k=5", 5, func() *graph.Graph {
+			return graph.RandomGeometric(16, 0.35, 3, rand.New(rand.NewSource(1)))
+		}},
+		{"chunglu/k=5", 5, func() *graph.Graph {
+			return graph.ChungLu(16, 2.5, 6, 3, rand.New(rand.NewSource(1)), u)
+		}},
+		{"fattree-x2/k=4", 4, func() *graph.Graph { return multiplyEdges(graph.FatTree(4, u), 2) }},
+		{"paperfig2-x2/k=4", 4, func() *graph.Graph { return multiplyEdges(graph.PaperFigure2Graph(), 2) }},
+	}
+}
+
+func cutKeySet(cuts []Cut) map[string]bool {
+	m := make(map[string]bool, len(cuts))
+	for _, c := range cuts {
+		m[c.Key()] = true
+	}
+	return m
+}
+
+// TestEnumerateMinCutsEquivalenceCorpus asserts that the Karger–Stein
+// enumerator returns exactly the same cut sets (canonical bipartitions) as
+// the retained flat-Karger reference across all ten generator families at
+// sizes 3–5, and that the new enumerator is byte-identical at workers=1
+// vs 4.
+func TestEnumerateMinCutsEquivalenceCorpus(t *testing.T) {
+	for _, tc := range equivCorpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			if lam := g.EdgeConnectivity(); lam != tc.lambda {
+				t.Fatalf("corpus drift: λ=%d, case pins %d", lam, tc.lambda)
+			}
+			ref, err := EnumerateMinCutsReference(g, tc.lambda, rand.New(rand.NewSource(101)))
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := EnumerateMinCuts(g, tc.lambda, rand.New(rand.NewSource(202)))
+			if err != nil {
+				t.Fatalf("karger–stein: %v", err)
+			}
+			refSet, gotSet := cutKeySet(ref), cutKeySet(got)
+			if len(ref) != len(refSet) || len(got) != len(gotSet) {
+				t.Fatalf("duplicate cuts: ref %d/%d, got %d/%d", len(ref), len(refSet), len(got), len(gotSet))
+			}
+			if !reflect.DeepEqual(refSet, gotSet) {
+				t.Fatalf("cut sets differ: reference %d cuts, karger–stein %d cuts", len(refSet), len(gotSet))
+			}
+			par, err := EnumerateMinCutsOpts(g, tc.lambda, rand.New(rand.NewSource(202)), CutEnumOptions{Workers: 4})
+			if err != nil {
+				t.Fatalf("workers=4: %v", err)
+			}
+			if !reflect.DeepEqual(got, par) {
+				t.Fatalf("workers=1 vs 4 not byte-identical: %d vs %d cuts", len(got), len(par))
+			}
+		})
+	}
+}
+
+// TestEnumerateMinCutsParallelDeterministic pins the determinism contract
+// on a larger instance and under concurrent enumeration (the arenas come
+// from a shared sync.Pool; run with -race).
+func TestEnumerateMinCutsParallelDeterministic(t *testing.T) {
+	g := graph.RandomKConnected(48, 4, 10, rand.New(rand.NewSource(5)), graph.UnitWeights())
+	size := g.EdgeConnectivity()
+	if size < 3 {
+		t.Fatalf("instance drift: λ=%d < 3", size)
+	}
+	want, err := EnumerateMinCutsOpts(g, size, rand.New(rand.NewSource(9)), CutEnumOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no cuts found")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, err := EnumerateMinCutsOpts(g, size, rand.New(rand.NewSource(9)), CutEnumOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d differs from workers=1", workers)
+		}
+	}
+	// Concurrent enumerations racing over the shared arena pool must not
+	// interfere with each other.
+	var wg sync.WaitGroup
+	results := make([][]Cut, 8)
+	errs := make([]error, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := 1 + i%3
+			results[i], errs[i] = EnumerateMinCutsOpts(g, size, rand.New(rand.NewSource(9)), CutEnumOptions{Workers: w})
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if errs[i] != nil {
+			t.Fatalf("concurrent %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(want, r) {
+			t.Fatalf("concurrent enumeration %d differs", i)
+		}
+	}
+}
+
+// TestEnumerateMinCutsTrialFactor: raising the trial count must never
+// change the (already complete w.h.p.) result set.
+func TestEnumerateMinCutsTrialFactor(t *testing.T) {
+	g := graph.Harary(3, 20, graph.UnitWeights())
+	base, err := EnumerateMinCuts(g, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := EnumerateMinCutsOpts(g, 3, rand.New(rand.NewSource(1)), CutEnumOptions{TrialFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cutKeySet(base), cutKeySet(more)) {
+		t.Fatalf("TrialFactor changed the cut set: %d vs %d", len(base), len(more))
+	}
+}
+
+// TestEnumerateMinCutsKnownConnectivity pins the λ pass-in contract: a
+// correct promise reproduces the recomputed result, a too-high promise
+// means "no cuts of this size", a contradicted promise errors.
+func TestEnumerateMinCutsKnownConnectivity(t *testing.T) {
+	g := graph.Harary(4, 14, graph.UnitWeights())
+	want, err := EnumerateMinCuts(g, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EnumerateMinCutsOpts(g, 4, rand.New(rand.NewSource(3)), CutEnumOptions{KnownConnectivity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("KnownConnectivity=λ changed the result")
+	}
+	none, err := EnumerateMinCutsOpts(g, 3, rand.New(rand.NewSource(3)), CutEnumOptions{KnownConnectivity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil {
+		t.Fatalf("KnownConnectivity > size must report no cuts, got %d", len(none))
+	}
+	if _, err := EnumerateMinCutsOpts(g, 5, rand.New(rand.NewSource(3)), CutEnumOptions{KnownConnectivity: 4}); err == nil {
+		t.Fatal("KnownConnectivity < size must error")
+	}
+	// A promise contradicted by the min degree is caught by the assertion.
+	if _, err := EnumerateMinCutsOpts(g, 5, rand.New(rand.NewSource(3)), CutEnumOptions{KnownConnectivity: 5}); err == nil {
+		t.Fatal("contradicted KnownConnectivity must error")
+	}
+}
+
+// TestCutInterner covers dedup, collision-safe equality, and block
+// detachment on reset.
+func TestCutInterner(t *testing.T) {
+	var it cutInterner
+	it.reset(130) // 3 words
+	a := []uint64{1, 2, 3}
+	b := []uint64{1, 2, 4}
+	c1, new1 := it.add(a)
+	if !new1 {
+		t.Fatal("first add not new")
+	}
+	if _, new2 := it.add(a); new2 {
+		t.Fatal("duplicate add reported new")
+	}
+	if _, new3 := it.add(b); !new3 {
+		t.Fatal("distinct add not new")
+	}
+	if !it.addCut(Cut{side: []uint64{9, 9, 9}}) || it.addCut(c1) {
+		t.Fatal("addCut dedup wrong")
+	}
+	// Mutating the input after add must not affect the interned copy.
+	a[0] = 77
+	if _, isNew := it.add([]uint64{1, 2, 3}); isNew {
+		t.Fatal("interned copy was aliased to caller memory")
+	}
+	old := c1.side
+	it.reset(130)
+	if _, isNew := it.add([]uint64{1, 2, 3}); !isNew {
+		t.Fatal("reset kept old entries")
+	}
+	if old[0] != 1 || old[1] != 2 || old[2] != 3 {
+		t.Fatal("reset clobbered a cut handed out earlier")
+	}
+}
+
+// TestComponentsSkipping pins the scan against the SubgraphWithout oracle.
+func TestComponentsSkipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomKConnected(12, 2, 8, rng, graph.UnitWeights())
+	comp := make([]int, g.N())
+	queue := make([]int, 0, g.N())
+	for a := 0; a < g.M(); a++ {
+		for b := -1; b < a; b++ {
+			skip := map[int]bool{a: true}
+			if b >= 0 {
+				skip[b] = true
+			}
+			sub, _ := g.SubgraphWithout(skip)
+			wantComp, wantCount := sub.Components()
+			gotCount := componentsSkipping(g, comp, queue, a, b)
+			if gotCount != wantCount {
+				t.Fatalf("skip{%d,%d}: %d components, want %d", a, b, gotCount, wantCount)
+			}
+			for v := range wantComp {
+				if comp[v] != wantComp[v] {
+					t.Fatalf("skip{%d,%d}: vertex %d in comp %d, want %d", a, b, v, comp[v], wantComp[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateMinCutsTwoVertexMultigraph: the smallest size >= 3 instance
+// (two vertices, three parallel edges) exercises the base case without any
+// contraction.
+func TestEnumerateMinCutsTwoVertexMultigraph(t *testing.T) {
+	g := graph.New(2)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(0, 1, 1)
+	}
+	cuts, err := EnumerateMinCuts(g, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 || !cuts[0].Crosses(0, 1) {
+		t.Fatalf("want the single {0}|{1} cut, got %d cuts", len(cuts))
+	}
+}
+
+func BenchmarkEquivalenceCorpusKargerStein(b *testing.B) {
+	// Convenience: per-corpus-case timing of the new enumerator.
+	for _, tc := range equivCorpus() {
+		g := tc.build()
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EnumerateMinCuts(g, tc.lambda, rand.New(rand.NewSource(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+// Recursive Karger–Stein contraction for enumerating all minimum cuts of a
+// graph with known edge connectivity size >= 3.
+//
+// One trial contracts the graph to ~n/√2 supernodes, relabels the
+// supernodes densely, and recurses twice on that shared prefix; at <= ksBase
+// supernodes the recursion stops and every bipartition of the contracted
+// graph is enumerated exactly, emitting each one whose crossing-edge count
+// equals the target size. A fixed minimum cut survives one trial with
+// probability Ω(1/log n) — versus Ω(1/n²) for a flat contraction to two
+// supernodes — so Θ(log²n) trials enumerate all minimum cuts w.h.p.,
+// replacing the reference implementation's Θ(n²·log n) flat runs.
+//
+// Two de-amortisations keep a trial cheap. First, dense relabelling: level
+// d works on n_d ≈ n/√2^d supernodes, so its union-find, edge list, and
+// the snapshot taken for the second child are all O(n_d + m_d), not
+// O(n + m). Second, signature interning: a qualifying bipartition is
+// identified by the sorted IDs of its `size` crossing edges (a perfect
+// identity for minimum cuts), so re-sightings of known cuts cost O(λ);
+// the O(n·depth) reconstruction of original-vertex membership — composing
+// the per-level supernode maps — runs only on each cut's first sighting.
+//
+// All per-trial state lives in a cutArena drawn from a sync.Pool: the
+// per-level edge lists, union-find and relabelling scratch, the side-bitset
+// buffer, the O(1)-seed per-trial RNG, and the arena's signature intern
+// table. After the arena's buffers have grown to the graph's size, a trial
+// allocates only when it discovers a bipartition this arena has never seen
+// (the interned signature plus the materialised bitset, carved from a
+// shared block).
+//
+// Determinism contract (the same one internal/service established for
+// sweeps): trial t always draws from a private RNG seeded baseSeed XOR t,
+// where baseSeed is one Int63 drawn from the caller's RNG; trial results
+// merge in trial order; the merged set is sorted canonically. Together
+// these make the output byte-identical at any CutEnumOptions.Workers value
+// and under any goroutine scheduling.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// ksBase is the supernode count at which contraction stops and the trial
+// enumerates every bipartition of the contracted graph exactly.
+const ksBase = 6
+
+// ksEdge is a surviving edge between two supernodes of its level, in that
+// level's dense labels. id is the original edge ID, carried through every
+// relabelling so leaves can identify cuts by their crossing-edge signature.
+type ksEdge struct{ u, v, id int32 }
+
+// ksRand is the per-trial PRNG: splitmix64, chosen because re-seeding is
+// O(1) (math/rand's source regenerates a 607-entry table per Seed, which
+// would dominate whole trials on small graphs). Contraction only needs
+// uniform edge picks, and every trial re-seeds, so the tiny state is ideal.
+type ksRand struct{ s uint64 }
+
+func (r *ksRand) seed(v int64) { r.s = uint64(v) }
+
+func (r *ksRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n). The modulo bias is < n/2⁶⁴ —
+// irrelevant against the contraction analysis' constant slack.
+func (r *ksRand) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// ksLevel is one recursion level's contraction state.
+type ksLevel struct {
+	nodes int      // supernode count n_d; labels are 0..nodes-1
+	edges []ksEdge // surviving non-loop edges in this level's labels
+	v0    int32    // supernode containing original vertex 0
+	mapTo []int32  // parent-level supernode -> this level's supernode
+	// contraction scratch (sized to this level's nodes / edges)
+	work   []ksEdge // mutable edge copy the random picks consume
+	parent []int32  // union-find over this level's supernodes
+	newid  []int32  // root -> dense child label
+}
+
+// cutArena owns every buffer a contraction worker needs. Arenas are
+// recycled through arenaPool; prepare resets them for a new graph. An arena
+// is single-goroutine state: the parallel driver hands each arena to one
+// worker at a time.
+type cutArena struct {
+	n      int
+	levels []ksLevel
+	side   []uint64
+	ids    []int32 // original vertex -> leaf supernode, during materialisation
+	sig    []int32 // crossing-edge signature scratch
+	rng    ksRand
+	sigs   sigInterner
+	store  cutStore
+	fresh  []Cut // cuts first seen by this arena in the current trial
+}
+
+// sigInterner dedups minimum cuts by their crossing-edge signature: the
+// sorted IDs of the `stride` crossing edges. For a minimum cut the
+// signature is a perfect identity — removing its λ edges splits the graph
+// into exactly the cut's two sides — and probing it costs O(λ), versus
+// O(n) to materialise the bipartition bitset. Hash collisions are resolved
+// by comparing the stored signatures.
+type sigInterner struct {
+	stride int
+	table  map[uint64][]int32
+	sigs   []int32 // flattened, stride entries per interned cut
+}
+
+func (si *sigInterner) reset(stride int) {
+	si.stride = stride
+	if si.table == nil {
+		si.table = make(map[uint64][]int32)
+	} else {
+		clear(si.table)
+	}
+	si.sigs = si.sigs[:0]
+}
+
+// add interns the sorted signature, reporting whether it was new.
+func (si *sigInterner) add(sig []int32) bool {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, id := range sig {
+		h = (h ^ uint64(uint32(id))) * prime64
+	}
+	for _, idx := range si.table[h] {
+		stored := si.sigs[int(idx)*si.stride : (int(idx)+1)*si.stride]
+		same := true
+		for i := range sig {
+			if stored[i] != sig[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	si.table[h] = append(si.table[h], int32(len(si.sigs)/si.stride))
+	si.sigs = append(si.sigs, sig...)
+	return true
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(cutArena) }}
+
+// prepare resets the arena for an n-vertex graph whose trials recurse at
+// most maxDepth levels and identify cuts by `size`-edge signatures, growing
+// (never shrinking) its buffers.
+func (a *cutArena) prepare(n, maxDepth, size int) {
+	a.n = n
+	if cap(a.side) < cutWords(n) {
+		a.side = make([]uint64, cutWords(n))
+	}
+	a.side = a.side[:cutWords(n)]
+	if cap(a.ids) < n {
+		a.ids = make([]int32, n)
+	}
+	a.ids = a.ids[:n]
+	for len(a.levels) <= maxDepth {
+		a.levels = append(a.levels, ksLevel{})
+	}
+	a.fresh = a.fresh[:0]
+	a.sigs.reset(size)
+	a.store.reset(n)
+}
+
+// ksFind is find with path halving over a flat parent array.
+func ksFind(p []int32, x int32) int32 {
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// ksTarget is the supernode count one recursion step contracts to: n/√2,
+// the shrink factor under which a fixed minimum cut survives the step with
+// probability about 1/2. Rounding down (instead of the analysis'
+// ⌈1+n/√2⌉) trims several low-shrink tail levels off the recursion — a
+// 4–8× reduction in leaves — at a constant-factor hit to per-trial success
+// probability that the empirically calibrated trial count absorbs.
+func ksTarget(n int) int {
+	t := int(float64(n) / math.Sqrt2)
+	if t >= n {
+		t = n - 1
+	}
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// ksDepth returns the recursion depth a trial on an n-vertex graph reaches.
+func ksDepth(n int) int {
+	d := 0
+	for n > ksBase {
+		n = ksTarget(n)
+		d++
+	}
+	return d
+}
+
+// ksTrials returns the Karger–Stein repetition count for an n-vertex graph:
+// Θ(log²n) trials drive the probability of missing any of the <= n(n-1)/2
+// minimum cuts below 1/poly(n). The constant is calibrated against the
+// worst observed coverage need on the adversarial Θ(n²)-cut family
+// (doubled cycles: 65 trials to full coverage at n=96 over 30 seeds, vs
+// 192 here) while ordinary families cover within ~14 trials; the
+// exhaustive <= ksBase base case is what makes trials this productive.
+// TrialFactor in CutEnumOptions scales it for callers wanting more margin.
+func ksTrials(n int) int {
+	l := bits.Len(uint(n)) + 1
+	t := 3 * l * l
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+// runTrial executes one full Karger–Stein trial over the base edge list,
+// appending cuts this arena first sees to a.fresh.
+func (a *cutArena) runTrial(base []ksEdge, size int) {
+	lv := &a.levels[0]
+	lv.nodes = a.n
+	lv.edges = append(lv.edges[:0], base...)
+	lv.v0 = 0
+	a.recurse(0, size)
+}
+
+func (a *cutArena) recurse(depth, size int) {
+	lv := &a.levels[depth]
+	if lv.nodes <= ksBase {
+		a.enumerateBase(depth, size)
+		return
+	}
+	target := ksTarget(lv.nodes)
+	a.contractInto(depth, target)
+	a.recurse(depth+1, size)
+	a.contractInto(depth, target)
+	a.recurse(depth+1, size)
+}
+
+// contractInto contracts level depth's graph to `target` supernodes and
+// writes the relabelled result into level depth+1, leaving level depth
+// intact for the sibling call. Non-loop edges are picked uniformly at
+// random (self-loops are removed lazily when picked, which keeps each pick
+// uniform over the surviving multi-edges).
+func (a *cutArena) contractInto(depth, target int) {
+	lv := &a.levels[depth]
+	child := &a.levels[depth+1]
+	n := lv.nodes
+	if cap(lv.parent) < n {
+		lv.parent = make([]int32, n)
+		lv.newid = make([]int32, n)
+	}
+	p := lv.parent[:n]
+	for i := range p {
+		p[i] = int32(i)
+	}
+	work := append(lv.work[:0], lv.edges...)
+	remaining := n
+	for remaining > target && len(work) > 0 {
+		i := a.rng.intn(len(work))
+		e := work[i]
+		ru := ksFind(p, e.u)
+		rv := ksFind(p, e.v)
+		if ru == rv {
+			work[i] = work[len(work)-1]
+			work = work[:len(work)-1]
+			continue
+		}
+		p[ru] = rv
+		remaining--
+	}
+	lv.work = work[:0]
+	// Dense relabelling: roots get child labels in scan order (deterministic
+	// for a fixed random stream).
+	newid := lv.newid[:n]
+	next := int32(0)
+	for i := int32(0); i < int32(n); i++ {
+		if p[i] == i {
+			newid[i] = next
+			next++
+		}
+	}
+	if cap(child.mapTo) < n {
+		child.mapTo = make([]int32, n)
+	}
+	mapTo := child.mapTo[:n]
+	for i := int32(0); i < int32(n); i++ {
+		mapTo[i] = newid[ksFind(p, i)]
+	}
+	child.mapTo = mapTo
+	child.nodes = int(next)
+	child.v0 = mapTo[lv.v0]
+	child.edges = child.edges[:0]
+	for _, e := range lv.edges {
+		u, v := mapTo[e.u], mapTo[e.v]
+		if u != v {
+			child.edges = append(child.edges, ksEdge{u, v, e.id})
+		}
+	}
+}
+
+// enumerateBase checks every bipartition of the <= ksBase supernodes at
+// `depth` and records each one crossed by exactly `size` edges. Because
+// size equals the graph's edge connectivity, every recorded bipartition is
+// a genuine minimum cut (and both its sides are automatically connected: a
+// disconnected side would split δ(S) into two disjoint nonempty cuts of
+// total size λ, contradicting each being >= λ).
+func (a *cutArena) enumerateBase(depth, size int) {
+	lv := &a.levels[depth]
+	if len(lv.edges) < size || lv.nodes < 2 {
+		return
+	}
+	if cap(a.sig) < size {
+		a.sig = make([]int32, size)
+	}
+	composed := false
+	for mask := 1; mask < 1<<uint(lv.nodes); mask++ {
+		if mask&(1<<uint(lv.v0)) != 0 {
+			continue // canonical orientation: vertex 0's supernode stays out
+		}
+		crossing := 0
+		sig := a.sig[:size]
+		for _, e := range lv.edges {
+			if (mask>>uint(e.u))&1 != (mask>>uint(e.v))&1 {
+				if crossing == size {
+					crossing++
+					break
+				}
+				sig[crossing] = e.id
+				crossing++
+			}
+		}
+		if crossing != size {
+			continue
+		}
+		// Identify the cut by its sorted crossing-edge signature — O(λ)
+		// against O(n) for a bitset — and only materialise first sightings.
+		for i := 1; i < size; i++ {
+			for j := i; j > 0 && sig[j] < sig[j-1]; j-- {
+				sig[j], sig[j-1] = sig[j-1], sig[j]
+			}
+		}
+		if !a.sigs.add(sig) {
+			continue
+		}
+		if !composed {
+			a.composeIDs(depth)
+			composed = true
+		}
+		// Materialise the vertex bipartition. Vertex 0's side is 0 by the
+		// mask restriction, so the bitset is already canonical.
+		side := a.side
+		for i := range side {
+			side[i] = 0
+		}
+		for v := 0; v < a.n; v++ {
+			if mask&(1<<uint(a.ids[v])) != 0 {
+				side[v/64] |= 1 << uint(v%64)
+			}
+		}
+		a.fresh = append(a.fresh, a.store.alloc(side))
+	}
+}
+
+// composeIDs fills a.ids with each original vertex's supernode label at
+// `depth` by composing the per-level maps. Called at most once per leaf
+// visit, and only for leaves that found a qualifying bipartition.
+func (a *cutArena) composeIDs(depth int) {
+	ids := a.ids
+	for v := range ids {
+		ids[v] = int32(v)
+	}
+	for d := 1; d <= depth; d++ {
+		mapTo := a.levels[d].mapTo
+		for v := range ids {
+			ids[v] = mapTo[ids[v]]
+		}
+	}
+}
+
+// cutsByContraction enumerates all minimum cuts of h (whose edge
+// connectivity must equal size) by deterministic, optionally parallel
+// Karger–Stein trials. See the file comment for the scheme and the
+// determinism contract.
+func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOptions) ([]Cut, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: contraction enumeration requires rng")
+	}
+	if kc := opts.KnownConnectivity; kc > 0 {
+		if kc > size {
+			return nil, nil // no cuts of this size: already (size+1)-connected
+		}
+		if kc < size {
+			return nil, fmt.Errorf("core: graph has connectivity %d < requested cut size %d", kc, size)
+		}
+		if d := h.MinDegree(); d < size {
+			return nil, fmt.Errorf("core: KnownConnectivity %d contradicts min degree %d", kc, d)
+		}
+	} else {
+		lambda := h.EdgeConnectivityUpTo(size + 1)
+		if lambda > size {
+			return nil, nil // no cuts of this size: already (size+1)-connected
+		}
+		if lambda < size {
+			return nil, fmt.Errorf("core: graph has connectivity %d < requested cut size %d", lambda, size)
+		}
+	}
+	n := h.N()
+	trials := ksTrials(n)
+	if opts.TrialFactor > 1 {
+		trials *= opts.TrialFactor
+	}
+	maxDepth := ksDepth(n)
+	base := make([]ksEdge, h.M())
+	for i, e := range h.Edges() {
+		base[i] = ksEdge{u: int32(e.U), v: int32(e.V), id: int32(e.ID)}
+	}
+	baseSeed := rng.Int63()
+
+	workers := opts.Workers
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		// Sequential: one arena, whose intern table is the global dedup, so
+		// already-seen bipartitions cost no allocation at all.
+		a := arenaPool.Get().(*cutArena)
+		a.prepare(n, maxDepth, size)
+		out := make([]Cut, 0, 16)
+		for t := 0; t < trials; t++ {
+			a.rng.seed(baseSeed ^ int64(t))
+			a.fresh = a.fresh[:0]
+			a.runTrial(base, size)
+			out = append(out, a.fresh...)
+		}
+		arenaPool.Put(a)
+		sortCuts(out)
+		return out, nil
+	}
+
+	// Parallel: each worker borrows one arena per trial from a shared ring;
+	// an arena dedups across all trials it happens to serve. found[t] holds
+	// the cuts trial t's arena saw for the first time; merging in trial
+	// order then reproduces the sequential first-occurrence order exactly
+	// (the globally first occurrence of a cut is necessarily fresh for
+	// whichever arena runs it).
+	arenas := make(chan *cutArena, workers)
+	for w := 0; w < workers; w++ {
+		a := arenaPool.Get().(*cutArena)
+		a.prepare(n, maxDepth, size)
+		arenas <- a
+	}
+	found := make([][]Cut, trials)
+	service.Do(workers, trials, func(t int) {
+		a := <-arenas
+		a.rng.seed(baseSeed ^ int64(t))
+		a.fresh = a.fresh[:0]
+		a.runTrial(base, size)
+		if len(a.fresh) > 0 {
+			found[t] = append([]Cut(nil), a.fresh...)
+		}
+		arenas <- a
+	})
+	for w := 0; w < workers; w++ {
+		arenaPool.Put(<-arenas)
+	}
+	var merge cutInterner
+	merge.reset(n)
+	var out []Cut
+	for _, fs := range found {
+		for _, c := range fs {
+			if merge.addCut(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	sortCuts(out)
+	return out, nil
+}

@@ -34,6 +34,9 @@ type KECSSOptions struct {
 	// With an input that is not k-edge-connected the solver fails later,
 	// with a less precise error.
 	SkipValidation bool
+	// CutEnum tunes the minimum-cut enumeration of every Aug level (see
+	// CutEnumOptions); results are byte-identical at any setting.
+	CutEnum CutEnumOptions
 }
 
 // KECSSResult is the outcome of the k-ECSS computation.
@@ -96,7 +99,7 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 	res.Rounds += level1.Rounds
 
 	for i := 2; i <= k; i++ {
-		ar, err := Aug(g, h, i, AugOptions{Rng: opts.Rng, PhaseLen: opts.PhaseLen})
+		ar, err := Aug(g, h, i, AugOptions{Rng: opts.Rng, PhaseLen: opts.PhaseLen, CutEnum: opts.CutEnum})
 		if err != nil {
 			return nil, fmt.Errorf("core: Aug_%d: %w", i, err)
 		}
@@ -106,6 +109,18 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 		h = append(h, ar.Added...)
 	}
 	sort.Ints(h)
+	if k >= 4 {
+		// Levels with size >= 3 cut enumeration are complete w.h.p., not
+		// certainly (Karger–Stein trials); intermediate misses surface at
+		// the next level's connectivity check, but the final level has no
+		// next level. The pooled-Dinic audit makes a missed cut an explicit
+		// error instead of a silently under-connected result. k <= 3 levels
+		// enumerate exactly (bridges, cut pairs) and need no audit.
+		sub, _ := g.SubgraphOf(h)
+		if !sub.IsKEdgeConnected(k) {
+			return nil, fmt.Errorf("core: %d-ECSS output failed the connectivity audit (cut enumeration missed a minimum cut; raise CutEnumOptions.TrialFactor)", k)
+		}
+	}
 	res.Edges = h
 	res.Weight = g.WeightOf(h)
 	return res, nil

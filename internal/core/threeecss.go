@@ -34,6 +34,11 @@ type ThreeECSSOptions struct {
 	// SkipValidation skips the up-front 3-edge-connectivity check of the
 	// input graph (see KECSSOptions.SkipValidation).
 	SkipValidation bool
+	// CutEnum tunes the exact min-cut enumeration used by the correction
+	// path that runs if the w.h.p. label-based termination missed a cut
+	// pair (see CutEnumOptions). The size-2 enumeration is exact, so only
+	// future size >= 3 uses of the knob consume its trial settings.
+	CutEnum CutEnumOptions
 }
 
 // ThreeECSSResult is the outcome of the 3-ECSS computation.
@@ -231,7 +236,7 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 		if sub.IsKEdgeConnected(3) {
 			break
 		}
-		added, err := coverOneCutPairExactly(g, current, &sel)
+		added, err := coverOneCutPairExactly(g, current, &sel, opts.CutEnum)
 		if err != nil {
 			return nil, err
 		}
@@ -262,21 +267,24 @@ func labelSubgraph(g *graph.Graph, sel []int, bits int, rng *rand.Rand, simOpts 
 	return l, int64(l.Metrics.Rounds), nil
 }
 
-// coverOneCutPairExactly finds one remaining cut pair of the selected
-// subgraph and adds the smallest-ID crossing edge of g. Returns the number
-// of edges added (always 1 on success).
-func coverOneCutPairExactly(g *graph.Graph, current map[int]bool, sel *[]int) (int, error) {
+// coverOneCutPairExactly enumerates the remaining size-2 minimum cuts of
+// the selected subgraph exactly (the base H keeps it 2-edge-connected, so a
+// not-yet-3-connected selection has λ = 2) and adds the smallest-ID edge of
+// g crossing the first one. Returns the number of edges added (always 1 on
+// success).
+func coverOneCutPairExactly(g *graph.Graph, current map[int]bool, sel *[]int, enumOpts CutEnumOptions) (int, error) {
 	sub, _ := g.SubgraphOf(*sel)
-	pairs := sub.CutPairs()
-	if len(pairs) == 0 {
+	cuts, err := EnumerateMinCutsOpts(sub, 2, nil, enumOpts)
+	if err != nil {
+		return 0, fmt.Errorf("core: enumerating remaining cut pairs: %w", err)
+	}
+	if len(cuts) == 0 {
 		// 2-edge-connected check must have failed for another reason.
 		return 0, fmt.Errorf("core: subgraph not 3-edge-connected but has no cut pairs")
 	}
-	p := pairs[0]
-	rem, _ := sub.SubgraphWithout(map[int]bool{p.A: true, p.B: true})
-	comp, _ := rem.Components()
+	c := cuts[0]
 	for _, e := range g.Edges() {
-		if current[e.ID] || comp[e.U] == comp[e.V] {
+		if current[e.ID] || !c.Crosses(e.U, e.V) {
 			continue
 		}
 		current[e.ID] = true

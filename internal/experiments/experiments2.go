@@ -55,7 +55,7 @@ func E7(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", tc.family, err)
 		}
-		gen, err := core.SolveKECSS(g, 3, core.KECSSOptions{Rng: rand.New(rand.NewSource(8))})
+		gen, err := core.SolveKECSS(g, 3, core.KECSSOptions{Rng: rand.New(rand.NewSource(8)), CutEnum: s.cutEnum()})
 		if err != nil {
 			return nil, fmt.Errorf("E7 generic %s: %w", tc.family, err)
 		}
@@ -310,7 +310,7 @@ func AblationPhaseLength(s Scale) (*Table, error) {
 	ms := []int{1, 2, 4}
 	err := runTrials(s, t, len(ms), func(i int, _ *service.Worker) ([][]any, error) {
 		m := ms[i]
-		res, err := core.Aug(g, treeIDs, 2, core.AugOptions{Rng: rand.New(rand.NewSource(5)), PhaseLen: m})
+		res, err := core.Aug(g, treeIDs, 2, core.AugOptions{Rng: rand.New(rand.NewSource(5)), PhaseLen: m, CutEnum: s.cutEnum()})
 		if err != nil {
 			return nil, fmt.Errorf("ablation M=%d: %w", m, err)
 		}

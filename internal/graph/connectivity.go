@@ -1,26 +1,38 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
-// Bridges returns the IDs of all bridge edges (cuts of size 1) using an
-// iterative Tarjan low-link computation. For a multigraph, a parallel pair is
-// never a bridge: the low-link traversal tracks the specific parent edge ID
-// rather than the parent vertex, which handles parallel edges correctly.
-func (g *Graph) Bridges() []int {
-	disc := make([]int, g.n)
-	low := make([]int, g.n)
-	for v := range disc {
+// bridgeFrame is one stack entry of the iterative Tarjan low-link scan.
+type bridgeFrame struct {
+	v          int
+	parentEdge int
+	arcIdx     int
+}
+
+// bridgeScanner holds the reusable scratch of the low-link bridge scan, so
+// sweeps that scan many times (CutPairs scans once per edge) allocate the
+// disc/low/stack buffers once instead of per scan.
+type bridgeScanner struct {
+	disc  []int
+	low   []int
+	stack []bridgeFrame
+}
+
+// scan appends to dst the IDs of all bridges of g, ignoring the edge with ID
+// skip (pass skip = -1 to scan the whole graph), and returns dst. Output
+// order follows the traversal; callers that need sorted output sort it.
+func (bs *bridgeScanner) scan(g *Graph, skip int, dst []int) []int {
+	bs.disc = growInts(bs.disc, g.n)
+	bs.low = growInts(bs.low, g.n)
+	disc, low := bs.disc, bs.low
+	for v := 0; v < g.n; v++ {
 		disc[v] = -1
 	}
-	var bridges []int
+	stack := bs.stack[:0]
 	timer := 0
-
-	type frame struct {
-		v          int
-		parentEdge int
-		arcIdx     int
-	}
-	stack := make([]frame, 0, g.n)
 
 	for start := 0; start < g.n; start++ {
 		if disc[start] != -1 {
@@ -29,20 +41,20 @@ func (g *Graph) Bridges() []int {
 		disc[start] = timer
 		low[start] = timer
 		timer++
-		stack = append(stack, frame{v: start, parentEdge: -1})
+		stack = append(stack, bridgeFrame{v: start, parentEdge: -1})
 		for len(stack) > 0 {
 			top := &stack[len(stack)-1]
 			if top.arcIdx < len(g.adj[top.v]) {
 				a := g.adj[top.v][top.arcIdx]
 				top.arcIdx++
-				if a.Edge == top.parentEdge {
+				if a.Edge == top.parentEdge || a.Edge == skip {
 					continue
 				}
 				if disc[a.To] == -1 {
 					disc[a.To] = timer
 					low[a.To] = timer
 					timer++
-					stack = append(stack, frame{v: a.To, parentEdge: a.Edge})
+					stack = append(stack, bridgeFrame{v: a.To, parentEdge: a.Edge})
 				} else if disc[a.To] < low[top.v] {
 					low[top.v] = disc[a.To]
 				}
@@ -54,12 +66,23 @@ func (g *Graph) Bridges() []int {
 						low[parent.v] = low[top.v]
 					}
 					if low[top.v] > disc[parent.v] {
-						bridges = append(bridges, top.parentEdge)
+						dst = append(dst, top.parentEdge)
 					}
 				}
 			}
 		}
 	}
+	bs.stack = stack[:0]
+	return dst
+}
+
+// Bridges returns the IDs of all bridge edges (cuts of size 1) using an
+// iterative Tarjan low-link computation. For a multigraph, a parallel pair is
+// never a bridge: the low-link traversal tracks the specific parent edge ID
+// rather than the parent vertex, which handles parallel edges correctly.
+func (g *Graph) Bridges() []int {
+	var bs bridgeScanner
+	bridges := bs.scan(g, -1, nil)
 	sort.Ints(bridges)
 	return bridges
 }
@@ -80,19 +103,23 @@ type CutPair struct {
 }
 
 // CutPairs enumerates every cut pair of g by brute force: for each edge e,
-// remove it and report (e, f) for every bridge f of the remainder. Runs in
-// O(m·(n+m)); intended as the verification oracle for the cycle-space
-// sampling implementation, not as a distributed algorithm.
+// scan for bridges of g with e ignored and report (e, f) for every bridge f
+// found. Runs in O(m·(n+m)); intended as the verification oracle for the
+// cycle-space sampling implementation, not as a distributed algorithm. The
+// per-edge scans share one bridge scanner, so no per-edge subgraphs are
+// materialised.
 //
 // The graph must be 2-edge-connected (so that every size-2 cut is a pair of
 // edges, each individually removable without disconnecting).
 func (g *Graph) CutPairs() []CutPair {
+	var bs bridgeScanner
+	var scratch []int
 	seen := make(map[CutPair]bool)
 	var pairs []CutPair
 	for _, e := range g.edges {
-		rem, orig := g.SubgraphWithout(map[int]bool{e.ID: true})
-		for _, b := range rem.Bridges() {
-			a, c := e.ID, orig[b]
+		scratch = bs.scan(g, e.ID, scratch[:0])
+		for _, b := range scratch {
+			a, c := e.ID, b
 			if a > c {
 				a, c = c, a
 			}
@@ -124,23 +151,29 @@ func (g *Graph) EdgeConnectivity() int {
 
 // EdgeConnectivityUpTo returns min(λ(g), cap). Capping lets k-connectivity
 // checks terminate each max-flow after cap augmenting paths.
+//
+// The Dinic scratch (arc arrays, levels, iterators, BFS queue) is drawn from
+// a package-level pool and reloaded in place, so repeated calls — the
+// kecss.Pool validation sweep, the cut enumerator's λ check, and the
+// post-solve k-connectivity audits — allocate nothing once the pool is warm.
 func (g *Graph) EdgeConnectivityUpTo(capLimit int) int {
 	if g.n <= 1 {
 		return capLimit
-	}
-	if !g.Connected() {
-		return 0
 	}
 	best := capLimit
 	if d := g.MinDegree(); d < best {
 		best = d
 	}
-	d := newDinic(g)
+	d := dinicPool.Get().(*dinic)
+	d.reload(g)
+	// An unreachable t yields flow 0, so disconnected graphs report 0
+	// without a separate connectivity pre-pass.
 	for t := 1; t < g.n && best > 0; t++ {
 		if f := d.maxFlow(0, t, best); f < best {
 			best = f
 		}
 	}
+	dinicPool.Put(d)
 	return best
 }
 
@@ -161,7 +194,9 @@ func (g *Graph) IsKEdgeConnected(k int) bool {
 
 // dinic is a unit-capacity max-flow structure over an undirected graph:
 // every undirected edge becomes a pair of directed arcs with capacity 1 each
-// (the standard reduction for edge connectivity).
+// (the standard reduction for edge connectivity). Instances are recycled
+// through dinicPool and reloaded per graph, so the seven scratch slices are
+// allocated once per pooled instance, not once per connectivity query.
 type dinic struct {
 	n     int
 	head  []int
@@ -170,33 +205,49 @@ type dinic struct {
 	cap   []int8
 	level []int
 	iter  []int
+	queue []int
 }
 
-func newDinic(g *Graph) *dinic {
-	d := &dinic{
-		n:     g.n,
-		head:  make([]int, g.n),
-		next:  make([]int, 0, 4*g.M()),
-		to:    make([]int, 0, 4*g.M()),
-		cap:   make([]int8, 0, 4*g.M()),
-		level: make([]int, g.n),
-		iter:  make([]int, g.n),
+var dinicPool = sync.Pool{New: func() any { return new(dinic) }}
+
+// reload rebuilds the arc arrays for g in place, growing the scratch slices
+// only when g outsizes every graph this instance has seen before.
+func (d *dinic) reload(g *Graph) {
+	d.n = g.n
+	arcs := 2 * g.M()
+	d.head = growInts(d.head, g.n)
+	d.level = growInts(d.level, g.n)
+	d.iter = growInts(d.iter, g.n)
+	d.next = growInts(d.next, arcs)
+	d.to = growInts(d.to, arcs)
+	if cap(d.cap) < arcs {
+		d.cap = make([]int8, arcs)
+	} else {
+		d.cap = d.cap[:arcs]
 	}
-	for v := range d.head {
+	for v := 0; v < g.n; v++ {
 		d.head[v] = -1
 	}
-	addArc := func(u, v int, c int8) {
-		d.to = append(d.to, v)
-		d.cap = append(d.cap, c)
-		d.next = append(d.next, d.head[u])
-		d.head[u] = len(d.to) - 1
+	a := 0
+	addArc := func(u, v int) {
+		d.to[a] = v
+		d.next[a] = d.head[u]
+		d.head[u] = a
+		a++
 	}
 	for _, e := range g.Edges() {
 		// Undirected unit edge: arc and reverse arc both have capacity 1.
-		addArc(e.U, e.V, 1)
-		addArc(e.V, e.U, 1)
+		addArc(e.U, e.V)
+		addArc(e.V, e.U)
 	}
-	return d
+}
+
+// growInts returns s resized to n, reusing its backing array when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // reset restores all capacities to 1 (valid because the undirected reduction
@@ -210,18 +261,17 @@ func (d *dinic) reset() {
 }
 
 func (d *dinic) bfs(s, t int) bool {
-	for v := range d.level {
+	for v := 0; v < d.n; v++ {
 		d.level[v] = -1
 	}
 	d.level[s] = 0
-	queue := []int{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	d.queue = append(d.queue[:0], s)
+	for qi := 0; qi < len(d.queue); qi++ {
+		v := d.queue[qi]
 		for a := d.head[v]; a != -1; a = d.next[a] {
 			if d.cap[a] > 0 && d.level[d.to[a]] == -1 {
 				d.level[d.to[a]] = d.level[v] + 1
-				queue = append(queue, d.to[a])
+				d.queue = append(d.queue, d.to[a])
 			}
 		}
 	}

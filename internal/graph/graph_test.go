@@ -2,6 +2,8 @@ package graph
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -571,6 +573,92 @@ func TestFatTree(t *testing.T) {
 		}
 		if lam := g.EdgeConnectivity(); lam != h {
 			t.Fatalf("FatTree(%d): edge connectivity = %d, want %d", k, lam, h)
+		}
+	}
+}
+
+func TestUnionFindReset(t *testing.T) {
+	uf := NewUnionFind(6)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Sets() != 3 {
+		t.Fatalf("sets=%d, want 3", uf.Sets())
+	}
+	uf.Reset()
+	if uf.Sets() != 6 {
+		t.Fatalf("after Reset sets=%d, want 6", uf.Sets())
+	}
+	for v := 0; v < 6; v++ {
+		if uf.Find(v) != v {
+			t.Fatalf("after Reset vertex %d not a singleton", v)
+		}
+	}
+	if !uf.Union(4, 5) || uf.Same(0, 1) {
+		t.Fatal("Reset did not fully restore singleton state")
+	}
+}
+
+// TestEdgeConnectivityPooledReload interleaves connectivity queries on
+// graphs of very different sizes, which forces the pooled Dinic scratch to
+// reload across shapes — any stale arc state would surface as a wrong λ.
+func TestEdgeConnectivityPooledReload(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := RandomKConnected(120, 4, 80, rng, UnitWeights())
+	small := Cycle(5, UnitWeights())
+	tiny := New(2)
+	tiny.AddEdge(0, 1, 1)
+	tiny.AddEdge(0, 1, 1)
+	tiny.AddEdge(0, 1, 1)
+	for round := 0; round < 3; round++ {
+		if lam := big.EdgeConnectivityUpTo(5); lam < 4 {
+			t.Fatalf("round %d: big λ=%d, want >= 4", round, lam)
+		}
+		if lam := small.EdgeConnectivity(); lam != 2 {
+			t.Fatalf("round %d: cycle λ=%d, want 2", round, lam)
+		}
+		if lam := tiny.EdgeConnectivity(); lam != 3 {
+			t.Fatalf("round %d: multigraph λ=%d, want 3", round, lam)
+		}
+		disc := New(4)
+		disc.AddEdge(0, 1, 1)
+		if lam := disc.EdgeConnectivityUpTo(3); lam != 0 {
+			t.Fatalf("round %d: disconnected λ=%d, want 0", round, lam)
+		}
+	}
+}
+
+// TestCutPairsMatchesSubgraphOracle pins the scratch-reusing skip-scan
+// against the original remove-one-edge-and-rescan formulation.
+func TestCutPairsMatchesSubgraphOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		g := RandomKConnected(10+trial, 2, trial*2, rng, UnitWeights())
+		got := g.CutPairs()
+		seen := make(map[CutPair]bool)
+		var want []CutPair
+		for _, e := range g.Edges() {
+			rem, orig := g.SubgraphWithout(map[int]bool{e.ID: true})
+			for _, b := range rem.Bridges() {
+				a, c := e.ID, orig[b]
+				if a > c {
+					a, c = c, a
+				}
+				p := CutPair{A: a, B: c}
+				if !seen[p] {
+					seen[p] = true
+					want = append(want, p)
+				}
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].A != want[j].A {
+				return want[i].A < want[j].A
+			}
+			return want[i].B < want[j].B
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: CutPairs %v, oracle %v", trial, got, want)
 		}
 	}
 }

@@ -92,13 +92,15 @@ type TAPResult = tap.Result
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 type config struct {
-	seed        int64
-	seedSet     bool
-	executor    congest.Executor
-	simulateMST bool
-	voteDenom   int64
-	labelBits   int
-	phaseLen    int
+	seed            int64
+	seedSet         bool
+	executor        congest.Executor
+	simulateMST     bool
+	voteDenom       int64
+	labelBits       int
+	phaseLen        int
+	cutEnumWorkers  int
+	cutEnumTrialFac int
 }
 
 // Option configures the solvers.
@@ -151,6 +153,25 @@ func WithPhaseLength(m int) Option {
 	return func(c *config) { c.phaseLen = m }
 }
 
+// WithCutEnumWorkers spreads the Karger–Stein min-cut enumeration trials
+// inside SolveKECSS's Aug levels (sizes >= 3) over n goroutines. Results
+// are byte-identical at any setting — trial t always draws from its own
+// RNG seeded baseSeed XOR t and trials merge in trial order — so this
+// trades only wall-clock, never reproducibility. 0 or 1 keeps the
+// enumeration on the calling goroutine (the default; pool sweeps are
+// already parallel across tasks and should not oversubscribe).
+func WithCutEnumWorkers(n int) Option {
+	return func(c *config) { c.cutEnumWorkers = n }
+}
+
+// WithCutEnumTrialFactor multiplies the enumeration's default Θ(log²n)
+// Karger–Stein trial count (default 1). The default is chosen for w.h.p.
+// completeness; raise it to buy an even lower cut-miss probability with
+// CPU.
+func WithCutEnumTrialFactor(f int) Option {
+	return func(c *config) { c.cutEnumTrialFac = f }
+}
+
 func buildConfig(opts []Option) config {
 	c := config{seed: 1}
 	for _, o := range opts {
@@ -182,6 +203,10 @@ func (c config) twoOpts(env solveEnv) core.TwoECSSOptions {
 	}
 }
 
+func (c config) cutEnum() core.CutEnumOptions {
+	return core.CutEnumOptions{Workers: c.cutEnumWorkers, TrialFactor: c.cutEnumTrialFac}
+}
+
 func (c config) kecssOpts(env solveEnv) core.KECSSOptions {
 	return core.KECSSOptions{
 		Rng:            env.rng,
@@ -190,6 +215,7 @@ func (c config) kecssOpts(env solveEnv) core.KECSSOptions {
 		Executor:       c.executor,
 		Arena:          env.arena,
 		SkipValidation: env.skipValidation,
+		CutEnum:        c.cutEnum(),
 	}
 }
 
@@ -201,6 +227,7 @@ func (c config) threeOpts(env solveEnv) core.ThreeECSSOptions {
 		Executor:       c.executor,
 		Arena:          env.arena,
 		SkipValidation: env.skipValidation,
+		CutEnum:        c.cutEnum(),
 	}
 }
 
