@@ -5,12 +5,12 @@
 //	    go run ./cmd/benchjson -out BENCH_cuts.json \
 //	        -max-allocs 'BenchmarkMicro_EnumerateMinCuts=4096'
 //
-// Each -max-allocs entry is substring=ceiling; every parsed benchmark whose
-// name contains the substring must report allocs/op <= ceiling or the tool
-// exits non-zero (after still writing the report, so the artifact survives
-// for debugging). The ceilings pin the warm enumeration path's allocation
-// behaviour: a regression that reintroduces per-trial allocations trips
-// them immediately.
+// Each -max-allocs (-max-bytes) entry is substring=ceiling; every parsed
+// benchmark whose name contains the substring must report allocs/op
+// (bytes/op) <= ceiling or the tool exits non-zero (after still writing the
+// report, so the artifact survives for debugging). The ceilings pin a warm
+// path's allocation behaviour: a regression that reintroduces per-trial or
+// per-iteration allocations trips them immediately.
 package main
 
 import (
@@ -87,8 +87,9 @@ func parseLine(line string) (benchResult, bool) {
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
-	var ceilings ceilingList
+	var ceilings, byteCeilings ceilingList
 	flag.Var(&ceilings, "max-allocs", "substring=ceiling; fail if a matching benchmark exceeds ceiling allocs/op (repeatable)")
+	flag.Var(&byteCeilings, "max-bytes", "substring=ceiling; fail if a matching benchmark exceeds ceiling bytes/op (repeatable)")
 	flag.Parse()
 
 	var results []benchResult
@@ -125,24 +126,28 @@ func main() {
 	}
 
 	failed := false
-	for _, c := range ceilings {
-		matched := false
-		for _, r := range results {
-			if !strings.Contains(r.Name, c.substr) {
-				continue
+	check := func(cs ceilingList, unit string, value func(benchResult) float64) {
+		for _, c := range cs {
+			matched := false
+			for _, r := range results {
+				if !strings.Contains(r.Name, c.substr) {
+					continue
+				}
+				matched = true
+				if v := value(r); v > c.max {
+					fmt.Fprintf(os.Stderr, "benchjson: %s %s %.0f exceeds ceiling %.0f\n",
+						r.Name, unit, v, c.max)
+					failed = true
+				}
 			}
-			matched = true
-			if r.AllocsPerOp > c.max {
-				fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %.0f exceeds ceiling %.0f\n",
-					r.Name, r.AllocsPerOp, c.max)
+			if !matched {
+				fmt.Fprintf(os.Stderr, "benchjson: ceiling %q matched no benchmark\n", c.substr)
 				failed = true
 			}
 		}
-		if !matched {
-			fmt.Fprintf(os.Stderr, "benchjson: ceiling %q matched no benchmark\n", c.substr)
-			failed = true
-		}
 	}
+	check(ceilings, "allocs/op", func(r benchResult) float64 { return r.AllocsPerOp })
+	check(byteCeilings, "bytes/op", func(r benchResult) float64 { return r.BytesPerOp })
 	if failed {
 		os.Exit(1)
 	}

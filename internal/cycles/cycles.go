@@ -5,6 +5,27 @@
 // The labels are computed by a genuine O(height)-round leaf-to-root XOR scan
 // on the CONGEST simulator, and support the cost-effectiveness counting of
 // the paper's unweighted 3-ECSS algorithm (Claims 5.8–5.10).
+//
+// Two labeling front-ends share that scan:
+//
+//   - Labeling (ComputeLabels) is the one-shot form: it labels a fixed graph
+//     once and answers queries against that snapshot. A Labeling is immutable
+//     after ComputeLabels returns, so its per-label counts are computed once
+//     and cached (NPhi), and its query methods reuse internal scratch —
+//     which makes a single Labeling NOT safe for concurrent queries. Use one
+//     Labeling per goroutine.
+//
+//   - Incremental (NewIncremental) is the growing form driving the §5
+//     3-ECSS augmentation loop: the spanning tree and labels of the base
+//     subgraph H are computed once (distributed, measured), and AddEdges
+//     then activates candidate edges by sampling a fresh label for each and
+//     XOR-ing it along the edge's fundamental-cycle tree path in
+//     O(|added|·height) — no re-labeling of the whole subgraph. The
+//     per-label counts n_φ and the Claim 5.10 termination predicate are
+//     maintained under every update, so CoverCount and ThreeEdgeConnected
+//     stay O(height) and O(1). See incremental.go for the engine's contract
+//     (what the counts cover, the from-scratch reference scan, and the
+//     Arena ownership rules).
 package cycles
 
 import (
@@ -17,6 +38,10 @@ import (
 )
 
 // Labeling holds the b-bit labels of every edge of a 2-edge-connected graph.
+//
+// A Labeling is immutable once ComputeLabels returns, but its query methods
+// (NPhi, CoverCount, CoversPair, ThreeEdgeConnectedWith) share cached counts
+// and path scratch, so a single Labeling must not be queried concurrently.
 type Labeling struct {
 	G    *graph.Graph
 	Tree *tree.Rooted
@@ -27,6 +52,15 @@ type Labeling struct {
 	Phi map[int]uint64
 	// Metrics is the simulator cost of the distributed label computation.
 	Metrics congest.Metrics
+
+	// nphi is the per-label edge count, built lazily on first use: the
+	// labeling is immutable, so the counts never need invalidating.
+	nphi map[uint64]int
+	// pathBuf and onPath are query scratch (CoverCount runs once per
+	// candidate edge per 3-ECSS iteration; allocating per call was an O(m²)
+	// map storm on that path).
+	pathBuf []int
+	onPath  map[uint64]int64
 }
 
 const (
@@ -35,12 +69,12 @@ const (
 )
 
 // labelProgram performs the distributed label computation of Lemma 5.5:
-// round 1 exchanges the sampled non-tree labels across their edges; then a
+// round 1 exchanges the assigned non-tree labels across their edges; then a
 // leaf-to-root convergecast computes φ({v,p(v)}) as the XOR of φ(f) for all
 // f ∈ δ(v) \ {v,p(v)}.
 type labelProgram struct {
 	tr        *tree.Rooted
-	nonTree   map[int]uint64 // labels this node sampled (it is the smaller endpoint)
+	nonTree   map[int]uint64 // labels this node announces (it is the owner endpoint)
 	collected map[int]uint64 // all incident non-tree labels, learned round 1
 	pending   int            // children not yet reported
 	shared    bool
@@ -84,6 +118,34 @@ func (p *labelProgram) Round(ctx *congest.Context, inbox []congest.Message) bool
 	return p.sentUp || v == p.tr.Root
 }
 
+// runLabelScan runs the distributed convergecast of Lemma 5.5 on host with
+// pre-assigned non-tree labels: owned[v] lists the non-tree edge IDs whose
+// label vertex v announces in round 1 (v must be an endpoint of each), and
+// labelOf returns the label of an owned edge. Edges of host that appear in
+// no owned list and in no tree ParentEdge carry no messages, which is how
+// the Incremental engine scans an active subgraph in place over the full
+// host network. After the scan, progs[v].upLabel is φ(tr.ParentEdge[v]).
+func runLabelScan(host *graph.Graph, tr *tree.Rooted, owned [][]int, labelOf func(edgeID int) uint64, opts []congest.Option) ([]*labelProgram, congest.Metrics, error) {
+	progs := make([]*labelProgram, host.N())
+	net := congest.NewNetwork(host, func(v int) congest.Program {
+		var nt map[int]uint64
+		if len(owned[v]) > 0 {
+			nt = make(map[int]uint64, len(owned[v]))
+			for _, e := range owned[v] {
+				nt[e] = labelOf(e)
+			}
+		}
+		p := &labelProgram{tr: tr, nonTree: nt}
+		progs[v] = p
+		return p
+	}, opts...)
+	metrics, err := net.Run(tr.Height() + 4)
+	if err != nil {
+		return nil, metrics, fmt.Errorf("cycles: label scan did not quiesce: %w", err)
+	}
+	return progs, metrics, nil
+}
+
 // ComputeLabels samples a random b-bit circulation of g (which must be
 // connected; 2-edge-connectedness is required for the cut-pair
 // characterization, not for the computation) over the given spanning tree
@@ -96,10 +158,7 @@ func ComputeLabels(g *graph.Graph, tr *tree.Rooted, bits int, rng *rand.Rand, op
 	if rng == nil {
 		return nil, fmt.Errorf("cycles: rng is required")
 	}
-	mask := ^uint64(0)
-	if bits < 64 {
-		mask = (1 << uint(bits)) - 1
-	}
+	mask := labelMask(bits)
 	inTree := tr.IsTreeEdge()
 	// Sample non-tree labels at the smaller endpoint (deterministic owner).
 	owned := make([][]int, g.N())
@@ -113,22 +172,17 @@ func ComputeLabels(g *graph.Graph, tr *tree.Rooted, bits int, rng *rand.Rand, op
 		}
 		owned[o] = append(owned[o], e.ID)
 	}
+	// Draw the labels in owner-vertex order — the same deterministic order
+	// the network's sequential program construction used to draw them in.
 	labels := make(map[int]uint64, g.M())
-	progs := make([]*labelProgram, g.N())
-	net := congest.NewNetwork(g, func(v int) congest.Program {
-		nt := make(map[int]uint64, len(owned[v]))
+	for v := 0; v < g.N(); v++ {
 		for _, e := range owned[v] {
-			l := rng.Uint64() & mask
-			nt[e] = l
-			labels[e] = l
+			labels[e] = rng.Uint64() & mask
 		}
-		p := &labelProgram{tr: tr, nonTree: nt}
-		progs[v] = p
-		return p
-	}, opts...)
-	metrics, err := net.Run(tr.Height() + 4)
+	}
+	progs, metrics, err := runLabelScan(g, tr, owned, func(e int) uint64 { return labels[e] }, opts)
 	if err != nil {
-		return nil, fmt.Errorf("cycles: label scan did not quiesce: %w", err)
+		return nil, err
 	}
 	for v := 0; v < g.N(); v++ {
 		if v != tr.Root {
@@ -138,14 +192,24 @@ func ComputeLabels(g *graph.Graph, tr *tree.Rooted, bits int, rng *rand.Rand, op
 	return &Labeling{G: g, Tree: tr, Bits: bits, Phi: labels, Metrics: metrics}, nil
 }
 
-// NPhi returns, per label value, the number of edges of G carrying it
-// (the n_φ(t) quantities of §5.3).
-func (l *Labeling) NPhi() map[uint64]int {
-	out := make(map[uint64]int, len(l.Phi))
-	for _, lab := range l.Phi {
-		out[lab]++
+func labelMask(bits int) uint64 {
+	if bits < 64 {
+		return (1 << uint(bits)) - 1
 	}
-	return out
+	return ^uint64(0)
+}
+
+// NPhi returns, per label value, the number of edges of G carrying it
+// (the n_φ(t) quantities of §5.3). The map is computed once and cached —
+// callers must not mutate it.
+func (l *Labeling) NPhi() map[uint64]int {
+	if l.nphi == nil {
+		l.nphi = make(map[uint64]int, len(l.Phi))
+		for _, lab := range l.Phi {
+			l.nphi[lab]++
+		}
+	}
+	return l.nphi
 }
 
 // CutPairs returns every unordered pair of edges with equal labels — by
@@ -193,12 +257,16 @@ func (l *Labeling) ThreeEdgeConnectedWith() bool {
 // Σ over labels L on the tree path u..v of n_{L,e}·(n_L − n_{L,e}).
 func (l *Labeling) CoverCount(u, v int) int64 {
 	nphi := l.NPhi()
-	onPath := make(map[uint64]int64)
-	for _, t := range l.Tree.PathEdges(u, v) {
-		onPath[l.Phi[t]]++
+	if l.onPath == nil {
+		l.onPath = make(map[uint64]int64, 16)
+	}
+	clear(l.onPath)
+	l.pathBuf = l.Tree.AppendPathEdges(l.pathBuf[:0], u, v)
+	for _, t := range l.pathBuf {
+		l.onPath[l.Phi[t]]++
 	}
 	var total int64
-	for lab, ne := range onPath {
+	for lab, ne := range l.onPath {
 		total += ne * (int64(nphi[lab]) - ne)
 	}
 	return total
@@ -208,9 +276,14 @@ func (l *Labeling) CoverCount(u, v int) int64 {
 // {f, f'}: by Corollary 5.7, iff exactly one of f, f' lies on the tree path
 // of e.
 func (l *Labeling) CoversPair(u, v int, pair graph.CutPair) bool {
-	onPath := map[int]bool{}
-	for _, t := range l.Tree.PathEdges(u, v) {
-		onPath[t] = true
-	}
-	return onPath[pair.A] != onPath[pair.B]
+	var onA, onB bool
+	l.Tree.ForEachPathEdge(u, v, func(t int) {
+		if t == pair.A {
+			onA = true
+		}
+		if t == pair.B {
+			onB = true
+		}
+	})
+	return onA != onB
 }

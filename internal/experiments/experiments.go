@@ -29,10 +29,28 @@ type Scale struct {
 	// value — the enumerator's trials are deterministically seeded and
 	// merged in trial order.
 	CutEnumWorkers int
+	// ReferenceLabeling drives the 3-ECSS experiments through the retained
+	// from-scratch per-iteration label scan instead of the incremental
+	// labeling engine (see core.ThreeECSSOptions.ReferenceLabeling).
+	// Tables are identical except for the round columns, which then report
+	// fully measured label scans.
+	ReferenceLabeling bool
 }
 
 func (s Scale) cutEnum() core.CutEnumOptions {
 	return core.CutEnumOptions{Workers: s.CutEnumWorkers}
+}
+
+// threeOpts is the 3-ECSS option set every experiment trial uses: per-trial
+// seed, the worker's simulation and labeling arenas, and the Scale's
+// labeling strategy.
+func (s Scale) threeOpts(seed int64, w *service.Worker) core.ThreeECSSOptions {
+	return core.ThreeECSSOptions{
+		Rng:               rand.New(rand.NewSource(seed)),
+		Arena:             w.Arena,
+		LabelArena:        w.Labels,
+		ReferenceLabeling: s.ReferenceLabeling,
+	}
 }
 
 func log2(x float64) float64 { return math.Log2(x) }

@@ -51,7 +51,7 @@ func E7(s Scale) (*Table, error) {
 	err := runTrials(s, t, len(cases), func(i int, w *service.Worker) ([][]any, error) {
 		tc := cases[i]
 		g := tc.g
-		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(7)), Arena: w.Arena})
+		res, err := core.Solve3ECSSUnweighted(g, s.threeOpts(7, w))
 		if err != nil {
 			return nil, fmt.Errorf("E7 %s: %w", tc.family, err)
 		}
@@ -210,7 +210,7 @@ func E10(s Scale) (*Table, error) {
 		tc := cases[i]
 		g := tc.g
 		cert := baselines.ThurimellaCertificate(g, tc.k)
-		res, err := core.Solve3ECSSUnweighted(g, core.ThreeECSSOptions{Rng: rand.New(rand.NewSource(6)), Arena: w.Arena})
+		res, err := core.Solve3ECSSUnweighted(g, s.threeOpts(6, w))
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
 		}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/congest"
+	"repro/internal/cycles"
 )
 
 // ErrClosed is returned by Run on a pool whose Close has begun. Callers that
@@ -42,6 +43,11 @@ type Worker struct {
 	// (congest.WithArena) so consecutive tasks on this worker reuse each
 	// other's network buffers.
 	Arena *congest.NetworkArena
+	// Labels is the worker's private incremental-labeling arena (nil when
+	// arenas are disabled). Tasks pass it to the 3-ECSS solvers
+	// (core.ThreeECSSOptions.LabelArena) so consecutive solves on this
+	// worker recycle the labeling engine's per-edge tables and count maps.
+	Labels *cycles.Arena
 }
 
 // batch is one Run call: n tasks claimed through a shared cursor by every
@@ -92,6 +98,7 @@ func NewPool(n int, arenas bool) *Pool {
 		w := &Worker{ID: i}
 		if arenas {
 			w.Arena = congest.NewArena()
+			w.Labels = cycles.NewLabelArena()
 		}
 		p.workers = append(p.workers, w)
 		p.done.Add(1)

@@ -248,6 +248,20 @@ func (t *Rooted) AppendPathEdges(buf []int, u, v int) []int {
 	return buf
 }
 
+// ForEachPathEdge calls fn with each graph edge ID on the unique u–v tree
+// path (first the u-side edges walking up to the LCA, then the v-side ones).
+// Allocation-free: the per-iteration hot paths of the incremental
+// cycle-space labeling use it instead of materializing path slices.
+func (t *Rooted) ForEachPathEdge(u, v int, fn func(edgeID int)) {
+	l := t.LCA(u, v)
+	for x := u; x != l; x = t.Parent[x] {
+		fn(t.ParentEdge[x])
+	}
+	for x := v; x != l; x = t.Parent[x] {
+		fn(t.ParentEdge[x])
+	}
+}
+
 // PathVertices returns the vertices on the tree path from u to v, inclusive,
 // in order u..LCA..v.
 func (t *Rooted) PathVertices(u, v int) []int {

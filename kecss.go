@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/graph"
 	"repro/internal/tap"
 	"repro/internal/tree"
@@ -101,6 +102,7 @@ type config struct {
 	phaseLen        int
 	cutEnumWorkers  int
 	cutEnumTrialFac int
+	refLabeling     bool
 }
 
 // Option configures the solvers.
@@ -153,6 +155,18 @@ func WithPhaseLength(m int) Option {
 	return func(c *config) { c.phaseLen = m }
 }
 
+// WithReferenceLabeling makes the 3-ECSS solvers re-run the full
+// distributed cycle-space label scan over H ∪ A on every iteration of the
+// §5 augmentation loop — the retained from-scratch path — instead of the
+// default incremental engine, which labels the base once and then only
+// XORs fresh labels for newly activated edges along their tree paths.
+// Results are identical either way (the equivalence corpus pins this);
+// only wall-clock and the measured-vs-charged round split differ. Only
+// affects Solve3ECSSUnweighted and Solve3ECSSWeighted.
+func WithReferenceLabeling() Option {
+	return func(c *config) { c.refLabeling = true }
+}
+
 // WithCutEnumWorkers spreads the Karger–Stein min-cut enumeration trials
 // inside SolveKECSS's Aug levels (sizes >= 3) over n goroutines. Results
 // are byte-identical at any setting — trial t always draws from its own
@@ -188,6 +202,7 @@ func (c config) rng() *rand.Rand { return rand.New(rand.NewSource(c.seed)) }
 type solveEnv struct {
 	rng            *rand.Rand
 	arena          *congest.NetworkArena
+	labels         *cycles.Arena
 	skipValidation bool
 }
 
@@ -221,13 +236,15 @@ func (c config) kecssOpts(env solveEnv) core.KECSSOptions {
 
 func (c config) threeOpts(env solveEnv) core.ThreeECSSOptions {
 	return core.ThreeECSSOptions{
-		Rng:            env.rng,
-		LabelBits:      c.labelBits,
-		PhaseLen:       c.phaseLen,
-		Executor:       c.executor,
-		Arena:          env.arena,
-		SkipValidation: env.skipValidation,
-		CutEnum:        c.cutEnum(),
+		Rng:               env.rng,
+		LabelBits:         c.labelBits,
+		PhaseLen:          c.phaseLen,
+		Executor:          c.executor,
+		Arena:             env.arena,
+		LabelArena:        env.labels,
+		ReferenceLabeling: c.refLabeling,
+		SkipValidation:    env.skipValidation,
+		CutEnum:           c.cutEnum(),
 	}
 }
 

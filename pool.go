@@ -284,6 +284,7 @@ func (p *Pool) solveOne(idx int, t Task, w *service.Worker) Result {
 		// while index 0 with the default seed reproduces the serial API.
 		rng:            rand.New(rand.NewSource(c.seed ^ int64(idx))),
 		arena:          w.Arena,
+		labels:         w.Labels,
 		skipValidation: true, // preValidate already ran
 	}
 	r := Result{Task: idx}

@@ -116,6 +116,53 @@ func TestPoolConcurrentSweepsIdentical(t *testing.T) {
 
 // Index 0 with a given seed reproduces the serial API exactly, so existing
 // callers can move single solves into a pool without changing results.
+// TestPool3ECSSLabelingDeterministic pins the incremental labeling engine
+// under the pool: a 3-ECSS sweep (both variants, per-worker label arenas)
+// is byte-identical at workers=1 vs 4, and switching every task to the
+// retained from-scratch reference scan changes none of the decisions —
+// edges, weights and iteration counts stay identical (rounds differ by the
+// measured-vs-charged split, so the digest here omits them). Run with
+// -race in CI.
+func TestPool3ECSSLabelingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.RandomKConnected(20, 3, 24, rng, graph.RandomWeights(rng, 30))
+	build := func(extra ...Option) []Task {
+		var tasks []Task
+		for trial := 0; trial < 4; trial++ {
+			tasks = append(tasks,
+				Task{Graph: g, Solver: Solver3ECSSUnweighted, Opts: append([]Option{WithSeed(3)}, extra...)},
+				Task{Graph: g, Solver: Solver3ECSSWeighted, Opts: append([]Option{WithSeed(5)}, extra...)},
+			)
+		}
+		return tasks
+	}
+	decisions := func(results []Result) string {
+		var b strings.Builder
+		for _, r := range results {
+			fmt.Fprintf(&b, "task=%d err=%v edges=%v w=%d", r.Task, r.Err, r.Edges, r.Weight)
+			if r.Three != nil {
+				fmt.Fprintf(&b, " iters=%d base=%d corr=%d", r.Three.Iterations, r.Three.BaseSize, r.Three.CorrectionEdges)
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	sweep := func(workers int, extra ...Option) string {
+		p := NewPool(workers)
+		defer p.Close()
+		return decisions(p.Sweep(build(extra...)))
+	}
+	inc1 := sweep(1)
+	inc4 := sweep(4)
+	if inc1 != inc4 {
+		t.Fatal("incremental labeling sweep differs at workers=1 vs 4")
+	}
+	ref4 := sweep(4, WithReferenceLabeling())
+	if inc1 != ref4 {
+		t.Fatal("reference labeling changed sweep decisions")
+	}
+}
+
 func TestPoolMatchesSerialAtIndexZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := graph.RandomKConnected(20, 2, 24, rng, graph.RandomWeights(rng, 30))
