@@ -20,13 +20,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"reflect"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,21 +149,25 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 
 	// Timed replay phase.
 	var (
-		next      atomic.Int64
-		mismatch  atomic.Int64
-		throttled atomic.Int64
-		failures  atomic.Int64
-		mu        sync.Mutex
-		samples   []sample
+		next         atomic.Int64
+		mismatch     atomic.Int64
+		throttled    atomic.Int64
+		retries      atomic.Int64
+		backoffNanos atomic.Int64
+		failures     atomic.Int64
+		mu           sync.Mutex
+		samples      []sample
 	)
 	start := time.Now()
 	deadline := start.Add(duration)
 	var wg sync.WaitGroup
 	for c := 0; c < conc; c++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			local := make([]sample, 0, 4096)
+			rng := rand.New(rand.NewSource(int64(worker) + 1))
+			attempt := 0
 			for {
 				now := time.Now()
 				if now.After(deadline) {
@@ -179,15 +186,25 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 				resp, err := post(client, addr, r.body)
 				rtt := time.Since(t0)
 				if err != nil {
-					if isThrottle(err) {
+					var te *throttleError
+					if errors.As(err, &te) {
+						// The server shed us (429 queue-full or 503 draining):
+						// honour its Retry-After, with jittered exponential
+						// backoff on top so shed workers do not re-arrive in
+						// lockstep.
 						throttled.Add(1)
-						time.Sleep(5 * time.Millisecond)
+						retries.Add(1)
+						d := backoffDelay(attempt, te.retryAfter, rng)
+						attempt++
+						backoffNanos.Add(int64(d))
+						time.Sleep(d)
 						continue
 					}
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
 					continue
 				}
+				attempt = 0
 				if err := verify(r, resp, check); err != nil {
 					mismatch.Add(1)
 					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
@@ -197,7 +214,7 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 			mu.Lock()
 			samples = append(samples, local...)
 			mu.Unlock()
-		}()
+		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -205,7 +222,8 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 	if len(samples) == 0 {
 		return fmt.Errorf("no successful requests in %v", elapsed)
 	}
-	report(samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), failures.Load(), mismatch.Load(), check)
+	report(samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), retries.Load(),
+		time.Duration(backoffNanos.Load()), failures.Load(), mismatch.Load(), check)
 
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d requests failed", failures.Load())
@@ -250,15 +268,38 @@ func solveDirect(wireReqs []*wire.SolveRequest, reqs []*request) error {
 	return nil
 }
 
-// throttleError marks a 429 so the replay loop can back off without
-// counting it as a failure.
-type throttleError struct{ msg string }
+// throttleError marks a shed request (429 queue-full or 503 draining) so
+// the replay loop can back off without counting it as a failure. retryAfter
+// is the server's Retry-After hint (0 when absent).
+type throttleError struct {
+	msg        string
+	retryAfter time.Duration
+}
 
 func (e *throttleError) Error() string { return e.msg }
 
-func isThrottle(err error) bool {
-	_, ok := err.(*throttleError)
-	return ok
+// backoffBase and backoffCap shape the client-side retry schedule; the
+// server's Retry-After floors the delay when present.
+const (
+	backoffBase = 10 * time.Millisecond
+	backoffCap  = 2 * time.Second
+)
+
+// backoffDelay computes the sleep before retry number attempt (0-based):
+// capped exponential growth from backoffBase, floored at the server's
+// Retry-After hint, with jitter in [0.5, 1.5) to spread shed workers out.
+func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	d := backoffBase
+	if attempt < 30 {
+		d = backoffBase << attempt
+	}
+	if d > backoffCap || d <= 0 {
+		d = backoffCap
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
 }
 
 func post(client *http.Client, addr string, body []byte) (*wire.SolveResponse, error) {
@@ -271,8 +312,12 @@ func post(client *http.Client, addr string, body []byte) (*wire.SolveResponse, e
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, &throttleError{fmt.Sprintf("429: %s", raw)}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		var after time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return nil, &throttleError{msg: fmt.Sprintf("%d: %s", resp.StatusCode, raw), retryAfter: after}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
@@ -333,7 +378,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Duration, coldSolveMS []float64,
-	throttled, failures, mismatches int64, check bool) {
+	throttled, retries int64, backoff time.Duration, failures, mismatches int64, check bool) {
 	lat := make([]time.Duration, 0, len(samples))
 	hits := 0
 	for _, s := range samples {
@@ -345,8 +390,12 @@ func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Dura
 	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
 
 	rps := float64(len(samples)) / elapsed.Seconds()
-	fmt.Printf("\nreplay: %d requests in %v (%.0f req/s), %d failures, %d throttled (429)\n",
+	fmt.Printf("\nreplay: %d requests in %v (%.0f req/s), %d failures, %d throttled (429/503)\n",
 		len(samples), elapsed.Round(time.Millisecond), rps, failures, throttled)
+	if retries > 0 {
+		fmt.Printf("backoff: %d retries, %v total backoff (mean %v per retry)\n",
+			retries, backoff.Round(time.Millisecond), (backoff / time.Duration(retries)).Round(time.Microsecond))
+	}
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		percentile(lat, 0.50).Round(time.Microsecond),
 		percentile(lat, 0.90).Round(time.Microsecond),

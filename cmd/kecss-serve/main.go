@@ -1,21 +1,33 @@
 // Command kecss-serve exposes the k-ECSS solver stack as an HTTP service:
-// a shared solver pool behind a content-addressed result cache, with
-// bounded-queue backpressure, Prometheus metrics and graceful drain.
+// a shared solver pool behind a content-addressed result cache, with a
+// crash-safe job layer (durable journal + leased work queue), bounded-queue
+// backpressure, Prometheus metrics and graceful drain.
 //
 // Usage:
 //
-//	kecss-serve -addr :8080 -workers 4 -cache 4096 -queue 64
+//	kecss-serve -addr :8080 -workers 4 -cache 4096 -queue 64 \
+//	            -journal /var/lib/kecss/journal.wal
 //
 // Endpoints (see internal/server):
 //
-//	POST /v1/solve      synchronous solve
-//	POST /v1/jobs       asynchronous solve (202 + job id)
-//	GET  /v1/jobs/{id}  poll a job
-//	GET  /healthz       liveness (503 while draining)
-//	GET  /metrics       Prometheus text metrics
+//	POST /v1/solve        synchronous solve
+//	POST /v1/jobs         asynchronous solve (202 + job id)
+//	GET  /v1/jobs/{id}    poll a job
+//	GET  /v1/deadletters  jobs that exhausted their retry budget
+//	GET  /healthz         liveness (503 only once closed)
+//	GET  /readyz          readiness (503 during drain; replay summary)
+//	GET  /metrics         Prometheus text metrics
+//
+// With -journal, accepted jobs survive kill -9: on restart the journal is
+// replayed, finished jobs come back pollable and unfinished jobs are
+// re-enqueued and solved again.
 //
 // On SIGTERM/SIGINT the server stops accepting work, finishes in-flight
 // solves (bounded by -drain-timeout), and exits 0 on a clean drain.
+//
+// Fault injection (testing only): -chaos takes a chaos plan spec (see
+// internal/chaos), also readable from $KECSS_CHAOS; a planned crash exits
+// with status 43.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/server"
 )
 
@@ -36,19 +49,50 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		solveWorkers = flag.Int("solve-workers", 0, "queue consumer goroutines (0 = pool workers)")
 		cacheSize    = flag.Int("cache", 4096, "result cache entries (negative disables)")
-		queueDepth   = flag.Int("queue", 0, "max admitted solves before 429 (0 = 4×workers)")
+		queueDepth   = flag.Int("queue", 0, "max in-flight jobs before 429 (0 = 4×workers)")
 		jobHistory   = flag.Int("job-history", 1024, "finished async jobs kept pollable")
+		journalPath  = flag.String("journal", "", "job journal path (empty = no durability)")
+		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "work-queue lease TTL")
+		maxAttempts  = flag.Int("max-attempts", 5, "delivery budget before dead-lettering")
+		backoffBase  = flag.Duration("backoff-base", 50*time.Millisecond, "first retry delay")
+		backoffMax   = flag.Duration("backoff-max", 5*time.Second, "retry delay cap")
+		seed         = flag.Int64("seed", 1, "retry-jitter seed")
+		chaosSpec    = flag.String("chaos", os.Getenv("KECSS_CHAOS"), "fault-injection plan (testing only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
 	)
 	flag.Parse()
 
-	s := server.New(server.Config{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		QueueDepth: *queueDepth,
-		JobHistory: *jobHistory,
+	inj, err := chaos.Parse(*chaosSpec, *seed)
+	if err != nil {
+		log.Fatalf("kecss-serve: %v", err)
+	}
+	if inj != nil {
+		log.Printf("kecss-serve: FAULT INJECTION ACTIVE: %s", *chaosSpec)
+	}
+
+	s, err := server.New(server.Config{
+		Workers:      *workers,
+		SolveWorkers: *solveWorkers,
+		CacheSize:    *cacheSize,
+		QueueDepth:   *queueDepth,
+		JobHistory:   *jobHistory,
+		JournalPath:  *journalPath,
+		LeaseTTL:     *leaseTTL,
+		MaxAttempts:  *maxAttempts,
+		BackoffBase:  *backoffBase,
+		BackoffMax:   *backoffMax,
+		Seed:         *seed,
+		Chaos:        inj,
 	})
+	if err != nil {
+		log.Fatalf("kecss-serve: %v", err)
+	}
+	if rep := s.Replay(); *journalPath != "" {
+		log.Printf("kecss-serve: journal replay: %d records, %d finished jobs recovered, %d re-enqueued, %d torn bytes truncated",
+			rep.Records, rep.Completed, rep.Requeued, rep.TornBytes)
+	}
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)
@@ -67,9 +111,9 @@ func main() {
 		log.Printf("kecss-serve: %v received, draining", got)
 	}
 
-	// Refuse new work (healthz → 503) before closing the listener, so load
+	// Refuse new work (readyz → 503) before closing the listener, so load
 	// balancers and in-flight keep-alive clients see the drain, then stop
-	// accepting connections and wait for admitted solves.
+	// accepting connections and wait for admitted jobs.
 	s.StartDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -1,0 +1,83 @@
+package journal
+
+// Replay micro-benchmark for the CI bench-smoke step: BENCH_journal.json is
+// generated from this output and the job fails if allocs/op or bytes/op on
+// a 10k-record replay exceed the pinned ceilings (see
+// .github/workflows/ci.yml). Replay cost is what bounds restart time, so it
+// is the path worth watching.
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// buildJournal writes a journal of n realistic job lifecycles (accepted →
+// leased → done with a small result payload) and returns its path.
+func buildJournal(b *testing.B, dir string, n int) string {
+	b.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("bench-%d.wal", n))
+	j, _, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := json.RawMessage(`{"graph":{"n":16,"edges":[[0,1,3],[1,2,5]]},"solver":"2ecss","seed":7}`)
+	res := json.RawMessage(`{"digest":"abcdef0123456789","edges":[0,1,2,3,4,5,6,7],"weight":123,"rounds":42,"result_digest":"fedcba9876543210"}`)
+	per := n / 3
+	for i := 0; i < per; i++ {
+		id := fmt.Sprintf("j%06d-abcdef012345", i)
+		for _, rec := range []Record{
+			{Type: TypeAccepted, JobID: id, Digest: "abcdef0123456789", Request: req},
+			{Type: TypeLeased, JobID: id, Digest: "abcdef0123456789", Attempt: 1, Worker: "w0"},
+			{Type: TypeDone, JobID: id, Digest: "abcdef0123456789", Result: res},
+		} {
+			rec := rec
+			if err := j.Append(&rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkMicro_JournalReplay measures a full ReadAll of a 10k-record
+// journal — the startup replay path.
+func BenchmarkMicro_JournalReplay(b *testing.B) {
+	path := buildJournal(b, b.TempDir(), 10002)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ReadAll(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Records) != 10002 || rep.TornBytes != 0 {
+			b.Fatalf("replayed %d records, %d torn", len(rep.Records), rep.TornBytes)
+		}
+	}
+}
+
+// BenchmarkMicro_JournalAppend measures one durable (fsynced) append —
+// the per-job admission overhead when appenders do not share batches.
+func BenchmarkMicro_JournalAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "append.wal")
+	j, _, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := Record{Type: TypeAccepted, JobID: "j000001-abcdef012345", Digest: "abcdef0123456789",
+		Request: json.RawMessage(`{"solver":"2ecss","seed":7}`)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rec
+		if err := j.Append(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

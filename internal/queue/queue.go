@@ -1,0 +1,433 @@
+// Package queue is a lease-based work queue for the kecss-serve job layer:
+// an in-memory broker with the delivery contract of a real one (claim under
+// a TTL lease, explicit ack/nack, redelivery of expired leases with capped
+// exponential backoff and jitter, and a dead-letter list for jobs that
+// exhaust their retry budget), so the broker behind the interface can later
+// be swapped for a networked one without changing the consumers.
+//
+// Delivery is at-least-once: a worker that claims a job and stalls past its
+// lease TTL loses the lease, and the job is redelivered to another worker.
+// Consumers must therefore make completion idempotent (kecss-serve dedups
+// completions by job ID; solves are deterministic, so duplicate executions
+// produce byte-identical results).
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work. The queue owns Attempt (1-based delivery count,
+// stamped at claim time); everything else is the producer's.
+type Job struct {
+	ID     string
+	Digest string
+	// Deadline, when non-zero, is the latest useful completion time; the
+	// queue passes it through for the consumer to enforce.
+	Deadline time.Time
+	// Payload carries the producer's work description.
+	Payload any
+	// Attempt is how many times this job has been delivered, including the
+	// current delivery.
+	Attempt int
+}
+
+// Event identifies a queue state transition, for metrics hooks.
+type Event int
+
+const (
+	// EventEnqueue: a job entered the ready set.
+	EventEnqueue Event = iota
+	// EventLease: a job was claimed.
+	EventLease
+	// EventAck: a lease was acked (job finished).
+	EventAck
+	// EventNack: a lease was returned for retry by its holder.
+	EventNack
+	// EventExpire: a lease TTL lapsed without ack.
+	EventExpire
+	// EventRetry: an expired or nacked job was rescheduled with backoff.
+	EventRetry
+	// EventDead: a job exhausted its retry budget and was dead-lettered.
+	EventDead
+)
+
+// DeadLetter is a job that exhausted its retry budget.
+type DeadLetter struct {
+	Job    *Job
+	Reason string
+	At     time.Time
+}
+
+// Config sizes a Queue. Zero values get defaults from New.
+type Config struct {
+	// LeaseTTL is how long a claim holds a job before it is redelivered
+	// (default 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts is the delivery budget before dead-lettering (default 5).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; each further attempt doubles it
+	// (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth (default 5s).
+	BackoffMax time.Duration
+	// Seed drives the retry jitter (deterministic for a fixed seed and
+	// event order).
+	Seed int64
+	// OnEvent, when set, observes every state transition (called outside
+	// the queue lock; must not call back into the queue's blocking APIs).
+	OnEvent func(Event)
+	// OnDead, when set, is told about every dead-lettered job (called
+	// outside the queue lock), so the producer can fail its waiters.
+	OnDead func(DeadLetter)
+}
+
+// ErrClosed is returned by Enqueue and Claim after Close.
+var ErrClosed = errors.New("queue: closed")
+
+// entry is a job plus its scheduling state.
+type entry struct {
+	job   *Job
+	at    time.Time // delayed: eligible time; leased: expiry time
+	token uint64
+}
+
+// Queue is the broker. Safe for concurrent use.
+type Queue struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ready   []*entry          // FIFO
+	delayed []*entry          // unordered; reap scans for due entries
+	leased  map[uint64]*entry // token → entry
+	dead    []DeadLetter
+	events  []Event      // buffered under mu, delivered by flushEvents
+	deadq   []DeadLetter // buffered under mu, delivered by flushEvents to OnDead
+	next    uint64
+	rng     uint64
+	notify  chan struct{} // closed to broadcast a state change, then replaced
+	closed  bool
+	quit    chan struct{}
+}
+
+// New starts a Queue (and its lease reaper goroutine).
+func New(cfg Config) *Queue {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	q := &Queue{
+		cfg:    cfg,
+		leased: make(map[uint64]*entry),
+		rng:    uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909,
+		notify: make(chan struct{}),
+		quit:   make(chan struct{}),
+	}
+	go q.reaper()
+	return q
+}
+
+// Close stops the queue: blocked Claims return ErrClosed, Enqueue refuses.
+// Outstanding leases become inert (Ack/Nack are no-ops). Idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.quit)
+	q.wakeLocked()
+	q.mu.Unlock()
+}
+
+// Enqueue adds a job to the ready set.
+func (q *Queue) Enqueue(j *Job) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.ready = append(q.ready, &entry{job: j})
+	q.wakeLocked()
+	q.mu.Unlock()
+	q.emit(EventEnqueue)
+	q.flushEvents()
+	return nil
+}
+
+// Claim blocks until a job is ready (or ctx ends, or the queue closes) and
+// returns it under a lease. The caller must Ack, Nack, or let the lease
+// expire.
+func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		q.reapLocked(time.Now())
+		if len(q.ready) > 0 {
+			e := q.ready[0]
+			q.ready = q.ready[1:]
+			e.job.Attempt++
+			e.at = time.Now().Add(q.cfg.LeaseTTL)
+			q.next++
+			e.token = q.next
+			q.leased[e.token] = e
+			// Wake the reaper so it re-arms its timer against this lease's
+			// expiry (it may be sleeping its idle interval otherwise).
+			q.wakeLocked()
+			q.mu.Unlock()
+			q.emit(EventLease)
+			q.flushEvents()
+			return &Lease{Job: e.job, q: q, token: e.token}, nil
+		}
+		ch := q.notify
+		q.mu.Unlock()
+		q.flushEvents()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-q.quit:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Lease is a claimed job. Exactly one of Ack/Nack should be called; after
+// the TTL lapses both become no-ops and the job is redelivered.
+type Lease struct {
+	Job   *Job
+	q     *Queue
+	token uint64
+}
+
+// Ack completes the job and releases the lease. Reports whether the lease
+// was still held (false means it had already expired and the job may run
+// again elsewhere).
+func (l *Lease) Ack() bool {
+	q := l.q
+	q.mu.Lock()
+	_, held := q.leased[l.token]
+	delete(q.leased, l.token)
+	q.mu.Unlock()
+	if held {
+		q.emit(EventAck)
+	}
+	return held
+}
+
+// Nack returns the job for retry with backoff (or dead-letters it if the
+// budget is spent). Reports whether the lease was still held.
+func (l *Lease) Nack(reason string) bool {
+	q := l.q
+	q.mu.Lock()
+	e, held := q.leased[l.token]
+	if held {
+		delete(q.leased, l.token)
+		q.rescheduleLocked(e, reason)
+		q.wakeLocked()
+	}
+	q.mu.Unlock()
+	if held {
+		q.emit(EventNack)
+	}
+	q.flushEvents()
+	return held
+}
+
+// Extend renews the lease TTL (a heartbeat for long solves). Reports
+// whether the lease was still held.
+func (l *Lease) Extend() bool {
+	q := l.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, held := q.leased[l.token]
+	if held {
+		e.at = time.Now().Add(q.cfg.LeaseTTL)
+	}
+	return held
+}
+
+// rescheduleLocked applies the retry policy to a nacked or expired entry:
+// dead-letter when the budget is spent, else delay by capped exponential
+// backoff with ±50% deterministic jitter.
+func (q *Queue) rescheduleLocked(e *entry, reason string) {
+	if e.job.Attempt >= q.cfg.MaxAttempts {
+		d := DeadLetter{Job: e.job, Reason: reason, At: time.Now()}
+		q.dead = append(q.dead, d)
+		q.events = append(q.events, EventDead)
+		q.deadq = append(q.deadq, d)
+		return
+	}
+	backoff := q.cfg.BackoffBase << (e.job.Attempt - 1)
+	if backoff > q.cfg.BackoffMax || backoff <= 0 {
+		backoff = q.cfg.BackoffMax
+	}
+	// splitmix64 jitter in [0.5, 1.5).
+	q.rng += 0x9e3779b97f4a7c15
+	z := q.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / float64(1<<53) // [0,1)
+	delay := time.Duration(float64(backoff) * (0.5 + frac))
+	e.at = time.Now().Add(delay)
+	e.token = 0
+	q.delayed = append(q.delayed, e)
+	q.events = append(q.events, EventRetry)
+}
+
+// reapLocked promotes due delayed entries to ready and expires overdue
+// leases into the retry path.
+func (q *Queue) reapLocked(now time.Time) {
+	kept := q.delayed[:0]
+	woke := false
+	for _, e := range q.delayed {
+		if !e.at.After(now) {
+			q.ready = append(q.ready, e)
+			woke = true
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	q.delayed = kept
+	for tok, e := range q.leased {
+		if e.at.After(now) {
+			continue
+		}
+		delete(q.leased, tok)
+		q.events = append(q.events, EventExpire)
+		q.rescheduleLocked(e, "lease expired")
+		woke = true
+	}
+	if woke {
+		q.wakeLocked()
+	}
+}
+
+// wakeLocked broadcasts a state change to Claim waiters and the reaper.
+func (q *Queue) wakeLocked() {
+	close(q.notify)
+	q.notify = make(chan struct{})
+}
+
+// emit invokes the metrics hook; callers must not hold mu.
+func (q *Queue) emit(ev Event) {
+	if q.cfg.OnEvent != nil {
+		q.cfg.OnEvent(ev)
+	}
+}
+
+// flushEvents delivers events and dead letters buffered by locked sections
+// to their hooks.
+func (q *Queue) flushEvents() {
+	if q.cfg.OnEvent == nil && q.cfg.OnDead == nil {
+		return
+	}
+	q.mu.Lock()
+	evs, dead := q.events, q.deadq
+	q.events, q.deadq = nil, nil
+	q.mu.Unlock()
+	if q.cfg.OnEvent != nil {
+		for _, ev := range evs {
+			q.cfg.OnEvent(ev)
+		}
+	}
+	if q.cfg.OnDead != nil {
+		for _, d := range dead {
+			q.cfg.OnDead(d)
+		}
+	}
+}
+
+// reaper drives time-based transitions (lease expiry, backoff maturity)
+// even when no Claim is blocked, sleeping until the next scheduled event.
+func (q *Queue) reaper() {
+	for {
+		q.mu.Lock()
+		now := time.Now()
+		q.reapLocked(now)
+		d := q.nextEventLocked(now)
+		ch := q.notify
+		q.mu.Unlock()
+		q.flushEvents()
+		timer := time.NewTimer(d)
+		select {
+		case <-q.quit:
+			timer.Stop()
+			return
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// nextEventLocked returns how long the reaper may sleep: until the next
+// delayed-entry maturity or lease expiry, clamped to [1ms, 1s].
+func (q *Queue) nextEventLocked(now time.Time) time.Duration {
+	d := time.Second
+	for _, e := range q.delayed {
+		if until := e.at.Sub(now); until < d {
+			d = until
+		}
+	}
+	for _, e := range q.leased {
+		if until := e.at.Sub(now); until < d {
+			d = until
+		}
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Stats is a point-in-time census of the queue.
+type Stats struct {
+	Ready   int // claimable now
+	Delayed int // waiting out a backoff
+	Leased  int // claimed, in flight
+	Dead    int // dead-lettered
+}
+
+// Stats reports the queue census.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Ready:   len(q.ready),
+		Delayed: len(q.delayed),
+		Leased:  len(q.leased),
+		Dead:    len(q.dead),
+	}
+}
+
+// Depth is the number of jobs the queue is responsible for (ready, delayed
+// or leased).
+func (q *Queue) Depth() int {
+	s := q.Stats()
+	return s.Ready + s.Delayed + s.Leased
+}
+
+// DeadLetters returns a copy of the dead-letter list.
+func (q *Queue) DeadLetters() []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]DeadLetter, len(q.dead))
+	copy(out, q.dead)
+	return out
+}

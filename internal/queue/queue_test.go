@@ -1,0 +1,262 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func claimT(t *testing.T, q *Queue) *Lease {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	l, err := q.Claim(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFIFOClaimAndAck(t *testing.T) {
+	q := New(Config{})
+	defer q.Close()
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(&Job{ID: fmt.Sprintf("j%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		l := claimT(t, q)
+		if want := fmt.Sprintf("j%d", i); l.Job.ID != want {
+			t.Fatalf("claim %d = %s, want %s (FIFO)", i, l.Job.ID, want)
+		}
+		if l.Job.Attempt != 1 {
+			t.Fatalf("fresh claim attempt = %d, want 1", l.Job.Attempt)
+		}
+		if !l.Ack() {
+			t.Fatalf("Ack on live lease returned false")
+		}
+		if l.Ack() {
+			t.Fatalf("second Ack returned true")
+		}
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth after draining = %d, want 0", d)
+	}
+}
+
+func TestNackBackoffRedelivery(t *testing.T) {
+	q := New(Config{BackoffBase: 10 * time.Millisecond, BackoffMax: 50 * time.Millisecond, MaxAttempts: 5})
+	defer q.Close()
+	q.Enqueue(&Job{ID: "j0"})
+	l := claimT(t, q)
+	start := time.Now()
+	if !l.Nack("try again") {
+		t.Fatal("Nack on live lease returned false")
+	}
+	l2 := claimT(t, q)
+	if l2.Job.ID != "j0" || l2.Job.Attempt != 2 {
+		t.Fatalf("redelivery = %s attempt %d, want j0 attempt 2", l2.Job.ID, l2.Job.Attempt)
+	}
+	// Jitter is [0.5, 1.5) of the 10ms base for attempt 1.
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("redelivered after %v, want backoff >= 5ms", d)
+	}
+	l2.Ack()
+}
+
+func TestLeaseExpiryRedelivery(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	q := New(Config{
+		LeaseTTL:    20 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	defer q.Close()
+	q.Enqueue(&Job{ID: "j0"})
+	l := claimT(t, q)
+	// Stall past the TTL: the reaper must expire the lease and redeliver.
+	l2 := claimT(t, q)
+	if l2.Job.ID != "j0" || l2.Job.Attempt != 2 {
+		t.Fatalf("expired redelivery = %s attempt %d, want j0 attempt 2", l2.Job.ID, l2.Job.Attempt)
+	}
+	if l.Ack() {
+		t.Fatal("Ack on expired lease returned true")
+	}
+	if !l2.Extend() {
+		t.Fatal("Extend on live lease returned false")
+	}
+	l2.Ack()
+	mu.Lock()
+	defer mu.Unlock()
+	var expires int
+	for _, ev := range events {
+		if ev == EventExpire {
+			expires++
+		}
+	}
+	if expires != 1 {
+		t.Fatalf("saw %d EventExpire, want 1 (events %v)", expires, events)
+	}
+}
+
+func TestDeadLetterAfterBudget(t *testing.T) {
+	var mu sync.Mutex
+	var dead []DeadLetter
+	q := New(Config{
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		OnDead: func(d DeadLetter) {
+			mu.Lock()
+			dead = append(dead, d)
+			mu.Unlock()
+		},
+	})
+	defer q.Close()
+	q.Enqueue(&Job{ID: "j0", Digest: "d0"})
+	for i := 1; i <= 3; i++ {
+		l := claimT(t, q)
+		if l.Job.Attempt != i {
+			t.Fatalf("attempt = %d, want %d", l.Job.Attempt, i)
+		}
+		l.Nack("solver exploded")
+	}
+	// Budget spent: no redelivery, the job is dead.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if l, err := q.Claim(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("claim after dead-letter = %v, %v; want deadline exceeded", l, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dead) != 1 || dead[0].Job.ID != "j0" || dead[0].Reason != "solver exploded" {
+		t.Fatalf("OnDead got %+v, want one j0/\"solver exploded\"", dead)
+	}
+	dls := q.DeadLetters()
+	if len(dls) != 1 || dls[0].Job.ID != "j0" {
+		t.Fatalf("DeadLetters() = %+v", dls)
+	}
+	if s := q.Stats(); s.Dead != 1 || s.Ready+s.Delayed+s.Leased != 0 {
+		t.Fatalf("stats after dead-letter = %+v", s)
+	}
+}
+
+func TestAttemptCarriedFromEnqueue(t *testing.T) {
+	// A replayed job re-enters with its prior delivery count; the budget
+	// spans restarts.
+	q := New(Config{MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	defer q.Close()
+	q.Enqueue(&Job{ID: "j0", Attempt: 2})
+	l := claimT(t, q)
+	if l.Job.Attempt != 3 {
+		t.Fatalf("claimed attempt = %d, want 3", l.Job.Attempt)
+	}
+	l.Nack("still broken")
+	if s := q.Stats(); s.Dead != 1 {
+		t.Fatalf("job with carried attempts not dead-lettered: %+v", s)
+	}
+}
+
+func TestClaimBlocksUntilEnqueue(t *testing.T) {
+	q := New(Config{})
+	defer q.Close()
+	got := make(chan string, 1)
+	go func() {
+		l, err := q.Claim(context.Background())
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		l.Ack()
+		got <- l.Job.ID
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Enqueue(&Job{ID: "late"})
+	select {
+	case id := <-got:
+		if id != "late" {
+			t.Fatalf("claim got %q, want late", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("claim never woke")
+	}
+}
+
+func TestCloseUnblocksAndRefuses(t *testing.T) {
+	q := New(Config{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.Claim(context.Background())
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	q.Close() // idempotent
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("claim after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not unblock claim")
+	}
+	if err := q.Enqueue(&Job{ID: "j"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	// Two queues with the same seed and event order produce identical
+	// backoff schedules; a different seed diverges.
+	sched := func(seed int64) []time.Duration {
+		q := New(Config{Seed: seed, BackoffBase: 50 * time.Millisecond, BackoffMax: 5 * time.Second, MaxAttempts: 10})
+		defer q.Close()
+		var out []time.Duration
+		for i := 0; i < 4; i++ {
+			e := &entry{job: &Job{ID: "j", Attempt: i + 1}}
+			before := time.Now()
+			q.mu.Lock()
+			q.rescheduleLocked(e, "x")
+			q.mu.Unlock()
+			out = append(out, e.at.Sub(before).Round(time.Millisecond))
+		}
+		return out
+	}
+	a, b, c := sched(7), sched(7), sched(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds gave identical jitter: %v", a)
+	}
+	// Growth stays within the jittered exponential envelope.
+	base := 50 * time.Millisecond
+	for i, d := range a {
+		lo := time.Duration(float64(base<<i) * 0.5)
+		hi := time.Duration(float64(base<<i) * 1.5)
+		if cap := 5 * time.Second; hi > time.Duration(float64(cap)*1.5) {
+			hi = time.Duration(float64(cap) * 1.5)
+		}
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d delay %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}

@@ -1,29 +1,52 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
 
-// job is one async solve. State transitions are queued → running →
-// done|failed; a job created for an already-cached digest is born done.
+// job is one admitted solve — the durable unit of work. Sync requests,
+// async jobs and replayed journal entries all become jobs; a job finishes
+// exactly once (state transitions queued → running → done|failed), every
+// waiter is released by the done channel, and the finishing transition is
+// claimed under the job lock so duplicate queue deliveries cannot double-
+// journal or double-release.
 type job struct {
-	id string
+	id     string
+	digest string
+	// work is the decoded pool task (rebuilt from rawReq for replayed jobs).
+	work *solveWork
+	// rawReq is the canonical request JSON, journaled in the accepted
+	// record so a restart can rebuild work.
+	rawReq json.RawMessage
+	// deadline, when non-zero, is the latest useful completion time.
+	deadline time.Time
+	// admitted reports whether this job holds an admission slot (replayed
+	// jobs do not; they were admitted by a previous incarnation).
+	admitted bool
 
-	mu    sync.Mutex
-	state string
-	resp  *wire.SolveResponse
-	err   *solveError
+	mu        sync.Mutex
+	state     string
+	attempt   int // deliveries so far
+	finishing bool
+	resp      *wire.SolveResponse
+	err       *solveError
+	done      chan struct{} // closed on finish
+}
+
+func newJob(id, digest string) *job {
+	return &job{id: id, digest: digest, state: wire.JobQueued, done: make(chan struct{})}
 }
 
 func (j *job) snapshot() wire.JobResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := wire.JobResponse{ID: j.id, State: j.state}
+	out := wire.JobResponse{ID: j.id, State: j.state, Attempts: j.attempt}
 	switch j.state {
 	case wire.JobDone:
 		out.Result = j.resp
@@ -33,42 +56,91 @@ func (j *job) snapshot() wire.JobResponse {
 	return out
 }
 
-func (j *job) finish(resp *wire.SolveResponse, err *solveError) {
+func (j *job) setRunning(attempt int) {
+	j.mu.Lock()
+	if j.state == wire.JobQueued || j.state == wire.JobRunning {
+		j.state = wire.JobRunning
+		j.attempt = attempt
+	}
+	j.mu.Unlock()
+}
+
+// tryFinish claims the finishing transition: the first caller gets true and
+// must follow through with finish (journaling in between); later callers —
+// duplicate deliveries of an expired lease — get false and walk away.
+func (j *job) tryFinish() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err != nil {
-		j.state, j.err = wire.JobFailed, err
-		return
+	if j.finishing {
+		return false
 	}
-	j.state, j.resp = wire.JobDone, resp
+	j.finishing = true
+	return true
+}
+
+// finish publishes the outcome and releases every waiter. The caller must
+// have won tryFinish.
+func (j *job) finish(resp *wire.SolveResponse, serr *solveError) {
+	j.mu.Lock()
+	if serr != nil {
+		j.state, j.err = wire.JobFailed, serr
+	} else {
+		j.state, j.resp = wire.JobDone, resp
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // jobStore indexes jobs by ID and evicts the oldest *finished* jobs beyond
-// the history bound; queued/running jobs are never evicted.
+// the history bound; unfinished jobs are never evicted.
 type jobStore struct {
 	mu      sync.Mutex
 	max     int
 	jobs    map[string]*job
 	order   []string // creation order, for eviction scans
-	counter atomic.Int64
+	counter int64
 }
 
 func newJobStore(max int) *jobStore {
 	return &jobStore{max: max, jobs: make(map[string]*job)}
 }
 
+// create mints a new job with a fresh ID and registers it.
 func (s *jobStore) create(digest string) *job {
-	n := s.counter.Add(1)
-	j := &job{
-		id:    fmt.Sprintf("j%06d-%s", n, digest[:12]),
-		state: wire.JobQueued,
-	}
 	s.mu.Lock()
+	s.counter++
+	j := newJob(fmt.Sprintf("j%06d-%s", s.counter, digest[:12]), digest)
+	s.insertLocked(j)
+	s.mu.Unlock()
+	return j
+}
+
+// insert registers a job that already has an ID (journal replay), bumping
+// the ID counter past it so new IDs never collide with replayed ones.
+func (s *jobStore) insert(j *job) {
+	var n int64
+	fmt.Sscanf(j.id, "j%d-", &n)
+	s.mu.Lock()
+	if n > s.counter {
+		s.counter = n
+	}
+	s.insertLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *jobStore) insertLocked(j *job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
-	s.mu.Unlock()
-	return j
 }
 
 func (s *jobStore) get(id string) (*job, bool) {
@@ -89,10 +161,7 @@ func (s *jobStore) evictLocked() {
 		if j == nil {
 			continue
 		}
-		j.mu.Lock()
-		finished := j.state == wire.JobDone || j.state == wire.JobFailed
-		j.mu.Unlock()
-		if finished && len(s.jobs) > s.max {
+		if j.finished() && len(s.jobs) > s.max {
 			delete(s.jobs, id)
 			continue
 		}
@@ -102,9 +171,12 @@ func (s *jobStore) evictLocked() {
 }
 
 // handleJobCreate is POST /v1/jobs: 202 with a queued job (or a born-done
-// job on a cache hit); 429 when the queue is full.
+// job on a cache hit); 429/503 when admission is refused. Concurrent
+// submissions of one digest share a single durable job — the job ID is a
+// content-addressed handle, so duplicates get the in-flight job's ID
+// instead of a second solve.
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
-	work, ok := s.decodeRequest(w, r)
+	work, rawReq, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -113,33 +185,17 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		j := s.jobs.create(work.digest)
 		out := *resp
 		out.Cached = true
-		j.finish(&out, nil)
+		if j.tryFinish() {
+			j.finish(&out, nil)
+		}
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 		return
 	}
-	// Reserve the queue slot at submission time so a full queue is explicit
-	// backpressure (429) instead of an ever-growing set of pending jobs.
-	if serr := s.admitSolve(); serr != nil {
-		if serr.code == http.StatusTooManyRequests {
-			s.metrics.throttled.Add(1)
-			w.Header().Set("Retry-After", "1")
-		}
-		writeError(w, serr.code, "%s", serr.msg)
+	j, _, serr := s.ensureJob(work, rawReq)
+	if serr != nil {
+		s.writeSolveError(w, serr)
 		return
 	}
-	j := s.jobs.create(work.digest)
-	go func() {
-		defer s.releaseSolve()
-		j.mu.Lock()
-		j.state = wire.JobRunning
-		j.mu.Unlock()
-		// Single-flight with concurrent solves of the same digest; the job
-		// already holds its queue slot, so the solve closure needs no
-		// admission of its own.
-		j.finish(s.solveShared(work, func() (*wire.SolveResponse, *solveError) {
-			return s.solveOnPool(work)
-		}))
-	}()
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
@@ -152,4 +208,21 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleDeadLetters is GET /v1/deadletters: the jobs that exhausted their
+// retry budget since startup.
+func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
+	dead := s.queue.DeadLetters()
+	out := wire.DeadLettersResponse{DeadLetters: []wire.DeadLetter{}}
+	for _, d := range dead {
+		out.DeadLetters = append(out.DeadLetters, wire.DeadLetter{
+			JobID:    d.Job.ID,
+			Digest:   d.Job.Digest,
+			Attempts: d.Job.Attempt,
+			Reason:   d.Reason,
+			Unix:     d.At.Unix(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }

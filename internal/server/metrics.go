@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/queue"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve/request latency
@@ -59,8 +61,9 @@ func (h *histogram) write(w io.Writer, name string) {
 }
 
 // metrics is the server's instrumentation: request counters by
-// (path, status), cache hit/miss counters, queue gauges, and latency
-// histograms for cold solves and for whole requests.
+// (path, status), cache hit/miss counters, job-layer counters (leases,
+// expirations, retries, dead letters, client disconnects), and latency
+// histograms for cold solves, whole requests and journal fsync batches.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]*atomic.Int64 // key: path + "|" + code
@@ -68,10 +71,17 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	throttled   atomic.Int64
-	queueDepth  atomic.Int64 // solves currently admitted (queued or running)
+
+	jobsEnqueued      atomic.Int64
+	leases            atomic.Int64
+	leaseExpirations  atomic.Int64
+	retries           atomic.Int64
+	deadLetters       atomic.Int64
+	clientDisconnects atomic.Int64
 
 	solveLatency   *histogram // cold solves only
 	requestLatency *histogram // every /v1/solve round-trip
+	journalFsync   *histogram // journal fsync batches
 }
 
 func newMetrics() *metrics {
@@ -79,6 +89,23 @@ func newMetrics() *metrics {
 		requests:       make(map[string]*atomic.Int64),
 		solveLatency:   newHistogram(),
 		requestLatency: newHistogram(),
+		journalFsync:   newHistogram(),
+	}
+}
+
+// countQueueEvent is the queue.Config.OnEvent hook.
+func (m *metrics) countQueueEvent(ev queue.Event) {
+	switch ev {
+	case queue.EventEnqueue:
+		m.jobsEnqueued.Add(1)
+	case queue.EventLease:
+		m.leases.Add(1)
+	case queue.EventExpire:
+		m.leaseExpirations.Add(1)
+	case queue.EventRetry:
+		m.retries.Add(1)
+	case queue.EventDead:
+		m.deadLetters.Add(1)
 	}
 }
 
@@ -121,14 +148,41 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "kecss_throttled_total %d\n", m.throttled.Load())
 	fmt.Fprintln(w, "# TYPE kecss_cache_entries gauge")
 	fmt.Fprintf(w, "kecss_cache_entries %d\n", s.cache.len())
+
+	qs := s.queue.Stats()
 	fmt.Fprintln(w, "# TYPE kecss_queue_depth gauge")
-	fmt.Fprintf(w, "kecss_queue_depth %d\n", m.queueDepth.Load())
+	fmt.Fprintf(w, "kecss_queue_depth %d\n", qs.Ready+qs.Delayed+qs.Leased)
+	fmt.Fprintln(w, "# TYPE kecss_queue_ready gauge")
+	fmt.Fprintf(w, "kecss_queue_ready %d\n", qs.Ready)
+	fmt.Fprintln(w, "# TYPE kecss_queue_delayed gauge")
+	fmt.Fprintf(w, "kecss_queue_delayed %d\n", qs.Delayed)
+	fmt.Fprintln(w, "# TYPE kecss_queue_leased gauge")
+	fmt.Fprintf(w, "kecss_queue_leased %d\n", qs.Leased)
 	fmt.Fprintln(w, "# TYPE kecss_queue_capacity gauge")
 	fmt.Fprintf(w, "kecss_queue_capacity %d\n", cap(s.sem))
+	fmt.Fprintln(w, "# TYPE kecss_jobs_enqueued_total counter")
+	fmt.Fprintf(w, "kecss_jobs_enqueued_total %d\n", m.jobsEnqueued.Load())
+	fmt.Fprintln(w, "# TYPE kecss_leases_total counter")
+	fmt.Fprintf(w, "kecss_leases_total %d\n", m.leases.Load())
+	fmt.Fprintln(w, "# TYPE kecss_lease_expirations_total counter")
+	fmt.Fprintf(w, "kecss_lease_expirations_total %d\n", m.leaseExpirations.Load())
+	fmt.Fprintln(w, "# TYPE kecss_retries_total counter")
+	fmt.Fprintf(w, "kecss_retries_total %d\n", m.retries.Load())
+	fmt.Fprintln(w, "# TYPE kecss_dead_letters_total counter")
+	fmt.Fprintf(w, "kecss_dead_letters_total %d\n", m.deadLetters.Load())
+	fmt.Fprintln(w, "# TYPE kecss_client_disconnects_total counter")
+	fmt.Fprintf(w, "kecss_client_disconnects_total %d\n", m.clientDisconnects.Load())
+
 	fmt.Fprintln(w, "# TYPE kecss_pool_workers gauge")
 	fmt.Fprintf(w, "kecss_pool_workers %d\n", s.pool.Workers())
 	fmt.Fprintln(w, "# TYPE kecss_solve_seconds histogram")
 	m.solveLatency.write(w, "kecss_solve_seconds")
 	fmt.Fprintln(w, "# TYPE kecss_request_seconds histogram")
 	m.requestLatency.write(w, "kecss_request_seconds")
+	if s.jnl != nil {
+		fmt.Fprintln(w, "# TYPE kecss_journal_fsync_seconds histogram")
+		m.journalFsync.write(w, "kecss_journal_fsync_seconds")
+		fmt.Fprintln(w, "# TYPE kecss_journal_syncs_total counter")
+		fmt.Fprintf(w, "kecss_journal_syncs_total %d\n", s.jnl.Syncs())
+	}
 }

@@ -1,21 +1,48 @@
 // Package server implements the kecss-serve HTTP API: a network-facing
-// front end over a shared kecss.Pool with a content-addressed result cache.
+// front end over a shared kecss.Pool with a content-addressed result cache
+// and a crash-safe job layer.
 //
 // Endpoints:
 //
 //	POST /v1/solve        solve synchronously (wire.SolveRequest → wire.SolveResponse)
 //	POST /v1/jobs         enqueue an async solve (202 + wire.JobResponse)
 //	GET  /v1/jobs/{id}    poll an async solve
-//	GET  /healthz         liveness/readiness (503 while draining)
+//	GET  /v1/deadletters  jobs that exhausted their retry budget
+//	GET  /healthz         liveness (503 only once the server is closed)
+//	GET  /readyz          readiness (503 during replay, drain and shutdown)
 //	GET  /metrics         Prometheus text metrics
 //
 // Every request is content-addressed by wire.Digest(graph, spec); because
 // the solver stack is deterministic in (graph, spec), a digest hit can be
 // served from the LRU cache with byte-identical results to a fresh solve.
-// Concurrent identical misses are deduplicated (single-flight): one request
-// solves, the rest wait for its result. Distinct misses are admitted up to
-// a bounded queue; beyond that the server sheds load explicitly with
-// 429 + Retry-After rather than queueing unboundedly.
+//
+// # The job layer
+//
+// A cache miss does not solve inline. It becomes a job: journaled to the
+// write-ahead log (when Config.JournalPath is set), enqueued on a leased
+// work queue, and solved by a worker goroutine that claims it under a TTL
+// lease. Sync requests block on the job's completion; async requests poll
+// it. Concurrent identical misses share one job (single-flight by digest),
+// and a client that disconnects mid-solve does not abandon the job — the
+// solve completes into the cache for the waiters and the future.
+//
+// Workers that stall past the lease TTL lose the lease and the job is
+// redelivered with capped exponential backoff; a job that exhausts its
+// retry budget is dead-lettered (visible at /v1/deadletters) and reported
+// to its waiters as a 503. Admission is bounded: beyond Config.QueueDepth
+// in-flight jobs the server sheds load with 429 + Retry-After scaled to
+// the backlog, rather than queueing unboundedly.
+//
+// # Crash safety
+//
+// With a journal configured, every accepted job is durable before its
+// 202/200 is written: accepted → leased → done/failed records are
+// fsync-batched to the log, and startup replay reconstructs the job table
+// — finished jobs come back pollable with their results (which also
+// repopulate the result cache), unfinished jobs are re-enqueued and solved
+// again. Completions are deduplicated per job ID, so a job accepted once
+// is journaled done exactly once even across lease expiries, duplicate
+// deliveries and restarts.
 package server
 
 import (
@@ -29,6 +56,9 @@ import (
 	"time"
 
 	kecss "repro"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/queue"
 	"repro/internal/wire"
 )
 
@@ -36,59 +66,98 @@ import (
 type Config struct {
 	// Workers is the solver pool size (0 = GOMAXPROCS).
 	Workers int
+	// SolveWorkers is how many queue-consumer goroutines run solves
+	// (0 = pool workers).
+	SolveWorkers int
 	// CacheSize is the maximum number of cached results (0 = 4096;
 	// negative disables the cache).
 	CacheSize int
-	// QueueDepth bounds how many non-cached solves may be admitted
-	// (queued + running) before the server answers 429 (0 = 4×workers).
+	// QueueDepth bounds how many jobs may be in flight (queued, delayed or
+	// running) before the server answers 429 (0 = 4×workers).
 	QueueDepth int
 	// JobHistory bounds how many finished async jobs stay pollable
 	// (0 = 1024). Oldest finished jobs are evicted first.
 	JobHistory int
+	// JournalPath enables the durable job journal; empty keeps the job
+	// layer ephemeral (the queue still runs, nothing survives a restart).
+	JournalPath string
+	// LeaseTTL is how long a worker may hold a job before it is
+	// redelivered (0 = 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts is the delivery budget before a job is dead-lettered
+	// (0 = 5).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the redelivery backoff
+	// (0 = 50ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the queue's retry jitter.
+	Seed int64
+	// Chaos is the fault-injection plan (nil in production).
+	Chaos *chaos.Injector
 }
 
 // Server is the HTTP solve service. Create with New, mount Handler, stop
-// with Drain (stop accepting, wait for in-flight solves) then Close.
+// with Drain (stop accepting, wait for in-flight jobs) then Close.
 type Server struct {
 	cfg     Config
 	pool    *kecss.Pool
 	cache   *resultCache
-	sem     chan struct{} // admission tokens for non-cached solves
+	sem     chan struct{} // admission tokens for new jobs
 	metrics *metrics
 	jobs    *jobStore
+	queue   *queue.Queue
+	jnl     *journal.Journal // nil when ephemeral
+	inj     *chaos.Injector
 	start   time.Time
+	replay  ReplayInfo
 
-	// drainMu makes admission atomic with the draining flag: admitSolve
+	// drainMu makes admission atomic with the draining flag: ensureJob
 	// holds it shared around (check draining, Add to inflight), Drain holds
 	// it exclusively while setting the flag — so once Drain owns the flag,
 	// no late admission can Add to a WaitGroup that Drain is Waiting on.
 	drainMu  sync.RWMutex
 	draining atomic.Bool
-	inflight sync.WaitGroup // every admitted solve, sync or async
+	closed   atomic.Bool
+	inflight sync.WaitGroup // every unfinished job
 
 	flightMu sync.Mutex
-	flight   map[string]*flightCall
+	flight   map[string]*job // digest → active job (single-flight)
+
+	workerCancel context.CancelFunc
+	workerWG     sync.WaitGroup
+	closeOnce    sync.Once
 }
 
-// flightCall is one in-progress cold solve that duplicate requests wait on.
-type flightCall struct {
-	done chan struct{}
-	resp *wire.SolveResponse
-	err  *solveError
+// ReplayInfo summarizes what startup recovered from the journal.
+type ReplayInfo struct {
+	// Records is how many valid journal records were replayed.
+	Records int
+	// Completed is how many finished jobs (done or failed) came back.
+	Completed int
+	// Requeued is how many unfinished jobs were re-enqueued.
+	Requeued int
+	// TornBytes is the size of the truncated torn tail (0 = clean).
+	TornBytes int64
 }
 
-// solveError is a solve failure with its HTTP classification.
+// solveError is a solve failure with its HTTP classification. retryable
+// marks transient failures the queue should redeliver (pool shutdown mid-
+// solve) as opposed to permanent input errors.
 type solveError struct {
-	code int
-	msg  string
+	code      int
+	msg       string
+	retryable bool
 }
 
 // maxBodyBytes bounds request bodies; a million-edge graph is ~20 MB of
 // JSON, well inside this.
 const maxBodyBytes = 64 << 20
 
-// New starts a Server with its own solver pool.
-func New(cfg Config) *Server {
+// New starts a Server with its own solver pool, work queue and (when
+// configured) journal; journal replay happens here, so once New returns
+// the server is ready.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 0 // kecss.NewPool reads 0 as GOMAXPROCS
 	}
@@ -102,16 +171,54 @@ func New(cfg Config) *Server {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 1024
 	}
-	return &Server{
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = pool.Workers()
+	}
+	s := &Server{
 		cfg:     cfg,
 		pool:    pool,
 		cache:   newResultCache(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.QueueDepth),
 		metrics: newMetrics(),
 		jobs:    newJobStore(cfg.JobHistory),
-		flight:  make(map[string]*flightCall),
+		inj:     cfg.Chaos,
+		flight:  make(map[string]*job),
 		start:   time.Now(),
 	}
+	s.queue = queue.New(queue.Config{
+		LeaseTTL:    cfg.LeaseTTL,
+		MaxAttempts: cfg.MaxAttempts,
+		BackoffBase: cfg.BackoffBase,
+		BackoffMax:  cfg.BackoffMax,
+		Seed:        cfg.Seed,
+		OnEvent:     s.metrics.countQueueEvent,
+		OnDead:      s.onDeadLetter,
+	})
+	if cfg.JournalPath != "" {
+		jnl, rep, err := journal.Open(cfg.JournalPath, journal.Options{
+			Inject:  cfg.Chaos,
+			OnFsync: s.metrics.journalFsync.observe,
+		})
+		if err != nil {
+			s.queue.Close()
+			pool.Close()
+			return nil, err
+		}
+		s.jnl = jnl
+		if err := s.applyReplay(rep); err != nil {
+			s.queue.Close()
+			pool.Close()
+			jnl.Close()
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.workerCancel = cancel
+	for i := 0; i < cfg.SolveWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.worker(ctx, fmt.Sprintf("w%d", i))
+	}
+	return s, nil
 }
 
 // Handler returns the server's routing table.
@@ -120,24 +227,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/deadletters", s.instrument("/v1/deadletters", s.handleDeadLetters))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReady))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// StartDrain flips the server into draining mode: /healthz turns 503 (so
-// load balancers stop routing here) and new solves are refused, while
-// cached results keep being served. Call it before shutting the HTTP
-// listener down; Drain calls it implicitly.
+// Replay reports what startup recovered from the journal.
+func (s *Server) Replay() ReplayInfo { return s.replay }
+
+// StartDrain flips the server into draining mode: /readyz turns 503 (so
+// load balancers stop routing here) and new jobs are refused, while cached
+// results keep being served and in-flight jobs run to completion. Call it
+// before shutting the HTTP listener down; Drain calls it implicitly.
 func (s *Server) StartDrain() {
 	s.drainMu.Lock()
 	s.draining.Store(true)
 	s.drainMu.Unlock()
 }
 
-// Drain stops admitting new solves and waits (bounded by ctx) for in-flight
-// ones — the SIGTERM half of graceful shutdown; pair with Close once the
-// HTTP listener has stopped.
+// Drain stops admitting new jobs and waits (bounded by ctx) for in-flight
+// ones — including jobs waiting out a retry backoff — the SIGTERM half of
+// graceful shutdown; pair with Close once the HTTP listener has stopped.
 func (s *Server) Drain(ctx context.Context) error {
 	s.StartDrain()
 	done := make(chan struct{})
@@ -149,15 +261,37 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("server: drain interrupted with solves in flight: %w", ctx.Err())
+		return fmt.Errorf("server: drain interrupted with jobs in flight: %w", ctx.Err())
 	}
 }
 
-// Close releases the solver pool. Requests arriving afterwards fail cleanly
-// (the pool reports kecss.ErrPoolClosed, mapped to 503). Idempotent.
+// Close stops the workers, the queue, the journal and the solver pool.
+// /healthz turns 503. Requests arriving afterwards fail cleanly. Idempotent.
 func (s *Server) Close() {
-	s.StartDrain()
-	s.pool.Close()
+	s.closeOnce.Do(func() {
+		s.StartDrain()
+		s.closed.Store(true)
+		s.workerCancel()
+		s.queue.Close()
+		s.workerWG.Wait()
+		// Unfinished jobs (abandoned mid-drain) keep their journal state and
+		// will be replayed by the next incarnation; release their waiters.
+		s.flightMu.Lock()
+		stranded := make([]*job, 0, len(s.flight))
+		for _, j := range s.flight {
+			stranded = append(stranded, j)
+		}
+		s.flightMu.Unlock()
+		for _, j := range stranded {
+			if j.tryFinish() {
+				s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: "server shut down before the job completed"})
+			}
+		}
+		s.pool.Close()
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
+	})
 }
 
 // instrument wraps a handler with request counting and latency observation.
@@ -193,31 +327,77 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeRequest parses and validates a solve request body and computes its
-// graph and content digest. A nil return with code != 0 means the response
-// was already written.
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveWork, bool) {
+// writeSolveError writes a classified solve failure, attaching Retry-After
+// backpressure hints to 429 (queue full — scaled to the backlog) and 503
+// (draining) so clients back off instead of hammering.
+func (s *Server) writeSolveError(w http.ResponseWriter, serr *solveError) {
+	switch serr.code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		s.metrics.throttled.Add(1)
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, serr.code, "%s", serr.msg)
+}
+
+// retryAfterSeconds estimates how long a shed client should wait: the
+// backlog divided by the worker parallelism, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	depth := s.queue.Depth()
+	workers := s.cfg.SolveWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + depth/workers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// decodeRequest parses and validates a solve request body, computes its
+// graph and content digest, and re-encodes the request canonically for the
+// journal. A false return means the response was already written.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveWork, json.RawMessage, bool) {
 	var req wire.SolveRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return nil, false
+		return nil, nil, false
 	}
-	if err := req.Validate(); err != nil {
+	work, raw, err := buildWork(&req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, false
+		return nil, nil, false
+	}
+	if req.TimeoutMillis > 0 {
+		work.deadline = time.Now().Add(time.Duration(req.TimeoutMillis) * time.Millisecond)
+	} else if dl, ok := r.Context().Deadline(); ok {
+		work.deadline = dl
+	}
+	return work, raw, true
+}
+
+// buildWork validates a request and maps it to a pool task — the single
+// decode path shared by the HTTP handlers and journal replay.
+func buildWork(req *wire.SolveRequest) (*solveWork, json.RawMessage, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
 	}
 	g, err := req.Graph.ToGraph()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, false
+		return nil, nil, err
 	}
 	solver, err := kecss.ParseSolver(req.Solver)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, false
+		return nil, nil, err
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
 	}
 	return &solveWork{
 		digest: wire.Digest(g, req.SolveSpec),
@@ -227,14 +407,15 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveWo
 			K:      req.K,
 			Opts:   OptionsFromSpec(req.SolveSpec),
 		},
-	}, true
+	}, raw, nil
 }
 
-// solveWork is a decoded, validated request: its content digest and the
-// pool task it maps to.
+// solveWork is a decoded, validated request: its content digest, the pool
+// task it maps to, and the client deadline (zero = none).
 type solveWork struct {
-	digest string
-	task   kecss.Task
+	digest   string
+	task     kecss.Task
+	deadline time.Time
 }
 
 // OptionsFromSpec maps the wire-level solver knobs onto kecss options —
@@ -258,9 +439,11 @@ func OptionsFromSpec(spec wire.SolveSpec) []kecss.Option {
 }
 
 // handleSolve is POST /v1/solve: cache hit → immediate response; miss →
-// admit (or 429), solve on the pool, cache, respond.
+// join or create the digest's job (admission may shed with 429/503) and
+// wait for it. A waiter that times out or disconnects leaves the job
+// running for everyone else.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	work, ok := s.decodeRequest(w, r)
+	work, rawReq, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -269,22 +452,55 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.serveCached(w, resp)
 		return
 	}
-	resp, serr := s.solveShared(work, func() (*wire.SolveResponse, *solveError) {
-		if serr := s.admitSolve(); serr != nil {
-			return nil, serr
-		}
-		defer s.releaseSolve()
-		return s.solveOnPool(work)
-	})
+	j, created, serr := s.ensureJob(work, rawReq)
 	if serr != nil {
-		if serr.code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-			s.metrics.throttled.Add(1)
-		}
-		writeError(w, serr.code, "%s", serr.msg)
+		s.writeSolveError(w, serr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.awaitJob(w, r, j, work, created)
+}
+
+// awaitJob blocks a sync request on a job's completion, honouring the
+// client deadline and surviving client disconnects (the job keeps running;
+// the disconnect is a metric, not a failure).
+func (s *Server) awaitJob(w http.ResponseWriter, r *http.Request, j *job, work *solveWork, created bool) {
+	var deadlineC <-chan time.Time
+	if !work.deadline.IsZero() {
+		t := time.NewTimer(time.Until(work.deadline))
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	select {
+	case <-j.done:
+	case <-deadlineC:
+		writeError(w, http.StatusGatewayTimeout,
+			"deadline exceeded waiting for job %s (the solve continues; retry to hit the cache)", j.id)
+		return
+	case <-r.Context().Done():
+		// Client went away: count it and let the shared job finish for the
+		// cache and any other waiters. No response can be written.
+		s.metrics.clientDisconnects.Add(1)
+		return
+	}
+	snap := j.snapshot()
+	if snap.Error != "" {
+		j.mu.Lock()
+		serr := j.err
+		j.mu.Unlock()
+		s.writeSolveError(w, serr)
+		return
+	}
+	resp := *snap.Result
+	if !created {
+		// A joiner shares the creator's solve: a cache-equivalent hit.
+		resp.Cached = true
+	}
+	if resp.Digest != work.digest {
+		// Shared job solved the same digest by construction; this is a bug.
+		writeError(w, http.StatusInternalServerError, "job/digest mismatch")
+		return
+	}
+	writeJSON(w, http.StatusOK, &resp)
 }
 
 // serveCached re-serves a cached response (value copied; cache entries are
@@ -295,68 +511,213 @@ func (s *Server) serveCached(w http.ResponseWriter, resp *wire.SolveResponse) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
-// solveShared runs a cold solve with single-flight deduplication: the first
-// caller for a digest becomes the leader and runs solve (the cache miss is
-// counted once, on the leader), every concurrent duplicate waits for the
-// leader's result — a cache-equivalent hit — instead of burning a queue
-// slot on identical work. Shared by the sync and async paths, which differ
-// only in the solve closure's admission handling.
-func (s *Server) solveShared(work *solveWork, solve func() (*wire.SolveResponse, *solveError)) (*wire.SolveResponse, *solveError) {
+// ensureJob returns the active job for work's digest, creating (admitting,
+// journaling and enqueueing) it if none is in flight. Single-flight: one
+// durable job per digest, shared by every concurrent sync waiter and async
+// submission. The accepted record is durable before ensureJob returns. The
+// second return reports whether this caller created the job (false = joined
+// an existing flight).
+func (s *Server) ensureJob(work *solveWork, rawReq json.RawMessage) (*job, bool, *solveError) {
 	s.flightMu.Lock()
-	if fc, ok := s.flight[work.digest]; ok {
+	if j, ok := s.flight[work.digest]; ok {
 		s.flightMu.Unlock()
-		<-fc.done
-		if fc.err != nil {
-			return nil, fc.err
-		}
-		s.metrics.cacheHits.Add(1)
-		out := *fc.resp
-		out.Cached = true
-		return &out, nil
+		s.metrics.cacheHits.Add(1) // joins a flight: a cache-equivalent hit
+		return j, false, nil
 	}
-	fc := &flightCall{done: make(chan struct{})}
-	s.flight[work.digest] = fc
+	serr := s.admitJob()
+	if serr != nil {
+		s.flightMu.Unlock()
+		return nil, false, serr
+	}
+	s.metrics.cacheMisses.Add(1)
+	j := s.jobs.create(work.digest)
+	j.work = work
+	j.rawReq = rawReq
+	j.deadline = work.deadline
+	j.admitted = true
+	s.flight[work.digest] = j
 	s.flightMu.Unlock()
 
-	s.metrics.cacheMisses.Add(1)
-	fc.resp, fc.err = solve()
-	s.flightMu.Lock()
-	delete(s.flight, work.digest)
-	s.flightMu.Unlock()
-	close(fc.done)
-	return fc.resp, fc.err
+	if err := s.journalAppend(&journal.Record{
+		Type:     journal.TypeAccepted,
+		JobID:    j.id,
+		Digest:   j.digest,
+		Deadline: unixOrZero(j.deadline),
+		Request:  rawReq,
+	}); err != nil {
+		if j.tryFinish() {
+			s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("journal unavailable: %v", err)})
+		}
+		return nil, false, &solveError{code: http.StatusServiceUnavailable, msg: "journal unavailable"}
+	}
+	if err := s.queue.Enqueue(&queue.Job{
+		ID:       j.id,
+		Digest:   j.digest,
+		Deadline: j.deadline,
+		Payload:  j,
+	}); err != nil {
+		if j.tryFinish() {
+			s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: "server is shutting down"})
+		}
+		return nil, false, &solveError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	return j, true, nil
 }
 
-// admitSolve reserves a queue slot for one cold solve, refusing while
-// draining (503) or when the queue is full (429). Each successful call must
-// be paired with releaseSolve. The drainMu read lock makes the draining
-// check atomic with the inflight registration (see drainMu).
-func (s *Server) admitSolve() *solveError {
+func unixOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// admitJob reserves an admission slot for one new job, refusing while
+// draining (503) or when the backlog is full (429). The drainMu read lock
+// makes the draining check atomic with the inflight registration.
+func (s *Server) admitJob() *solveError {
 	s.drainMu.RLock()
 	defer s.drainMu.RUnlock()
 	if s.draining.Load() {
-		return &solveError{http.StatusServiceUnavailable, "server is draining"}
+		return &solveError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		return &solveError{http.StatusTooManyRequests,
-			fmt.Sprintf("solve queue full (%d in flight); retry later", cap(s.sem))}
+		return &solveError{code: http.StatusTooManyRequests, msg: fmt.Sprintf("solve queue full (%d jobs in flight); retry later", cap(s.sem))}
 	}
-	s.metrics.queueDepth.Add(1)
 	s.inflight.Add(1)
 	return nil
 }
 
-// releaseSolve returns an admitSolve reservation.
-func (s *Server) releaseSolve() {
-	<-s.sem
-	s.metrics.queueDepth.Add(-1)
+// finishJob publishes a job's outcome and releases its resources: the
+// flight entry, the admission slot and the drain waiter. The caller must
+// have won j.tryFinish (completion is exactly-once per job).
+func (s *Server) finishJob(j *job, resp *wire.SolveResponse, serr *solveError) {
+	j.finish(resp, serr)
+	s.flightMu.Lock()
+	if s.flight[j.digest] == j {
+		delete(s.flight, j.digest)
+	}
+	s.flightMu.Unlock()
+	if j.admitted {
+		<-s.sem
+	}
 	s.inflight.Done()
 }
 
-// solveOnPool runs one already-admitted solve on the shared pool and caches
-// the response. Callers hold a queue slot.
+// journalAppend durably logs rec, or does nothing in ephemeral mode.
+func (s *Server) journalAppend(rec *journal.Record) error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Append(rec)
+}
+
+// worker is one queue consumer: claim → journal lease → solve → journal
+// outcome → finish → ack, with the chaos plan's crash points threaded
+// through at the spots a real crash would hit.
+func (s *Server) worker(ctx context.Context, name string) {
+	defer s.workerWG.Done()
+	for {
+		lease, err := s.queue.Claim(ctx)
+		if err != nil {
+			return // ctx cancelled or queue closed
+		}
+		s.runLease(name, lease)
+	}
+}
+
+// runLease executes one claimed delivery of a job.
+func (s *Server) runLease(name string, lease *queue.Lease) {
+	j := lease.Job.Payload.(*job)
+	if j.finished() {
+		// Duplicate delivery of an already-completed job (lease expired
+		// after the work was done); nothing to do.
+		lease.Ack()
+		return
+	}
+	if err := s.journalAppend(&journal.Record{
+		Type:    journal.TypeLeased,
+		JobID:   j.id,
+		Digest:  j.digest,
+		Attempt: lease.Job.Attempt,
+		Worker:  name,
+	}); err != nil {
+		lease.Nack(fmt.Sprintf("journal: %v", err))
+		return
+	}
+	s.inj.At(chaos.QueueAfterLease) // planned crash: lease durable, no solve
+	j.setRunning(lease.Job.Attempt)
+
+	if dl := lease.Job.Deadline; !dl.IsZero() && time.Now().After(dl) {
+		s.completeJob(j, lease, nil, &solveError{code: http.StatusGatewayTimeout, msg: "deadline exceeded before the solve started"})
+		return
+	}
+	// The digest may have been solved by an earlier delivery of another
+	// job between enqueue and claim.
+	if resp, ok := s.cache.get(j.digest); ok {
+		out := *resp
+		out.Cached = true
+		s.completeJob(j, lease, &out, nil)
+		return
+	}
+	s.inj.At(chaos.WorkerSolve) // planned stall: outlive the lease TTL
+	resp, serr := s.solveOnPool(j.work)
+	if serr != nil && serr.retryable {
+		lease.Nack(serr.msg)
+		return
+	}
+	s.inj.At(chaos.WorkerBeforeDone) // planned crash: solved, not journaled
+	s.completeJob(j, lease, resp, serr)
+}
+
+// completeJob journals a job's outcome and finishes it, exactly once per
+// job: duplicate deliveries lose the tryFinish race and just release their
+// lease. The outcome record is durable before waiters are released.
+func (s *Server) completeJob(j *job, lease *queue.Lease, resp *wire.SolveResponse, serr *solveError) {
+	if !j.tryFinish() {
+		lease.Ack()
+		return
+	}
+	rec := &journal.Record{JobID: j.id, Digest: j.digest}
+	if serr != nil {
+		rec.Type = journal.TypeFailed
+		rec.Error = serr.msg
+	} else {
+		rec.Type = journal.TypeDone
+		if raw, err := json.Marshal(resp); err == nil {
+			rec.Result = raw
+		}
+	}
+	if err := s.journalAppend(rec); err != nil {
+		// The outcome could not be made durable; fail the waiters (the next
+		// incarnation will re-solve from the accepted record).
+		serr = &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("journal unavailable: %v", err)}
+		resp = nil
+	}
+	s.finishJob(j, resp, serr)
+	lease.Ack()
+}
+
+// onDeadLetter finishes a job the queue gave up on (retry budget spent).
+func (s *Server) onDeadLetter(d queue.DeadLetter) {
+	j, ok := d.Job.Payload.(*job)
+	if !ok {
+		return
+	}
+	_ = s.journalAppend(&journal.Record{
+		Type:    journal.TypeDead,
+		JobID:   j.id,
+		Digest:  j.digest,
+		Attempt: d.Job.Attempt,
+		Error:   d.Reason,
+	})
+	if j.tryFinish() {
+		s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("job %s dead-lettered after %d attempts: %s", j.id, d.Job.Attempt, d.Reason)})
+	}
+}
+
+// solveOnPool runs one solve on the shared pool and caches the response.
 func (s *Server) solveOnPool(work *solveWork) (*wire.SolveResponse, *solveError) {
 	start := time.Now()
 	results := s.pool.Sweep([]kecss.Task{work.task})
@@ -364,11 +725,12 @@ func (s *Server) solveOnPool(work *solveWork) (*wire.SolveResponse, *solveError)
 	res := results[0]
 	if res.Err != nil {
 		if errors.Is(res.Err, kecss.ErrPoolClosed) {
-			return nil, &solveError{http.StatusServiceUnavailable, "server is shut down"}
+			return nil, &solveError{code: http.StatusServiceUnavailable, msg: "server is shut down", retryable: true}
 		}
 		// Anything else is an input the solver rejected (wrong connectivity,
-		// bad k, ...): the request was well-formed but unsolvable.
-		return nil, &solveError{http.StatusUnprocessableEntity, res.Err.Error()}
+		// bad k, ...): the request was well-formed but unsolvable — a
+		// permanent failure, not retried.
+		return nil, &solveError{code: http.StatusUnprocessableEntity, msg: res.Err.Error()}
 	}
 	s.metrics.solveLatency.observe(elapsed)
 	resp := &wire.SolveResponse{
@@ -383,22 +745,148 @@ func (s *Server) solveOnPool(work *solveWork) (*wire.SolveResponse, *solveError)
 	return resp, nil
 }
 
-// handleHealth is GET /healthz: 200 with a status document while serving,
-// 503 once draining begins (so load balancers stop routing here).
+// applyReplay reconstructs the job table from journal records: finished
+// jobs come back pollable (results repopulate the cache), unfinished jobs
+// are re-enqueued with their attempt count carried over.
+func (s *Server) applyReplay(rep *journal.Replay) error {
+	type jobState struct {
+		accepted *journal.Record
+		attempts int
+		outcome  *journal.Record // done, failed or dead
+	}
+	states := make(map[string]*jobState)
+	order := make([]string, 0, len(rep.Records))
+	for i := range rep.Records {
+		rec := &rep.Records[i]
+		st := states[rec.JobID]
+		if st == nil {
+			st = &jobState{}
+			states[rec.JobID] = st
+			order = append(order, rec.JobID)
+		}
+		switch rec.Type {
+		case journal.TypeAccepted:
+			st.accepted = rec
+		case journal.TypeLeased:
+			if rec.Attempt > st.attempts {
+				st.attempts = rec.Attempt
+			}
+		case journal.TypeDone, journal.TypeFailed, journal.TypeDead:
+			st.outcome = rec
+		}
+	}
+	s.replay = ReplayInfo{Records: len(rep.Records), TornBytes: rep.TornBytes}
+	for _, id := range order {
+		st := states[id]
+		if st.accepted == nil {
+			// Lease/outcome records whose accepted record was torn away are
+			// orphans; the job was never acked to a client, skip it.
+			continue
+		}
+		rec := st.accepted
+		j := newJob(id, rec.Digest)
+		if st.outcome != nil {
+			s.replay.Completed++
+			switch st.outcome.Type {
+			case journal.TypeDone:
+				var resp wire.SolveResponse
+				if err := json.Unmarshal(st.outcome.Result, &resp); err != nil {
+					return fmt.Errorf("server: replaying job %s result: %w", id, err)
+				}
+				j.finishing = true
+				j.finish(&resp, nil)
+				s.cache.add(rec.Digest, &resp)
+			case journal.TypeFailed:
+				j.finishing = true
+				j.finish(nil, &solveError{code: http.StatusUnprocessableEntity, msg: st.outcome.Error})
+			case journal.TypeDead:
+				j.finishing = true
+				j.finish(nil, &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("job %s dead-lettered after %d attempts: %s", id, st.outcome.Attempt, st.outcome.Error)})
+			}
+			s.jobs.insert(j)
+			continue
+		}
+		// Unfinished: rebuild the work from the journaled request and
+		// re-enqueue. Replayed jobs bypass admission (they were admitted by
+		// the previous incarnation) but count toward drain.
+		var req wire.SolveRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			return fmt.Errorf("server: replaying job %s request: %w", id, err)
+		}
+		work, rawReq, err := buildWork(&req)
+		if err != nil {
+			return fmt.Errorf("server: replaying job %s request: %w", id, err)
+		}
+		j.work = work
+		j.rawReq = rawReq
+		if rec.Deadline != 0 {
+			j.deadline = time.Unix(0, rec.Deadline)
+		}
+		s.jobs.insert(j)
+		s.flightMu.Lock()
+		s.flight[j.digest] = j
+		s.flightMu.Unlock()
+		s.inflight.Add(1)
+		s.replay.Requeued++
+		if err := s.queue.Enqueue(&queue.Job{
+			ID:       j.id,
+			Digest:   j.digest,
+			Deadline: j.deadline,
+			Payload:  j,
+			Attempt:  st.attempts,
+		}); err != nil {
+			return fmt.Errorf("server: re-enqueueing job %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// handleHealth is GET /healthz: liveness. 200 while the process can serve
+// anything at all (including cache hits during drain); 503 only once Close
+// has torn the serving stack down.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	status := "ok"
-	if s.draining.Load() {
+	switch {
+	case s.closed.Load():
 		code = http.StatusServiceUnavailable
+		status = "closed"
+	case s.draining.Load():
 		status = "draining"
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
 		"workers":        s.pool.Workers(),
 		"cache_entries":  s.cache.len(),
-		"queue_depth":    s.metrics.queueDepth.Load(),
-		"queue_capacity": cap(s.sem),
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// handleReady is GET /readyz: readiness. 503 while draining or closed —
+// load balancers stop routing here before liveness ever flips — with the
+// journal replay summary in the body.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ready"
+	switch {
+	case s.closed.Load():
+		code = http.StatusServiceUnavailable
+		status = "closed"
+	case s.draining.Load():
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	qs := s.queue.Stats()
+	writeJSON(w, code, map[string]any{
+		"status":          status,
+		"journal":         s.cfg.JournalPath != "",
+		"replay_records":  s.replay.Records,
+		"replay_requeued": s.replay.Requeued,
+		"replay_torn":     s.replay.TornBytes,
+		"queue_ready":     qs.Ready,
+		"queue_delayed":   qs.Delayed,
+		"queue_leased":    qs.Leased,
+		"dead_letters":    qs.Dead,
 	})
 }
 

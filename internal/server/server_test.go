@@ -23,7 +23,10 @@ func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -307,8 +310,13 @@ func TestHealthMetricsAndDrain(t *testing.T) {
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	if resp, _ := getURL(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	// Liveness vs readiness: draining flips /readyz to 503 while /healthz
+	// stays 200 (the process is alive and still serves cache hits).
+	if resp, _ := getURL(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp, body := getURL(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"draining"`)) {
+		t.Errorf("healthz while draining = %d %s, want 200 draining", resp.StatusCode, body)
 	}
 	// Cache hits are still served during drain; new work is refused.
 	if out := solveOK(t, ts, req); !out.Cached {
@@ -320,6 +328,9 @@ func TestHealthMetricsAndDrain(t *testing.T) {
 	}
 	s.Close()
 	s.Close() // idempotent
+	if resp, _ := getURL(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after close = %d, want 503", resp.StatusCode)
+	}
 }
 
 // Concurrent identical cache-misses are deduplicated: exactly one cold

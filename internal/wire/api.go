@@ -8,6 +8,13 @@ import "fmt"
 type SolveRequest struct {
 	Graph *GraphJSON `json:"graph"`
 	SolveSpec
+	// TimeoutMillis, when > 0, is how long the caller is willing to wait
+	// for the result. The server propagates it into the job as a deadline:
+	// a sync waiter past it gets 504 (the solve itself continues and lands
+	// in the cache), and a job claimed after it fails fast instead of
+	// solving. Deliberately not part of SolveSpec — it must not change the
+	// content digest.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // Validate checks the request shape (graph present, solver named, k sane)
@@ -27,6 +34,9 @@ func (r *SolveRequest) Validate() error {
 		return fmt.Errorf("wire: request names no solver")
 	default:
 		return fmt.Errorf("wire: unknown solver %q", r.Solver)
+	}
+	if r.TimeoutMillis < 0 {
+		return fmt.Errorf("wire: timeout_ms must be >= 0, got %d", r.TimeoutMillis)
 	}
 	return nil
 }
@@ -63,10 +73,28 @@ const (
 type JobResponse struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+	// Attempts is how many times the job has been delivered to a worker
+	// (0 while queued; > 1 means leases expired and the job was retried).
+	Attempts int `json:"attempts,omitempty"`
 	// Error is the failure message when State is "failed".
 	Error string `json:"error,omitempty"`
 	// Result is present when State is "done".
 	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// DeadLetter is one entry of GET /v1/deadletters: a job that exhausted its
+// retry budget.
+type DeadLetter struct {
+	JobID    string `json:"job_id"`
+	Digest   string `json:"digest"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
+	Unix     int64  `json:"unix"`
+}
+
+// DeadLettersResponse is the JSON body of GET /v1/deadletters.
+type DeadLettersResponse struct {
+	DeadLetters []DeadLetter `json:"dead_letters"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx API response.
