@@ -1,0 +1,109 @@
+// Command kecss-agent is a stateless solver agent for the kecss serving
+// stack. It attaches to a frontend's broker API (kecss-serve mounts it at
+// /broker/v1), claims jobs under TTL leases, solves them on a local
+// kecss.Pool, and reports outcomes back through the lease. All durable
+// state — journal, result store of record — lives in the frontend;
+// SIGKILLing an agent at any instant costs one lease expiry, never an
+// acked job.
+//
+// Usage:
+//
+//	kecss-agent -frontend http://frontend:8080 -workers 4
+//
+// Scaling out is just starting more of these: each agent claims from the
+// same queue, the frontend's lease/redelivery/dead-letter semantics apply
+// identically over the wire (the broker conformance suite pins this), and
+// solves are deterministic so any agent's result for a digest is
+// byte-identical to any other's.
+//
+// With -store the agent keeps its own content-addressed read cache on
+// disk: a redelivered digest it has solved before completes without a
+// re-solve. This is an optimization, never a source of truth — the
+// frontend re-publishes every outcome to its own store.
+//
+// The agent survives frontend restarts: claim long-polls that fail at the
+// transport level are retried with a pause until the frontend comes back.
+// On SIGTERM/SIGINT the agent stops claiming, finishes in-flight solves
+// (their outcomes still flow through the held leases), and exits 0.
+//
+// Fault injection (testing only): -chaos takes a chaos plan spec (see
+// internal/chaos), also readable from $KECSS_CHAOS; a planned crash exits
+// with status 43.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/queue/httpbroker"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		frontend  = flag.String("frontend", "http://127.0.0.1:8080", "frontend base URL (the agent claims from <frontend>/broker/v1)")
+		workers   = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		loops     = flag.Int("loops", 0, "concurrent claim loops (0 = pool workers)")
+		storeDir  = flag.String("store", "", "local result read-cache root (empty = memory only)")
+		cacheSize = flag.Int("cache", 1024, "in-memory result cache entries (negative disables)")
+		wait      = flag.Duration("claim-wait", 25*time.Second, "long-poll window per claim round")
+		retry     = flag.Duration("claim-retry", 500*time.Millisecond, "pause before re-polling after a transport error")
+		seed      = flag.Int64("seed", 1, "chaos plan seed (testing only)")
+		chaosSpec = flag.String("chaos", os.Getenv("KECSS_CHAOS"), "fault-injection plan (testing only)")
+	)
+	flag.Parse()
+
+	inj, err := chaos.Parse(*chaosSpec, *seed)
+	if err != nil {
+		log.Fatalf("kecss-agent: %v", err)
+	}
+	if inj != nil {
+		log.Printf("kecss-agent: FAULT INJECTION ACTIVE: %s", *chaosSpec)
+	}
+
+	cache := *cacheSize
+	if cache < 0 {
+		cache = 0
+	}
+	st, err := store.Open(store.Options{
+		Dir:       *storeDir,
+		CacheSize: cache,
+		Decode:    server.DecodeStoredResponse,
+		Inject:    inj,
+	})
+	if err != nil {
+		log.Fatalf("kecss-agent: %v", err)
+	}
+
+	broker := httpbroker.NewClient(*frontend+"/broker/v1", httpbroker.ClientOptions{
+		Wait:  *wait,
+		Retry: *retry,
+	})
+	agent := server.NewAgent(broker, server.AgentConfig{
+		Workers: *workers,
+		Loops:   *loops,
+		Store:   st,
+		Chaos:   inj,
+	})
+	log.Printf("kecss-agent: %d workers claiming from %s (digest format v%d)",
+		agent.Workers(), *frontend, wire.DigestVersion)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("kecss-agent: %v received, finishing in-flight solves", got)
+
+	// Stop claiming; in-flight solves complete and report through their
+	// leases before Close returns. The remote broker is untouched — other
+	// agents keep claiming from it.
+	broker.Close()
+	agent.Close()
+	log.Println("kecss-agent: drained")
+}

@@ -1,19 +1,32 @@
-// Command kecss-load replays scenario families (scenarios/*.json) against a
-// running kecss-serve instance at a target QPS and reports throughput,
-// latency percentiles, cache behaviour and — with -check — verifies that
-// every served result is byte-identical to a direct in-process solve of the
-// same request.
+// Command kecss-load replays scenario families (scenarios/*.json) against
+// one or more running kecss-serve frontends at a target QPS and reports
+// throughput, latency percentiles, cache behaviour and — with -check —
+// verifies that every served result is byte-identical to a direct
+// in-process solve of the same request.
 //
 // Usage:
 //
 //	kecss-load -addr http://127.0.0.1:8080 -scenario scenarios/serve.json \
 //	           -duration 5s -conc 8 -qps 0 -check
 //
-// The run has three phases: an optional -check phase (solve every distinct
-// request locally to learn the expected digests), a warm phase (send every
-// distinct request once, cold, measuring cold-solve latency), and the timed
-// replay phase (cycle the request mix from -conc connections, cache-hot).
-// The tool exits non-zero on transport errors, HTTP failures, or any digest
+//	# N-frontend run: repeat -addr; requests are dispatched round-robin
+//	# and the report breaks throughput/latency down per target.
+//	kecss-load -addr http://fe1:8080 -addr http://fe2:8080 ...
+//
+//	# Agent-scaling run: -spread multiplies the request mix with distinct
+//	# seeds (distinct digests), -cold sends each exactly once — a
+//	# cache-cold workload whose throughput tracks solver capacity, not
+//	# cache hits. -json appends a summary row for BENCH_serve.json.
+//	kecss-load -addr http://fe:8080 -spread 8 -cold -label agents=2 \
+//	           -json BENCH_row.json
+//
+// The default run has three phases: an optional -check phase (solve every
+// distinct request locally to learn the expected digests), a warm phase
+// (send every distinct request once, cold, measuring cold-solve latency),
+// and the timed replay phase (cycle the request mix from -conc
+// connections, cache-hot). With -cold the warm phase is skipped and the
+// timed phase ends when every distinct request has been served once. The
+// tool exits non-zero on transport errors, HTTP failures, or any digest
 // mismatch.
 package main
 
@@ -30,6 +43,7 @@ import (
 	"reflect"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,38 +60,87 @@ type request struct {
 	expected *wire.SolveResponse
 }
 
-// sample is one measured round-trip of the replay phase.
+// sample is one measured round-trip of the replay phase. target indexes
+// the -addr list the request was dispatched to.
 type sample struct {
 	latency time.Duration
 	cached  bool
+	target  int
+}
+
+// opts is the parsed command line.
+type opts struct {
+	addrs    []string
+	path     string
+	duration time.Duration
+	conc     int
+	qps      float64
+	warm     bool
+	check    bool
+	cold     bool
+	spread   int
+	label    string
+	jsonPath string
+	timeout  time.Duration
 }
 
 func main() {
-	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "kecss-serve base URL")
-		path     = flag.String("scenario", "scenarios/serve.json", "scenario file to replay")
-		duration = flag.Duration("duration", 5*time.Second, "timed replay phase length")
-		conc     = flag.Int("conc", 8, "concurrent connections")
-		qps      = flag.Float64("qps", 0, "target requests/s across all connections (0 = unthrottled)")
-		warm     = flag.Bool("warm", true, "send every distinct request once before timing (cache-hot replay)")
-		check    = flag.Bool("check", true, "verify served results against direct in-process solves")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
-	)
+	var o opts
+	flag.Func("addr", "kecss-serve base URL (repeatable; requests round-robin across targets)", func(v string) error {
+		o.addrs = append(o.addrs, v)
+		return nil
+	})
+	flag.StringVar(&o.path, "scenario", "scenarios/serve.json", "scenario file to replay")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "timed replay phase length (ignored with -cold)")
+	flag.IntVar(&o.conc, "conc", 8, "concurrent connections")
+	flag.Float64Var(&o.qps, "qps", 0, "target requests/s across all connections (0 = unthrottled)")
+	flag.BoolVar(&o.warm, "warm", true, "send every distinct request once before timing (cache-hot replay)")
+	flag.BoolVar(&o.check, "check", true, "verify served results against direct in-process solves")
+	flag.BoolVar(&o.cold, "cold", false, "cache-cold run: send each distinct request exactly once, no warm phase")
+	flag.IntVar(&o.spread, "spread", 1, "replicate the request mix N times with distinct seeds (distinct digests)")
+	flag.StringVar(&o.label, "label", "", "row label for the -json summary (e.g. agents=2)")
+	flag.StringVar(&o.jsonPath, "json", "", "write a one-row JSON summary of the replay phase to this file")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request timeout")
 	flag.Parse()
-	if err := run(*addr, *path, *duration, *conc, *qps, *warm, *check, *timeout); err != nil {
+	if len(o.addrs) == 0 {
+		o.addrs = []string{"http://127.0.0.1:8080"}
+	}
+	if o.spread < 1 {
+		o.spread = 1
+	}
+	if o.cold {
+		o.warm = false
+	}
+	if err := run(&o); err != nil {
 		fmt.Fprintln(os.Stderr, "kecss-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, path string, duration time.Duration, conc int, qps float64, warm, check bool, timeout time.Duration) error {
-	sf, err := scenario.Load(path)
+func run(o *opts) error {
+	sf, err := scenario.Load(o.path)
 	if err != nil {
 		return err
 	}
-	wireReqs, err := sf.Requests()
+	baseReqs, err := sf.Requests()
 	if err != nil {
 		return err
+	}
+	// -spread: N seed-varied copies of every request. Distinct seeds mean
+	// distinct digests, so a spread mix is cache-cold by construction —
+	// throughput then measures solver capacity (how many agents), not
+	// cache hits.
+	wireReqs := make([]*wire.SolveRequest, 0, len(baseReqs)*o.spread)
+	for c := 0; c < o.spread; c++ {
+		for _, wr := range baseReqs {
+			if c == 0 {
+				wireReqs = append(wireReqs, wr)
+				continue
+			}
+			cp := *wr
+			cp.Seed = wr.Seed + int64(c)*1_000_003
+			wireReqs = append(wireReqs, &cp)
+		}
 	}
 	reqs := make([]*request, len(wireReqs))
 	for i, wr := range wireReqs {
@@ -87,10 +150,10 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 		}
 		reqs[i] = &request{body: body}
 	}
-	fmt.Printf("kecss-load: %s → %s: %d scenarios, %d distinct requests\n",
-		path, addr, len(sf.Scenarios), len(reqs))
+	fmt.Printf("kecss-load: %s → %s: %d scenarios, %d distinct requests (spread %d)\n",
+		o.path, strings.Join(o.addrs, ", "), len(sf.Scenarios), len(reqs), o.spread)
 
-	if check {
+	if o.check {
 		start := time.Now()
 		if err := solveDirect(wireReqs, reqs); err != nil {
 			return err
@@ -100,35 +163,41 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 	}
 
 	client := &http.Client{
-		Timeout: timeout,
+		Timeout: o.timeout,
 		Transport: &http.Transport{
-			MaxIdleConns:        conc,
-			MaxIdleConnsPerHost: conc,
+			MaxIdleConns:        o.conc * len(o.addrs),
+			MaxIdleConnsPerHost: o.conc,
 		},
 	}
 
-	// Warm phase: every distinct request once, measuring cold round-trips,
-	// then once more to measure unloaded cache-hit round-trips — the
-	// like-for-like pair behind the reported cache speedup (the timed replay
-	// below measures hits under full concurrency instead).
+	// Warm phase: every distinct request once per target, measuring cold
+	// round-trips (first target only — later targets may hit a shared
+	// store), then once more to measure unloaded cache-hit round-trips —
+	// the like-for-like pair behind the reported cache speedup (the timed
+	// replay below measures hits under full concurrency instead).
 	var coldRTT, hitRTT []time.Duration
 	var coldSolveMS []float64
-	if warm {
-		for i, r := range reqs {
-			start := time.Now()
-			resp, err := post(client, addr, r.body)
-			if err != nil {
-				return fmt.Errorf("warm request %d: %w", i, err)
-			}
-			coldRTT = append(coldRTT, time.Since(start))
-			if !resp.Cached {
-				coldSolveMS = append(coldSolveMS, resp.SolveMillis)
-			}
-			if err := verify(r, resp, check); err != nil {
-				return fmt.Errorf("warm request %d: %w", i, err)
+	if o.warm {
+		for ti, addr := range o.addrs {
+			for i, r := range reqs {
+				start := time.Now()
+				resp, err := post(client, addr, r.body)
+				if err != nil {
+					return fmt.Errorf("warm request %d via %s: %w", i, addr, err)
+				}
+				if ti == 0 {
+					coldRTT = append(coldRTT, time.Since(start))
+					if !resp.Cached {
+						coldSolveMS = append(coldSolveMS, resp.SolveMillis)
+					}
+				}
+				if err := verify(r, resp, o.check); err != nil {
+					return fmt.Errorf("warm request %d via %s: %w", i, addr, err)
+				}
 			}
 		}
 		for i, r := range reqs {
+			addr := o.addrs[i%len(o.addrs)]
 			start := time.Now()
 			resp, err := post(client, addr, r.body)
 			if err != nil {
@@ -136,9 +205,9 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 			}
 			hitRTT = append(hitRTT, time.Since(start))
 			if !resp.Cached {
-				return fmt.Errorf("hit-measure request %d missed the cache", i)
+				return fmt.Errorf("hit-measure request %d missed the cache on %s", i, addr)
 			}
-			if err := verify(r, resp, check); err != nil {
+			if err := verify(r, resp, o.check); err != nil {
 				return fmt.Errorf("hit-measure request %d: %w", i, err)
 			}
 		}
@@ -147,7 +216,10 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 			meanDuration(hitRTT).Round(time.Microsecond))
 	}
 
-	// Timed replay phase.
+	// Timed replay phase. Requests round-robin across targets by global
+	// sequence number. In -cold mode the phase sends each distinct request
+	// exactly once and ends when the mix is exhausted; otherwise it cycles
+	// the mix until -duration elapses.
 	var (
 		next         atomic.Int64
 		mismatch     atomic.Int64
@@ -159,31 +231,41 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 		samples      []sample
 	)
 	start := time.Now()
-	deadline := start.Add(duration)
+	deadline := start.Add(o.duration)
 	var wg sync.WaitGroup
-	for c := 0; c < conc; c++ {
+	for c := 0; c < o.conc; c++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			local := make([]sample, 0, 4096)
 			rng := rand.New(rand.NewSource(int64(worker) + 1))
 			attempt := 0
+			var redo int64 = -1 // cold mode: sequence to retry after a shed
 			for {
-				now := time.Now()
-				if now.After(deadline) {
+				var seq int64
+				if redo >= 0 {
+					seq, redo = redo, -1
+				} else {
+					seq = next.Add(1) - 1
+				}
+				if o.cold {
+					if seq >= int64(len(reqs)) {
+						break
+					}
+				} else if time.Now().After(deadline) {
 					break
 				}
-				seq := next.Add(1) - 1
-				if qps > 0 {
+				if o.qps > 0 {
 					// Global pacing: request #seq is due at start + seq/qps.
-					due := start.Add(time.Duration(float64(seq) / qps * float64(time.Second)))
+					due := start.Add(time.Duration(float64(seq) / o.qps * float64(time.Second)))
 					if wait := time.Until(due); wait > 0 {
 						time.Sleep(wait)
 					}
 				}
+				target := int(seq) % len(o.addrs)
 				r := reqs[int(seq)%len(reqs)]
 				t0 := time.Now()
-				resp, err := post(client, addr, r.body)
+				resp, err := post(client, o.addrs[target], r.body)
 				rtt := time.Since(t0)
 				if err != nil {
 					var te *throttleError
@@ -191,12 +273,16 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 						// The server shed us (429 queue-full or 503 draining):
 						// honour its Retry-After, with jittered exponential
 						// backoff on top so shed workers do not re-arrive in
-						// lockstep.
+						// lockstep. In cold mode the shed request must still
+						// be sent, so its sequence is retried.
 						throttled.Add(1)
 						retries.Add(1)
 						d := backoffDelay(attempt, te.retryAfter, rng)
 						attempt++
 						backoffNanos.Add(int64(d))
+						if o.cold {
+							redo = seq
+						}
 						time.Sleep(d)
 						continue
 					}
@@ -205,11 +291,11 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 					continue
 				}
 				attempt = 0
-				if err := verify(r, resp, check); err != nil {
+				if err := verify(r, resp, o.check); err != nil {
 					mismatch.Add(1)
 					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
 				}
-				local = append(local, sample{latency: rtt, cached: resp.Cached})
+				local = append(local, sample{latency: rtt, cached: resp.Cached, target: target})
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -222,9 +308,14 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 	if len(samples) == 0 {
 		return fmt.Errorf("no successful requests in %v", elapsed)
 	}
-	report(samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), retries.Load(),
-		time.Duration(backoffNanos.Load()), failures.Load(), mismatch.Load(), check)
+	report(o, samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), retries.Load(),
+		time.Duration(backoffNanos.Load()), failures.Load(), mismatch.Load())
 
+	if o.jsonPath != "" {
+		if err := writeSummary(o, samples, elapsed, failures.Load(), mismatch.Load(), throttled.Load()); err != nil {
+			return err
+		}
+	}
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d requests failed", failures.Load())
 	}
@@ -235,11 +326,13 @@ func run(addr, path string, duration time.Duration, conc int, qps float64, warm,
 }
 
 // solveDirect computes every request's expected result with the in-process
-// pool (one single-task sweep per request, matching the server's execution
-// exactly) and records it on the request.
+// pool and records it on the request. Each request MUST run as its own
+// single-task sweep: the pool XORs the task index into the solver seed, and
+// the server solves every job at index 0 — batching here would check the
+// served bytes against differently-seeded solves. Sweeps are safe to run
+// concurrently, so a -spread mix still checks at full parallelism.
 func solveDirect(wireReqs []*wire.SolveRequest, reqs []*request) error {
-	pool := kecss.NewPool(0)
-	defer pool.Close()
+	tasks := make([]kecss.Task, len(wireReqs))
 	for i, wr := range wireReqs {
 		g, err := wr.Graph.ToGraph()
 		if err != nil {
@@ -249,23 +342,46 @@ func solveDirect(wireReqs []*wire.SolveRequest, reqs []*request) error {
 		if err != nil {
 			return fmt.Errorf("request %d: %w", i, err)
 		}
-		res := pool.Sweep([]kecss.Task{{
+		tasks[i] = kecss.Task{
 			Graph:  g,
 			Solver: solver,
 			K:      wr.K,
 			Opts:   server.OptionsFromSpec(wr.SolveSpec),
-		}})[0]
-		if res.Err != nil {
-			return fmt.Errorf("request %d: direct solve: %w", i, res.Err)
-		}
-		reqs[i].expected = &wire.SolveResponse{
-			Edges:        res.Edges,
-			Weight:       res.Weight,
-			Rounds:       res.Rounds,
-			ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
 		}
 	}
-	return nil
+	pool := kecss.NewPool(0)
+	defer pool.Close()
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < min(len(tasks), 8); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(tasks) {
+					return
+				}
+				res := pool.Sweep(tasks[i : i+1])[0]
+				if res.Err != nil {
+					errOnce.Do(func() { firstEr = fmt.Errorf("request %d: direct solve: %w", i, res.Err) })
+					return
+				}
+				reqs[i].expected = &wire.SolveResponse{
+					Edges:        res.Edges,
+					Weight:       res.Weight,
+					Rounds:       res.Rounds,
+					ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
 }
 
 // throttleError marks a shed request (429 queue-full or 503 draining) so
@@ -377,8 +493,50 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Duration, coldSolveMS []float64,
-	throttled, retries int64, backoff time.Duration, failures, mismatches int64, check bool) {
+// targetStats aggregates the replay samples dispatched to one -addr target.
+type targetStats struct {
+	Addr     string  `json:"addr"`
+	Requests int     `json:"requests"`
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	Hits     int     `json:"cache_hits"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// perTarget splits the replay samples by dispatch target and computes each
+// target's throughput and latency percentiles over the shared elapsed
+// window (round-robin dispatch keeps the windows comparable).
+func perTarget(o *opts, samples []sample, elapsed time.Duration) []targetStats {
+	byTarget := make([][]time.Duration, len(o.addrs))
+	hits := make([]int, len(o.addrs))
+	for _, s := range samples {
+		byTarget[s.target] = append(byTarget[s.target], s.latency)
+		if s.cached {
+			hits[s.target]++
+		}
+	}
+	out := make([]targetStats, len(o.addrs))
+	for i, lat := range byTarget {
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		st := targetStats{Addr: o.addrs[i], Requests: len(lat), Hits: hits[i]}
+		if len(lat) > 0 {
+			st.RPS = float64(len(lat)) / elapsed.Seconds()
+			st.P50Ms = ms(percentile(lat, 0.50))
+			st.P90Ms = ms(percentile(lat, 0.90))
+			st.P99Ms = ms(percentile(lat, 0.99))
+			st.MaxMs = ms(lat[len(lat)-1])
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func report(o *opts, samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Duration, coldSolveMS []float64,
+	throttled, retries int64, backoff time.Duration, failures, mismatches int64) {
 	lat := make([]time.Duration, 0, len(samples))
 	hits := 0
 	for _, s := range samples {
@@ -403,6 +561,13 @@ func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Dura
 		lat[len(lat)-1].Round(time.Microsecond))
 	fmt.Printf("cache: %d/%d hits (%.1f%%)\n", hits, len(samples), 100*float64(hits)/float64(len(samples)))
 
+	if len(o.addrs) > 1 {
+		for _, st := range perTarget(o, samples, elapsed) {
+			fmt.Printf("target %-28s %6d req (%.0f req/s)  p50 %.2fms  p90 %.2fms  p99 %.2fms  hits %d\n",
+				st.Addr, st.Requests, st.RPS, st.P50Ms, st.P90Ms, st.P99Ms, st.Hits)
+		}
+	}
+
 	if len(coldRTT) > 0 && len(hitRTT) > 0 {
 		coldMean := meanDuration(coldRTT)
 		hitMean := meanDuration(hitRTT)
@@ -411,11 +576,79 @@ func report(samples []sample, elapsed time.Duration, coldRTT, hitRTT []time.Dura
 			float64(coldMean)/float64(hitMean),
 			time.Duration(meanFloat(coldSolveMS)*float64(time.Millisecond)).Round(time.Microsecond))
 	}
-	if check {
+	if o.check {
 		if mismatches == 0 {
 			fmt.Println("digests: every served result matches the direct in-process solve")
 		} else {
 			fmt.Printf("digests: %d MISMATCHES\n", mismatches)
 		}
 	}
+}
+
+// summaryRow is the -json output: one row describing the replay phase, in
+// the same spirit as cmd/benchjson rows — CI's agent-scaling smoke collects
+// these into BENCH_serve.json and gates on the rps ratio between rows.
+type summaryRow struct {
+	Label      string        `json:"label,omitempty"`
+	Addrs      []string      `json:"addrs"`
+	Scenario   string        `json:"scenario"`
+	Cold       bool          `json:"cold"`
+	Spread     int           `json:"spread"`
+	Conc       int           `json:"conc"`
+	Requests   int           `json:"requests"`
+	Seconds    float64       `json:"seconds"`
+	RPS        float64       `json:"rps"`
+	P50Ms      float64       `json:"p50_ms"`
+	P90Ms      float64       `json:"p90_ms"`
+	P99Ms      float64       `json:"p99_ms"`
+	MaxMs      float64       `json:"max_ms"`
+	HitRate    float64       `json:"hit_rate"`
+	Failures   int64         `json:"failures"`
+	Mismatches int64         `json:"mismatches"`
+	Throttled  int64         `json:"throttled"`
+	Targets    []targetStats `json:"targets,omitempty"`
+}
+
+func writeSummary(o *opts, samples []sample, elapsed time.Duration, failures, mismatches, throttled int64) error {
+	lat := make([]time.Duration, 0, len(samples))
+	hits := 0
+	for _, s := range samples {
+		lat = append(lat, s.latency)
+		if s.cached {
+			hits++
+		}
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	row := summaryRow{
+		Label:      o.label,
+		Addrs:      o.addrs,
+		Scenario:   o.path,
+		Cold:       o.cold,
+		Spread:     o.spread,
+		Conc:       o.conc,
+		Requests:   len(samples),
+		Seconds:    elapsed.Seconds(),
+		RPS:        float64(len(samples)) / elapsed.Seconds(),
+		P50Ms:      ms(percentile(lat, 0.50)),
+		P90Ms:      ms(percentile(lat, 0.90)),
+		P99Ms:      ms(percentile(lat, 0.99)),
+		MaxMs:      ms(lat[len(lat)-1]),
+		HitRate:    float64(hits) / float64(len(samples)),
+		Failures:   failures,
+		Mismatches: mismatches,
+		Throttled:  throttled,
+	}
+	if len(o.addrs) > 1 {
+		row.Targets = perTarget(o, samples, elapsed)
+	}
+	raw, err := json.MarshalIndent(row, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(o.jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("summary: wrote %s\n", o.jsonPath)
+	return nil
 }

@@ -1,26 +1,39 @@
 // Command kecss-serve exposes the k-ECSS solver stack as an HTTP service:
-// a shared solver pool behind a content-addressed result cache, with a
-// crash-safe job layer (durable journal + leased work queue), bounded-queue
-// backpressure, Prometheus metrics and graceful drain.
+// a thin frontend (admission, journal, digest-keyed result store) over a
+// leased work queue, with solver capacity provided by agents — fused
+// in-process by default, or attached from other processes over the broker
+// API.
 //
 // Usage:
 //
 //	kecss-serve -addr :8080 -workers 4 -cache 4096 -queue 64 \
-//	            -journal /var/lib/kecss/journal.wal
+//	            -journal /var/lib/kecss/journal.wal \
+//	            -store /var/lib/kecss/store
+//
+// Modes (-mode):
+//
+//	all       (default) frontend plus one in-process agent — the single-
+//	          binary behavior; remote agents may still attach for extra
+//	          capacity.
+//	frontend  HTTP API, journal and store only. Solves wait until
+//	          cmd/kecss-agent processes claim them via /broker/v1.
 //
 // Endpoints (see internal/server):
 //
 //	POST /v1/solve        synchronous solve
 //	POST /v1/jobs         asynchronous solve (202 + job id)
 //	GET  /v1/jobs/{id}    poll a job
-//	GET  /v1/deadletters  jobs that exhausted their retry budget
+//	GET  /v1/deadletters  jobs that exhausted their retry budget (?limit=N)
 //	GET  /healthz         liveness (503 only once closed)
 //	GET  /readyz          readiness (503 during drain; replay summary)
 //	GET  /metrics         Prometheus text metrics
+//	*    /broker/v1/...   work-queue API consumed by remote agents
 //
 // With -journal, accepted jobs survive kill -9: on restart the journal is
 // replayed, finished jobs come back pollable and unfinished jobs are
-// re-enqueued and solved again.
+// re-enqueued and solved again. With -store, results are durable too:
+// a restarted frontend answers yesterday's digests from disk without a
+// single re-solve.
 //
 // On SIGTERM/SIGINT the server stops accepting work, finishes in-flight
 // solves (bounded by -drain-timeout), and exits 0 on a clean drain.
@@ -45,9 +58,18 @@ import (
 	"repro/internal/server"
 )
 
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		mode         = flag.String("mode", "all", "what to run: all (frontend + fused agent) or frontend (agents attach via /broker/v1)")
+		storeDir     = flag.String("store", "", "durable result-store root (empty = results die with the process)")
 		workers      = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
 		solveWorkers = flag.Int("solve-workers", 0, "queue consumer goroutines (0 = pool workers)")
 		cacheSize    = flag.Int("cache", 4096, "result cache entries (negative disables)")
@@ -85,6 +107,8 @@ func main() {
 		BackoffMax:   *backoffMax,
 		Seed:         *seed,
 		Chaos:        inj,
+		Mode:         *mode,
+		StoreDir:     *storeDir,
 	})
 	if err != nil {
 		log.Fatalf("kecss-serve: %v", err)
@@ -97,7 +121,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("kecss-serve: listening on %s", *addr)
+		log.Printf("kecss-serve: listening on %s (mode=%s, store=%s)", *addr, *mode, orNone(*storeDir))
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/wire"
+)
+
+// buildAgentBinary compiles cmd/kecss-agent once per test run.
+var buildAgentBinary = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "kecss-agent-test")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "kecss-agent")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/kecss-agent").CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+// startProc launches a binary with explicit args and wires up the same
+// lifecycle plumbing as startServe (log capture, cleanup kill, done channel).
+func startProc(t *testing.T, name, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		select {
+		case <-p.done:
+		default:
+			cmd.Process.Kill()
+			<-p.done
+		}
+		if t.Failed() {
+			t.Logf("%s output:\n%s", name, logs.String())
+		}
+	})
+	return p
+}
+
+func startFrontend(t *testing.T, bin, wal, storeDir string, port int) *serveProc {
+	t.Helper()
+	p := startProc(t, "kecss-serve", bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-mode", "frontend",
+		"-journal", wal,
+		"-store", storeDir,
+		"-queue", "64",
+		"-lease-ttl", "1s",
+		"-backoff-base", "10ms",
+		"-backoff-max", "100ms",
+		"-seed", "1",
+	)
+	p.base = fmt.Sprintf("http://127.0.0.1:%d", port)
+	return p
+}
+
+func startAgent(t *testing.T, bin, frontend, chaosSpec string) *serveProc {
+	t.Helper()
+	return startProc(t, "kecss-agent", bin,
+		"-frontend", frontend,
+		"-workers", "1",
+		"-claim-wait", "2s",
+		"-claim-retry", "100ms",
+		"-seed", "1",
+		"-chaos", chaosSpec,
+	)
+}
+
+func postSolve(t *testing.T, base string, req *wire.SolveRequest, timeout time.Duration) *wire.SolveResponse {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve = %d: %s", resp.StatusCode, body)
+	}
+	var out wire.SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestMultiProcessSmoke runs the split deployment end to end: one frontend
+// process (journal + store, no fused agent) and two kecss-agent processes
+// claiming over HTTP. One agent is SIGKILLed while stalled mid-solve; its
+// lease expires and the surviving agent finishes the job. Every acked job
+// must complete exactly once (one done record in the journal) with digests
+// byte-identical to direct in-process solves, and a fresh frontend sharing
+// only the store — not the journal — must answer those digests from disk
+// without any agent attached.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke spawns real processes; skipped in -short")
+	}
+	serveBin, err := buildServeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentBin, err := buildAgentBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := crashWorkload(t, 12)
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "journal.wal")
+	storeDir := filepath.Join(dir, "store")
+
+	fe := startFrontend(t, serveBin, wal, storeDir, freePort(t))
+	fe.waitReady(t, 10*time.Second)
+
+	// The victim stalls 60s into its first solve — a deterministic
+	// mid-solve hang to SIGKILL — while the survivor runs clean.
+	victim := startAgent(t, agentBin, fe.base, "stall@worker.solve#1:60s")
+	survivor := startAgent(t, agentBin, fe.base, "")
+	_ = survivor
+
+	acked := make(map[string]int)
+	for i, job := range jobs {
+		id := submitAsync(t, fe.base, job.req)
+		if id == "" {
+			t.Fatalf("job %d not acknowledged by a healthy frontend", i)
+		}
+		acked[id] = i
+	}
+
+	// Give the victim time to claim and enter its stall, then kill it
+	// mid-solve. The held lease expires (1s TTL) and the job redelivers.
+	time.Sleep(500 * time.Millisecond)
+	victim.cmd.Process.Signal(syscall.SIGKILL)
+	<-victim.done
+	victim.done <- nil
+
+	for id, i := range acked {
+		res := pollDone(t, fe.base, id, 60*time.Second)
+		if res == nil {
+			t.Fatalf("job %s done without result", id)
+		}
+		if res.Digest != jobs[i].digest || res.ResultDigest != jobs[i].resultDigest {
+			t.Errorf("job %s digests (%s, %s), want (%s, %s)",
+				id, res.Digest, res.ResultDigest, jobs[i].digest, jobs[i].resultDigest)
+		}
+	}
+
+	// Exactly-once on the durable record: one done record per acked job
+	// across every delivery, including the redelivered one.
+	fe.cmd.Process.Signal(syscall.SIGTERM)
+	<-fe.done
+	fe.done <- nil
+	rep, err := journal.ReadAll(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCount := make(map[string]int)
+	for _, rec := range rep.Records {
+		if rec.Type == journal.TypeDone {
+			doneCount[rec.JobID]++
+		}
+	}
+	for id := range acked {
+		if doneCount[id] != 1 {
+			t.Errorf("job %s has %d done records, want exactly 1", id, doneCount[id])
+		}
+	}
+
+	// A frontend sharing only the result store (fresh journal, zero agents)
+	// answers the same digests from disk: the store, not the journal or any
+	// solver, is the source of those bytes.
+	fe2 := startFrontend(t, serveBin, filepath.Join(dir, "journal2.wal"), storeDir, freePort(t))
+	fe2.waitReady(t, 10*time.Second)
+	for i := range 3 {
+		res := postSolve(t, fe2.base, jobs[i].req, 5*time.Second)
+		if !res.Cached {
+			t.Errorf("restarted frontend re-solved job %d instead of serving the store", i)
+		}
+		if res.Digest != jobs[i].digest || res.ResultDigest != jobs[i].resultDigest {
+			t.Errorf("store-served job %d digests (%s, %s), want (%s, %s)",
+				i, res.Digest, res.ResultDigest, jobs[i].digest, jobs[i].resultDigest)
+		}
+	}
+}

@@ -11,11 +11,15 @@
 //	torn@journal.before-fsync#2     write half the 2nd batch, then exit
 //	crash@queue.after-lease#1       exit after the 1st lease is journaled
 //	stall@worker.solve#2:300ms      sleep 300ms inside the 2nd solve
+//	stall@worker.solve#*:20ms       sleep 20ms inside every solve
 //	crash@worker.before-done#1      exit after solving, before the done record
 //
 // The `#n` hit index is 1-based. When omitted, the hit is derived from the
 // plan seed (splitmix64), uniformly in [1, 8] — a cheap way to get a seed
-// matrix out of one spec. An empty plan string yields a nil Injector, and
+// matrix out of one spec. `#*` fires on every hit instead of one — with
+// stall this turns a fault plan into a latency model (each solve costs at
+// least the stall), which is how the CI agent-scaling smoke makes
+// horizontal scaling visible on a small runner. An empty plan string yields a nil Injector, and
 // every Injector method is nil-safe, so production code calls the hooks
 // unconditionally.
 //
@@ -53,6 +57,11 @@ const (
 	// WorkerBeforeDone fires after a solve succeeds, before its done
 	// record is journaled — the job must be re-solved on restart.
 	WorkerBeforeDone Point = "worker.before-done"
+	// StorePut fires in the result store after the temp file is written,
+	// before the rename publishes it. ActCrash here leaves only a *.tmp
+	// file, which recovery must sweep; ActCrashTorn truncates the temp
+	// file first, modeling a torn final record.
+	StorePut Point = "store.put"
 )
 
 // Action is what an instrumentation point should do right now.
@@ -80,6 +89,7 @@ const ExitCode = 43
 type fault struct {
 	action Action
 	hit    uint64 // 1-based hit index on which to fire
+	every  bool   // fire on every hit (`#*`) instead of one
 	stall  time.Duration
 	fired  bool
 	once   bool // crash faults fire at most once even if the process survives
@@ -168,14 +178,18 @@ func parseFault(part string, rng *uint64) (*fault, Point, error) {
 	}
 	pointStr, hitStr, hasHit := strings.Cut(rest, "#")
 	if hasHit {
-		n, err := strconv.ParseUint(hitStr, 10, 32)
-		if err != nil || n == 0 {
-			return nil, "", fmt.Errorf("chaos: fault %q: hit index must be a positive integer", part)
+		if hitStr == "*" {
+			f.every = true
+		} else {
+			n, err := strconv.ParseUint(hitStr, 10, 32)
+			if err != nil || n == 0 {
+				return nil, "", fmt.Errorf("chaos: fault %q: hit index must be a positive integer or *", part)
+			}
+			f.hit = n
 		}
-		f.hit = n
 	}
 	switch pt := Point(pointStr); pt {
-	case JournalBeforeFsync, QueueAfterLease, WorkerSolve, WorkerBeforeDone:
+	case JournalBeforeFsync, QueueAfterLease, WorkerSolve, WorkerBeforeDone, StorePut:
 		return f, pt, nil
 	default:
 		return nil, "", fmt.Errorf("chaos: unknown point %q", pointStr)
@@ -193,11 +207,13 @@ func (inj *Injector) At(pt Point) Action {
 	inj.mu.Lock()
 	inj.counts[pt]++
 	f := inj.plan[pt]
-	if f == nil || f.fired || inj.counts[pt] != f.hit {
+	if f == nil || f.fired || (!f.every && inj.counts[pt] != f.hit) {
 		inj.mu.Unlock()
 		return ActNone
 	}
-	f.fired = true
+	if !f.every {
+		f.fired = true
+	}
 	inj.mu.Unlock()
 	switch f.action {
 	case ActCrash:

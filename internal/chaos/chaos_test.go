@@ -114,6 +114,23 @@ func TestStallSleeps(t *testing.T) {
 	}
 }
 
+func TestEveryHitStalls(t *testing.T) {
+	inj, err := Parse("stall@worker.solve#*:13ms", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept time.Duration
+	inj.sleep = func(d time.Duration) { slept += d }
+	for hit := 1; hit <= 4; hit++ {
+		if act := inj.At(WorkerSolve); act != ActStall {
+			t.Fatalf("hit %d = %v, want ActStall (#* fires every time)", hit, act)
+		}
+	}
+	if slept != 4*13*time.Millisecond {
+		t.Fatalf("slept %v, want 52ms", slept)
+	}
+}
+
 func TestTornReturnsForCaller(t *testing.T) {
 	inj, err := Parse("torn@journal.before-fsync#1", 1)
 	if err != nil {

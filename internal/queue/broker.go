@@ -1,0 +1,93 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// Broker is the delivery contract of the work-queue layer: producers
+// Enqueue, consumers Claim under a TTL lease and then Extend / Complete /
+// Fail it by token. The in-memory Queue is the local implementation;
+// httpbroker.Client speaks the same interface to a Queue in another
+// process, so consumers (solver agents) are written once and run fused or
+// remote unchanged.
+//
+// Semantics every implementation must preserve (the conformance suite in
+// package queuetest pins them):
+//
+//   - Delivery is at-least-once, FIFO among ready jobs. Attempt is stamped
+//     at claim time (1-based, carried across redeliveries and Enqueue).
+//   - A lease not completed, failed or extended within the TTL expires and
+//     the job is redelivered with capped exponential backoff.
+//   - Fail returns the job for retry (same backoff); a job delivered
+//     MaxAttempts times is dead-lettered instead.
+//   - Extend / Complete / Fail report whether the lease was still held.
+//     A Complete on an expired lease is dropped — the producer's
+//     completion path must be idempotent (kecss dedups by job ID, and the
+//     result store makes duplicate solves byte-identical no-ops).
+type Broker interface {
+	// Enqueue adds a job to the ready set.
+	Enqueue(j *Job) error
+	// Claim blocks until a job is ready (or ctx ends, or the broker
+	// closes) and returns it under a lease.
+	Claim(ctx context.Context) (*Lease, error)
+	// Extend renews the lease TTL (a heartbeat for long solves).
+	Extend(token uint64) bool
+	// Complete reports the job's outcome and releases the lease. A nil
+	// outcome is a plain ack (release without a result — used for
+	// duplicate deliveries of already-finished jobs).
+	Complete(token uint64, out *Outcome) bool
+	// Fail returns the job for retry with backoff (or dead-letters it if
+	// the budget is spent).
+	Fail(token uint64, reason string) bool
+	// DeadLetters returns the most recent dead-lettered jobs, oldest
+	// first; limit <= 0 returns every retained entry. The returned
+	// entries are copies — mutating them does not touch broker state.
+	DeadLetters(limit int) []DeadLetter
+	// Stats reports the broker census.
+	Stats() Stats
+	// Close stops the broker: blocked Claims return ErrClosed, Enqueue
+	// refuses, outstanding leases become inert.
+	Close()
+}
+
+// Outcome is what a consumer reports with Complete: either a result
+// payload, or a permanent (non-retryable) failure with an optional
+// HTTP-ish classification code. Retryable failures go through Fail
+// instead.
+type Outcome struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"error,omitempty"`
+	Code   int             `json:"code,omitempty"`
+}
+
+// Lease is a claimed job. The holder must Complete, Fail (Nack) or let the
+// lease expire; after expiry all lease methods become no-ops and the job
+// is redelivered.
+type Lease struct {
+	Job   *Job
+	Token uint64
+	b     Broker
+}
+
+// NewLease binds a claimed job to the broker that issued it. Broker
+// implementations use it; consumers receive leases from Claim.
+func NewLease(j *Job, token uint64, b Broker) *Lease {
+	return &Lease{Job: j, Token: token, b: b}
+}
+
+// Ack releases the lease without an outcome (a duplicate delivery of an
+// already-completed job). Reports whether the lease was still held.
+func (l *Lease) Ack() bool { return l.b.Complete(l.Token, nil) }
+
+// Complete reports the job's outcome and releases the lease. Reports
+// whether the lease was still held (false means it expired and the
+// outcome was dropped; the job may run again elsewhere).
+func (l *Lease) Complete(out *Outcome) bool { return l.b.Complete(l.Token, out) }
+
+// Nack returns the job for retry with backoff (or dead-letters it if the
+// budget is spent). Reports whether the lease was still held.
+func (l *Lease) Nack(reason string) bool { return l.b.Fail(l.Token, reason) }
+
+// Extend renews the lease TTL. Reports whether the lease was still held.
+func (l *Lease) Extend() bool { return l.b.Extend(l.Token) }

@@ -1,0 +1,18 @@
+package queue_test
+
+import (
+	"testing"
+
+	"repro/internal/queue"
+	"repro/internal/queue/queuetest"
+)
+
+// TestBrokerConformance runs the shared Broker suite against the
+// in-memory queue. httpbroker runs the identical suite against its
+// client/server pair; together they pin that the two transports expose
+// the same lease semantics.
+func TestBrokerConformance(t *testing.T) {
+	queuetest.Run(t, func(t *testing.T, cfg queue.Config) queue.Broker {
+		return queue.New(cfg)
+	})
+}

@@ -1,0 +1,417 @@
+// Package httpbroker transports the queue.Broker interface over HTTP, so
+// solver agents in other processes can claim leases from a frontend's
+// in-memory queue. Server wraps any queue.Broker behind a small JSON API;
+// Client implements queue.Broker against that API. The lease semantics —
+// TTL expiry, redelivery with backoff, attempt counts, dead-lettering —
+// live entirely in the wrapped broker, so they are preserved verbatim
+// across the wire (the queuetest conformance suite runs against both the
+// in-memory queue and a Client/Server pair).
+//
+// Endpoints (mounted by the frontend under its broker prefix):
+//
+//	POST /claim        long-poll for a job: {"wait_ms":N} → 200 {token, job},
+//	                   204 when nothing became ready within the wait,
+//	                   503 {"error":"closed"} once the broker is closed
+//	POST /extend       {"token":T} → {"held":bool}
+//	POST /complete     {"token":T,"outcome":{...}} → {"held":bool}
+//	POST /fail         {"token":T,"reason":"..."} → {"held":bool}
+//	POST /enqueue      {"job":{...}} → 204, or 503 once closed
+//	GET  /deadletters  ?limit=N → {"dead_letters":[...]}
+//	GET  /stats        → queue.Stats
+//
+// Claim is a long poll: the server blocks up to wait_ms (capped by
+// MaxWait) on the underlying broker and answers 204 on timeout; the client
+// loops until its context ends. Tokens are meaningful only to the broker
+// incarnation that issued them — after a frontend restart every stale
+// token simply reports held=false, which is exactly the expired-lease
+// path consumers must handle anyway.
+package httpbroker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// claimRequest is the body of POST /claim.
+type claimRequest struct {
+	WaitMillis int64 `json:"wait_ms"`
+}
+
+// claimResponse is the 200 body of POST /claim.
+type claimResponse struct {
+	Token uint64     `json:"token"`
+	Job   *queue.Job `json:"job"`
+}
+
+// tokenRequest is the body of POST /extend, /complete and /fail.
+type tokenRequest struct {
+	Token   uint64         `json:"token"`
+	Outcome *queue.Outcome `json:"outcome,omitempty"`
+	Reason  string         `json:"reason,omitempty"`
+}
+
+// heldResponse reports whether the lease was still held.
+type heldResponse struct {
+	Held bool `json:"held"`
+}
+
+// enqueueRequest is the body of POST /enqueue.
+type enqueueRequest struct {
+	Job *queue.Job `json:"job"`
+}
+
+// deadLettersResponse is the body of GET /deadletters.
+type deadLettersResponse struct {
+	DeadLetters []queue.DeadLetter `json:"dead_letters"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a queue.Broker over HTTP.
+type Server struct {
+	b queue.Broker
+	// MaxWait caps a single claim long poll (default 30s); clients loop.
+	maxWait time.Duration
+	mux     *http.ServeMux
+}
+
+// ServerOptions tunes a Server. The zero value is fine.
+type ServerOptions struct {
+	// MaxWait caps one claim long poll (0 = 30s).
+	MaxWait time.Duration
+}
+
+// NewServer wraps b. Mount Handler under the broker path prefix with
+// http.StripPrefix.
+func NewServer(b queue.Broker, opts ServerOptions) *Server {
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = 30 * time.Second
+	}
+	s := &Server{b: b, maxWait: opts.MaxWait, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /claim", s.handleClaim)
+	s.mux.HandleFunc("POST /extend", s.handleExtend)
+	s.mux.HandleFunc("POST /complete", s.handleComplete)
+	s.mux.HandleFunc("POST /fail", s.handleFail)
+	s.mux.HandleFunc("POST /enqueue", s.handleEnqueue)
+	s.mux.HandleFunc("GET /deadletters", s.handleDeadLetters)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the broker API routing table (paths are relative; mount
+// with http.StripPrefix).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait <= 0 || wait > s.maxWait {
+		wait = s.maxWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	lease, err := s.b.Claim(ctx)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, claimResponse{Token: lease.Token, Job: lease.Job})
+	case errors.Is(err, queue.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "closed"})
+	default:
+		// Context ended (long-poll timeout or client gone): nothing ready.
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	var req tokenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, heldResponse{Held: s.b.Extend(req.Token)})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req tokenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, heldResponse{Held: s.b.Complete(req.Token, req.Outcome)})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req tokenRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, heldResponse{Held: s.b.Fail(req.Token, req.Reason)})
+}
+
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var req enqueueRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Job == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "enqueue without a job"})
+		return
+	}
+	if err := s.b.Enqueue(req.Job); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	dls := s.b.DeadLetters(limit)
+	if dls == nil {
+		dls = []queue.DeadLetter{}
+	}
+	writeJSON(w, http.StatusOK, deadLettersResponse{DeadLetters: dls})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Stats())
+}
+
+// Client is a queue.Broker speaking to a Server in another process.
+type Client struct {
+	base   string
+	hc     *http.Client
+	wait   time.Duration
+	retry  time.Duration
+	closed atomic.Bool
+}
+
+var _ queue.Broker = (*Client)(nil)
+
+// ClientOptions tunes a Client. The zero value is fine.
+type ClientOptions struct {
+	// Wait is the long-poll window requested per claim round (0 = 25s).
+	Wait time.Duration
+	// Retry is the pause after a transport error before re-polling
+	// (0 = 500ms); it keeps agents alive across frontend restarts.
+	Retry time.Duration
+	// HTTPClient overrides the transport (nil = a client with no overall
+	// timeout — long polls must be allowed to run their window out).
+	HTTPClient *http.Client
+}
+
+// NewClient speaks the broker API rooted at base (e.g.
+// "http://frontend:8080/broker/v1").
+func NewClient(base string, opts ClientOptions) *Client {
+	if opts.Wait <= 0 {
+		opts.Wait = 25 * time.Second
+	}
+	if opts.Retry <= 0 {
+		opts.Retry = 500 * time.Millisecond
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: base, hc: hc, wait: opts.Wait, retry: opts.Retry}
+}
+
+// post sends one JSON request/response round trip; a nil out discards the
+// response body. The returned status is 0 on transport errors.
+func (c *Client) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("httpbroker: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Enqueue adds a job to the remote ready set.
+func (c *Client) Enqueue(j *queue.Job) error {
+	if c.closed.Load() {
+		return queue.ErrClosed
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	code, err := c.post(ctx, "/enqueue", enqueueRequest{Job: j}, nil)
+	if err != nil {
+		return fmt.Errorf("httpbroker: enqueue: %w", err)
+	}
+	switch code {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusServiceUnavailable:
+		return queue.ErrClosed
+	default:
+		return fmt.Errorf("httpbroker: enqueue: status %d", code)
+	}
+}
+
+// Claim long-polls the remote broker until a job is ready, ctx ends, or
+// the broker (local or remote) closes. Transport errors are retried after
+// the configured pause, so an agent survives a frontend restart and
+// reattaches on its own.
+func (c *Client) Claim(ctx context.Context) (*queue.Lease, error) {
+	for {
+		if c.closed.Load() {
+			return nil, queue.ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var out claimResponse
+		code, err := c.post(ctx, "/claim", claimRequest{WaitMillis: c.wait.Milliseconds()}, &out)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.retry):
+			}
+		case code == http.StatusOK:
+			return queue.NewLease(out.Job, out.Token, c), nil
+		case code == http.StatusNoContent:
+			// Long poll ran its window out; go again.
+		case code == http.StatusServiceUnavailable:
+			return nil, queue.ErrClosed
+		default:
+			return nil, fmt.Errorf("httpbroker: claim: status %d", code)
+		}
+	}
+}
+
+// held runs one token round trip; transport errors count as "not held" —
+// indistinguishable, for the caller, from a lease that expired (the job
+// will be redelivered either way).
+func (c *Client) held(path string, req tokenRequest) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var out heldResponse
+	code, err := c.post(ctx, path, req, &out)
+	if err != nil || code != http.StatusOK {
+		return false
+	}
+	return out.Held
+}
+
+// Extend renews a lease's TTL on the remote broker.
+func (c *Client) Extend(token uint64) bool {
+	return c.held("/extend", tokenRequest{Token: token})
+}
+
+// Complete reports a job's outcome and releases the lease.
+func (c *Client) Complete(token uint64, out *queue.Outcome) bool {
+	return c.held("/complete", tokenRequest{Token: token, Outcome: out})
+}
+
+// Fail returns the job for retry with backoff.
+func (c *Client) Fail(token uint64, reason string) bool {
+	return c.held("/fail", tokenRequest{Token: token, Reason: reason})
+}
+
+// DeadLetters fetches the remote dead-letter ring (nil on transport
+// errors; this is an observability call, not a correctness one).
+func (c *Client) DeadLetters(limit int) []queue.DeadLetter {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	url := c.base + "/deadletters"
+	if limit > 0 {
+		url += "?limit=" + strconv.Itoa(limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var out deadLettersResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return nil
+	}
+	return out.DeadLetters
+}
+
+// Stats fetches the remote queue census (zero value on transport errors).
+func (c *Client) Stats() queue.Stats {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return queue.Stats{}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return queue.Stats{}
+	}
+	defer resp.Body.Close()
+	var out queue.Stats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return queue.Stats{}
+	}
+	return out
+}
+
+// Close stops the client side: subsequent Claims and Enqueues return
+// ErrClosed. The remote broker is not touched — other agents keep
+// claiming from it.
+func (c *Client) Close() { c.closed.Store(true) }

@@ -1,0 +1,84 @@
+package httpbroker_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/queue/httpbroker"
+	"repro/internal/queue/queuetest"
+)
+
+// newPair builds a queue behind an HTTP broker server and returns a
+// client speaking to it — the remote deployment shape in miniature.
+func newPair(t *testing.T, cfg queue.Config) queue.Broker {
+	t.Helper()
+	q := queue.New(cfg)
+	srv := httpbroker.NewServer(q, httpbroker.ServerOptions{MaxWait: 250 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		q.Close()
+		ts.Close()
+	})
+	return httpbroker.NewClient(ts.URL, httpbroker.ClientOptions{
+		Wait:  200 * time.Millisecond,
+		Retry: 20 * time.Millisecond,
+	})
+}
+
+// TestBrokerConformance runs the same suite the in-memory queue passes —
+// the wire transport must not change a single lease semantic.
+func TestBrokerConformance(t *testing.T) {
+	queuetest.Run(t, newPair)
+}
+
+// TestRemoteCloseSurfacesErrClosed pins that closing the queue on the
+// server side turns into ErrClosed at the client, for both Claim and
+// Enqueue.
+func TestRemoteCloseSurfacesErrClosed(t *testing.T) {
+	q := queue.New(queue.Config{})
+	srv := httpbroker.NewServer(q, httpbroker.ServerOptions{MaxWait: 100 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := httpbroker.NewClient(ts.URL, httpbroker.ClientOptions{Wait: 80 * time.Millisecond})
+	q.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Claim(ctx); !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("claim against closed remote queue = %v, want ErrClosed", err)
+	}
+	if err := c.Enqueue(&queue.Job{ID: "j"}); !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("enqueue against closed remote queue = %v, want ErrClosed", err)
+	}
+}
+
+// TestClientCloseIsLocal pins that Close on one client does not close
+// the remote broker other agents are using.
+func TestClientCloseIsLocal(t *testing.T) {
+	q := queue.New(queue.Config{})
+	defer q.Close()
+	srv := httpbroker.NewServer(q, httpbroker.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	a := httpbroker.NewClient(ts.URL, httpbroker.ClientOptions{Wait: 100 * time.Millisecond})
+	b := httpbroker.NewClient(ts.URL, httpbroker.ClientOptions{Wait: 100 * time.Millisecond})
+	a.Close()
+	if _, err := a.Claim(context.Background()); !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("claim on closed client = %v, want ErrClosed", err)
+	}
+	if err := b.Enqueue(&queue.Job{ID: "j"}); err != nil {
+		t.Fatalf("enqueue via sibling client after a.Close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	l, err := b.Claim(ctx)
+	if err != nil {
+		t.Fatalf("sibling claim after a.Close: %v", err)
+	}
+	if !l.Ack() {
+		t.Fatal("sibling ack returned false")
+	}
+}

@@ -1,9 +1,10 @@
-// Package queue is a lease-based work queue for the kecss-serve job layer:
-// an in-memory broker with the delivery contract of a real one (claim under
-// a TTL lease, explicit ack/nack, redelivery of expired leases with capped
-// exponential backoff and jitter, and a dead-letter list for jobs that
-// exhaust their retry budget), so the broker behind the interface can later
-// be swapped for a networked one without changing the consumers.
+// Package queue is the lease-based work-queue layer for the kecss serving
+// stack. The Broker interface (broker.go) is the delivery contract: claim
+// under a TTL lease, explicit complete/fail by token, redelivery of expired
+// leases with capped exponential backoff and jitter, and a bounded
+// dead-letter ring for jobs that exhaust their retry budget. Queue is the
+// in-memory implementation; package httpbroker transports the same
+// interface over HTTP so consumers in other processes can claim leases.
 //
 // Delivery is at-least-once: a worker that claims a job and stalls past its
 // lease TTL loses the lease, and the job is redelivered to another worker.
@@ -14,24 +15,42 @@ package queue
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 	"time"
 )
 
 // Job is one unit of work. The queue owns Attempt (1-based delivery count,
-// stamped at claim time); everything else is the producer's.
+// stamped at claim time); everything else is the producer's. Every field is
+// wire-safe: a Job crosses process boundaries through httpbroker intact.
 type Job struct {
-	ID     string
-	Digest string
-	// Deadline, when non-zero, is the latest useful completion time; the
-	// queue passes it through for the consumer to enforce.
-	Deadline time.Time
-	// Payload carries the producer's work description.
-	Payload any
+	ID     string `json:"id"`
+	Digest string `json:"digest"`
+	// DeadlineUnixNanos, when non-zero, is the latest useful completion
+	// time; the queue passes it through for the consumer to enforce.
+	DeadlineUnixNanos int64 `json:"deadline,omitempty"`
+	// Request carries the producer's work description (for kecss-serve,
+	// the canonical solve-request JSON).
+	Request json.RawMessage `json:"request,omitempty"`
 	// Attempt is how many times this job has been delivered, including the
 	// current delivery.
-	Attempt int
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// Deadline returns DeadlineUnixNanos as a time (zero time when unset).
+func (j *Job) Deadline() time.Time {
+	if j.DeadlineUnixNanos == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, j.DeadlineUnixNanos)
+}
+
+// clone deep-copies a job (DeadLetters hands out copies, never aliases).
+func (j *Job) clone() *Job {
+	out := *j
+	out.Request = append(json.RawMessage(nil), j.Request...)
+	return &out
 }
 
 // Event identifies a queue state transition, for metrics hooks.
@@ -56,9 +75,9 @@ const (
 
 // DeadLetter is a job that exhausted its retry budget.
 type DeadLetter struct {
-	Job    *Job
-	Reason string
-	At     time.Time
+	Job    *Job      `json:"job"`
+	Reason string    `json:"reason"`
+	At     time.Time `json:"at"`
 }
 
 // Config sizes a Queue. Zero values get defaults from New.
@@ -76,12 +95,20 @@ type Config struct {
 	// Seed drives the retry jitter (deterministic for a fixed seed and
 	// event order).
 	Seed int64
+	// DeadLetterCap bounds the retained dead-letter ring (default 256).
+	// Older entries are overwritten; Stats.Dead keeps the all-time count.
+	DeadLetterCap int
 	// OnEvent, when set, observes every state transition (called outside
 	// the queue lock; must not call back into the queue's blocking APIs).
 	OnEvent func(Event)
 	// OnDead, when set, is told about every dead-lettered job (called
 	// outside the queue lock), so the producer can fail its waiters.
 	OnDead func(DeadLetter)
+	// OnComplete, when set, receives every outcome reported through
+	// Complete while the lease was still held — the producer's completion
+	// channel, fed identically by in-process consumers and remote ones
+	// arriving through httpbroker. Called outside the queue lock.
+	OnComplete func(j *Job, out Outcome)
 }
 
 // ErrClosed is returned by Enqueue and Claim after Close.
@@ -94,23 +121,27 @@ type entry struct {
 	token uint64
 }
 
-// Queue is the broker. Safe for concurrent use.
+// Queue is the in-memory Broker implementation. Safe for concurrent use.
 type Queue struct {
 	cfg Config
 
-	mu      sync.Mutex
-	ready   []*entry          // FIFO
-	delayed []*entry          // unordered; reap scans for due entries
-	leased  map[uint64]*entry // token → entry
-	dead    []DeadLetter
-	events  []Event      // buffered under mu, delivered by flushEvents
-	deadq   []DeadLetter // buffered under mu, delivered by flushEvents to OnDead
-	next    uint64
-	rng     uint64
-	notify  chan struct{} // closed to broadcast a state change, then replaced
-	closed  bool
-	quit    chan struct{}
+	mu        sync.Mutex
+	ready     []*entry          // FIFO
+	delayed   []*entry          // unordered; reap scans for due entries
+	leased    map[uint64]*entry // token → entry
+	dead      []DeadLetter      // ring, at most cfg.DeadLetterCap entries
+	deadPos   int               // next overwrite index once the ring is full
+	deadTotal int               // all-time dead-letter count
+	events    []Event           // buffered under mu, delivered by flushEvents
+	deadq     []DeadLetter      // buffered under mu, delivered by flushEvents to OnDead
+	next      uint64
+	rng       uint64
+	notify    chan struct{} // closed to broadcast a state change, then replaced
+	closed    bool
+	quit      chan struct{}
 }
+
+var _ Broker = (*Queue)(nil)
 
 // New starts a Queue (and its lease reaper goroutine).
 func New(cfg Config) *Queue {
@@ -125,6 +156,9 @@ func New(cfg Config) *Queue {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.DeadLetterCap <= 0 {
+		cfg.DeadLetterCap = 256
 	}
 	q := &Queue{
 		cfg:    cfg,
@@ -168,9 +202,13 @@ func (q *Queue) Enqueue(j *Job) error {
 
 // Claim blocks until a job is ready (or ctx ends, or the queue closes) and
 // returns it under a lease. The caller must Ack, Nack, or let the lease
-// expire.
+// expire. A ctx that is already done always wins over a ready job: a
+// consumer told to stop never walks away holding a fresh lease.
 func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		q.mu.Lock()
 		if q.closed {
 			q.mu.Unlock()
@@ -191,7 +229,7 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 			q.mu.Unlock()
 			q.emit(EventLease)
 			q.flushEvents()
-			return &Lease{Job: e.job, q: q, token: e.token}, nil
+			return NewLease(e.job, e.token, q), nil
 		}
 		ch := q.notify
 		q.mu.Unlock()
@@ -206,37 +244,33 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 	}
 }
 
-// Lease is a claimed job. Exactly one of Ack/Nack should be called; after
-// the TTL lapses both become no-ops and the job is redelivered.
-type Lease struct {
-	Job   *Job
-	q     *Queue
-	token uint64
-}
-
-// Ack completes the job and releases the lease. Reports whether the lease
-// was still held (false means it had already expired and the job may run
-// again elsewhere).
-func (l *Lease) Ack() bool {
-	q := l.q
+// Complete reports a job's outcome and releases its lease. The outcome is
+// delivered to the OnComplete hook only while the lease is still held; a
+// Complete on an expired lease is dropped (the job was redelivered and its
+// other delivery will complete it — completion is idempotent upstream).
+// A nil outcome is a plain ack. Reports whether the lease was still held.
+func (q *Queue) Complete(token uint64, out *Outcome) bool {
 	q.mu.Lock()
-	_, held := q.leased[l.token]
-	delete(q.leased, l.token)
+	e, held := q.leased[token]
+	delete(q.leased, token)
 	q.mu.Unlock()
-	if held {
-		q.emit(EventAck)
+	if !held {
+		return false
 	}
-	return held
+	q.emit(EventAck)
+	if out != nil && q.cfg.OnComplete != nil {
+		q.cfg.OnComplete(e.job, *out)
+	}
+	return true
 }
 
-// Nack returns the job for retry with backoff (or dead-letters it if the
+// Fail returns the job for retry with backoff (or dead-letters it if the
 // budget is spent). Reports whether the lease was still held.
-func (l *Lease) Nack(reason string) bool {
-	q := l.q
+func (q *Queue) Fail(token uint64, reason string) bool {
 	q.mu.Lock()
-	e, held := q.leased[l.token]
+	e, held := q.leased[token]
 	if held {
-		delete(q.leased, l.token)
+		delete(q.leased, token)
 		q.rescheduleLocked(e, reason)
 		q.wakeLocked()
 	}
@@ -248,13 +282,12 @@ func (l *Lease) Nack(reason string) bool {
 	return held
 }
 
-// Extend renews the lease TTL (a heartbeat for long solves). Reports
+// Extend renews a lease's TTL (a heartbeat for long solves). Reports
 // whether the lease was still held.
-func (l *Lease) Extend() bool {
-	q := l.q
+func (q *Queue) Extend(token uint64) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	e, held := q.leased[l.token]
+	e, held := q.leased[token]
 	if held {
 		e.at = time.Now().Add(q.cfg.LeaseTTL)
 	}
@@ -267,7 +300,14 @@ func (l *Lease) Extend() bool {
 func (q *Queue) rescheduleLocked(e *entry, reason string) {
 	if e.job.Attempt >= q.cfg.MaxAttempts {
 		d := DeadLetter{Job: e.job, Reason: reason, At: time.Now()}
-		q.dead = append(q.dead, d)
+		if len(q.dead) < q.cfg.DeadLetterCap {
+			q.dead = append(q.dead, d)
+		} else {
+			// Ring full: overwrite the oldest retained entry.
+			q.dead[q.deadPos] = d
+			q.deadPos = (q.deadPos + 1) % q.cfg.DeadLetterCap
+		}
+		q.deadTotal++
 		q.events = append(q.events, EventDead)
 		q.deadq = append(q.deadq, d)
 		return
@@ -398,10 +438,10 @@ func (q *Queue) nextEventLocked(now time.Time) time.Duration {
 
 // Stats is a point-in-time census of the queue.
 type Stats struct {
-	Ready   int // claimable now
-	Delayed int // waiting out a backoff
-	Leased  int // claimed, in flight
-	Dead    int // dead-lettered
+	Ready   int `json:"ready"`   // claimable now
+	Delayed int `json:"delayed"` // waiting out a backoff
+	Leased  int `json:"leased"`  // claimed, in flight
+	Dead    int `json:"dead"`    // dead-lettered, all-time (the ring retains fewer)
 }
 
 // Stats reports the queue census.
@@ -412,7 +452,7 @@ func (q *Queue) Stats() Stats {
 		Ready:   len(q.ready),
 		Delayed: len(q.delayed),
 		Leased:  len(q.leased),
-		Dead:    len(q.dead),
+		Dead:    q.deadTotal,
 	}
 }
 
@@ -423,11 +463,24 @@ func (q *Queue) Depth() int {
 	return s.Ready + s.Delayed + s.Leased
 }
 
-// DeadLetters returns a copy of the dead-letter list.
-func (q *Queue) DeadLetters() []DeadLetter {
+// DeadLetters returns the most recent dead-lettered jobs in chronological
+// order, at most limit of them (limit <= 0 returns every retained entry).
+// Entries are deep copies: callers can hold or mutate them freely without
+// aliasing queue state.
+func (q *Queue) DeadLetters(limit int) []DeadLetter {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]DeadLetter, len(q.dead))
-	copy(out, q.dead)
+	n := len(q.dead)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]DeadLetter, 0, limit)
+	// Oldest entry is deadPos when the ring has wrapped, 0 otherwise; we
+	// want the newest `limit` entries, oldest-first.
+	for i := n - limit; i < n; i++ {
+		d := q.dead[(q.deadPos+i)%n]
+		d.Job = d.Job.clone()
+		out = append(out, d)
+	}
 	return out
 }

@@ -142,7 +142,7 @@ func TestDeadLetterAfterBudget(t *testing.T) {
 	if len(dead) != 1 || dead[0].Job.ID != "j0" || dead[0].Reason != "solver exploded" {
 		t.Fatalf("OnDead got %+v, want one j0/\"solver exploded\"", dead)
 	}
-	dls := q.DeadLetters()
+	dls := q.DeadLetters(0)
 	if len(dls) != 1 || dls[0].Job.ID != "j0" {
 		t.Fatalf("DeadLetters() = %+v", dls)
 	}

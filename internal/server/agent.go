@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	kecss "repro"
+	"repro/internal/chaos"
+	"repro/internal/queue"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Agent is a stateless solver worker: it claims jobs from a broker,
+// solves them on its own kecss.Pool, publishes results to the store, and
+// reports outcomes through the lease. All durable state lives behind the
+// broker (the frontend's journal) and the store — an agent can be
+// SIGKILLed at any instant and the worst that happens is one lease
+// expires and its job is redelivered.
+//
+// The same Agent runs fused inside the frontend process (the default
+// kecss-serve mode, consuming the local broker directly) or standalone as
+// cmd/kecss-agent (consuming an httpbroker.Client); the solve path is
+// identical in both.
+type Agent struct {
+	broker  queue.Broker
+	pool    *kecss.Pool
+	st      *store.Store
+	inj     *chaos.Injector
+	onSolve func(time.Duration)
+
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// AgentConfig sizes an Agent.
+type AgentConfig struct {
+	// Workers is the solver pool size (0 = GOMAXPROCS).
+	Workers int
+	// Loops is how many claim loops run concurrently (0 = pool workers).
+	Loops int
+	// Store is where results are published before completion (required;
+	// a memory-only store is fine for an agent, the frontend re-publishes
+	// outcomes to its own store).
+	Store *store.Store
+	// Chaos is the fault-injection plan (nil in production).
+	Chaos *chaos.Injector
+	// OnSolve, when set, observes each cold solve's latency.
+	OnSolve func(time.Duration)
+}
+
+// NewAgent starts an agent consuming b. Stop with Close.
+func NewAgent(b queue.Broker, cfg AgentConfig) *Agent {
+	pool := kecss.NewPool(cfg.Workers)
+	loops := cfg.Loops
+	if loops <= 0 {
+		loops = pool.Workers()
+	}
+	a := &Agent{broker: b, pool: pool, st: cfg.Store, inj: cfg.Chaos, onSolve: cfg.OnSolve}
+	ctx, cancel := context.WithCancel(context.Background())
+	a.cancel = cancel
+	for i := 0; i < loops; i++ {
+		a.wg.Add(1)
+		go a.loop(ctx)
+	}
+	return a
+}
+
+// Workers reports the solver pool size.
+func (a *Agent) Workers() int { return a.pool.Workers() }
+
+// Close stops claiming, waits for in-flight solves to complete (and
+// report through their leases), then shuts the pool down. Idempotent.
+func (a *Agent) Close() {
+	a.closeOnce.Do(func() {
+		a.cancel()
+		a.wg.Wait()
+		a.pool.Close()
+	})
+}
+
+func (a *Agent) loop(ctx context.Context) {
+	defer a.wg.Done()
+	for {
+		lease, err := a.broker.Claim(ctx)
+		if err != nil {
+			return // ctx cancelled or broker closed
+		}
+		a.runLease(lease)
+	}
+}
+
+// runLease executes one claimed delivery: deadline fail-fast → store hit
+// → solve → store put → complete, with the chaos plan's crash points at
+// the spots a real crash would hit. The store put precedes the completion
+// so a crash between them costs a redelivery, never a lost result.
+func (a *Agent) runLease(lease *queue.Lease) {
+	qj := lease.Job
+	if dl := qj.Deadline(); !dl.IsZero() && time.Now().After(dl) {
+		lease.Complete(&queue.Outcome{Err: "deadline exceeded before the solve started", Code: http.StatusGatewayTimeout})
+		return
+	}
+	// The digest may already be solved — an earlier delivery, another
+	// agent, or a previous run of a shared store.
+	if v, ok := a.st.Get(qj.Digest); ok {
+		resp := *(v.(*wire.SolveResponse))
+		resp.Cached = true
+		if raw, err := json.Marshal(&resp); err == nil {
+			lease.Complete(&queue.Outcome{Result: raw})
+			return
+		}
+	}
+	a.inj.At(chaos.WorkerSolve) // planned stall: outlive the lease TTL
+	var req wire.SolveRequest
+	if err := json.Unmarshal(qj.Request, &req); err != nil {
+		lease.Complete(&queue.Outcome{Err: fmt.Sprintf("undecodable job request: %v", err), Code: http.StatusBadRequest})
+		return
+	}
+	work, _, err := buildWork(&req)
+	if err != nil {
+		lease.Complete(&queue.Outcome{Err: err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	resp, serr := a.solve(work)
+	if serr != nil {
+		if serr.retryable {
+			lease.Nack(serr.msg)
+			return
+		}
+		lease.Complete(&queue.Outcome{Err: serr.msg, Code: serr.code})
+		return
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		lease.Complete(&queue.Outcome{Err: fmt.Sprintf("encoding result: %v", err), Code: http.StatusInternalServerError})
+		return
+	}
+	if err := a.st.Put(work.digest, raw, resp); err != nil {
+		// The result could not be made durable locally; retry the job
+		// rather than completing with an unpublished result.
+		lease.Nack(fmt.Sprintf("store: %v", err))
+		return
+	}
+	a.inj.At(chaos.WorkerBeforeDone) // planned crash: solved, not journaled
+	lease.Complete(&queue.Outcome{Result: raw})
+}
+
+// solve runs one cold solve on the pool.
+func (a *Agent) solve(work *solveWork) (*wire.SolveResponse, *solveError) {
+	start := time.Now()
+	results := a.pool.Sweep([]kecss.Task{work.task})
+	elapsed := time.Since(start)
+	res := results[0]
+	if res.Err != nil {
+		if errors.Is(res.Err, kecss.ErrPoolClosed) {
+			return nil, &solveError{code: http.StatusServiceUnavailable, msg: "agent is shut down", retryable: true}
+		}
+		// Anything else is an input the solver rejected (wrong
+		// connectivity, bad k, ...): permanent, not retried.
+		return nil, &solveError{code: http.StatusUnprocessableEntity, msg: res.Err.Error()}
+	}
+	if a.onSolve != nil {
+		a.onSolve(elapsed)
+	}
+	return &wire.SolveResponse{
+		Digest:       work.digest,
+		Edges:        res.Edges,
+		Weight:       res.Weight,
+		Rounds:       res.Rounds,
+		ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
+		SolveMillis:  float64(elapsed) / float64(time.Millisecond),
+	}, nil
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/queue"
+)
+
+// journalBroker is the frontend's view of the work queue: it wraps the
+// raw in-memory queue and makes every claim durable before the claimant
+// sees it. Both the fused in-process agent and remote agents (through the
+// /broker/v1 HTTP mount) consume this wrapper, so the journal stays
+// single-writer in the frontend and a lease looks the same in the log no
+// matter where the solve runs.
+type journalBroker struct {
+	queue.Broker // the raw queue: Enqueue/Extend/Complete/Fail/... pass through
+	s            *Server
+}
+
+// Claim hands out the next job with its lease record already journaled.
+// Duplicate deliveries of jobs the frontend has finished are acked and
+// skipped here, before any agent wastes a solve on them.
+func (b *journalBroker) Claim(ctx context.Context) (*queue.Lease, error) {
+	for {
+		lease, err := b.Broker.Claim(ctx)
+		if err != nil {
+			return nil, err
+		}
+		qj := lease.Job
+		j, known := b.s.jobs.get(qj.ID)
+		if known && j.finished() {
+			// The lease expired after the work was done and the queue
+			// redelivered; nothing is left to do.
+			lease.Ack()
+			continue
+		}
+		if err := b.s.journalAppend(&journal.Record{
+			Type:    journal.TypeLeased,
+			JobID:   qj.ID,
+			Digest:  qj.Digest,
+			Attempt: qj.Attempt,
+			Worker:  "agent",
+		}); err != nil {
+			lease.Nack(fmt.Sprintf("journal: %v", err))
+			continue
+		}
+		b.s.inj.At(chaos.QueueAfterLease) // planned crash: lease durable, no solve
+		if known {
+			j.setRunning(qj.Attempt)
+		}
+		return lease, nil
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -180,7 +181,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if resp, ok := s.cache.get(work.digest); ok {
+	if resp, ok := s.storeGet(work.digest); ok {
 		s.metrics.cacheHits.Add(1)
 		j := s.jobs.create(work.digest)
 		out := *resp
@@ -211,9 +212,19 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDeadLetters is GET /v1/deadletters: the jobs that exhausted their
-// retry budget since startup.
+// retry budget since startup (the newest DeadLetterCap of them; ?limit=N
+// asks for at most the newest N).
 func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
-	dead := s.queue.DeadLetters()
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", v)
+			return
+		}
+		limit = n
+	}
+	dead := s.queue.DeadLetters(limit)
 	out := wire.DeadLettersResponse{DeadLetters: []wire.DeadLetter{}}
 	for _, d := range dead {
 		out.DeadLetters = append(out.DeadLetters, wire.DeadLetter{

@@ -147,7 +147,18 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintln(w, "# TYPE kecss_throttled_total counter")
 	fmt.Fprintf(w, "kecss_throttled_total %d\n", m.throttled.Load())
 	fmt.Fprintln(w, "# TYPE kecss_cache_entries gauge")
-	fmt.Fprintf(w, "kecss_cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "kecss_cache_entries %d\n", s.store.CacheLen())
+
+	ss := s.store.Stats()
+	fmt.Fprintln(w, "# TYPE kecss_store_hits_total counter")
+	fmt.Fprintf(w, "kecss_store_hits_total{tier=\"mem\"} %d\n", ss.MemHits)
+	fmt.Fprintf(w, "kecss_store_hits_total{tier=\"disk\"} %d\n", ss.DiskHits)
+	fmt.Fprintln(w, "# TYPE kecss_store_misses_total counter")
+	fmt.Fprintf(w, "kecss_store_misses_total %d\n", ss.Misses)
+	fmt.Fprintln(w, "# TYPE kecss_store_puts_total counter")
+	fmt.Fprintf(w, "kecss_store_puts_total %d\n", ss.Puts)
+	fmt.Fprintln(w, "# TYPE kecss_store_corrupt_total counter")
+	fmt.Fprintf(w, "kecss_store_corrupt_total %d\n", ss.Corrupt)
 
 	qs := s.queue.Stats()
 	fmt.Fprintln(w, "# TYPE kecss_queue_depth gauge")
@@ -174,7 +185,7 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "kecss_client_disconnects_total %d\n", m.clientDisconnects.Load())
 
 	fmt.Fprintln(w, "# TYPE kecss_pool_workers gauge")
-	fmt.Fprintf(w, "kecss_pool_workers %d\n", s.pool.Workers())
+	fmt.Fprintf(w, "kecss_pool_workers %d\n", s.workerCount())
 	fmt.Fprintln(w, "# TYPE kecss_solve_seconds histogram")
 	m.solveLatency.write(w, "kecss_solve_seconds")
 	fmt.Fprintln(w, "# TYPE kecss_request_seconds histogram")

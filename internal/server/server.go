@@ -1,32 +1,45 @@
-// Package server implements the kecss-serve HTTP API: a network-facing
-// front end over a shared kecss.Pool with a content-addressed result cache
-// and a crash-safe job layer.
+// Package server implements kecss-serve as a thin frontend plus stateless
+// solver agents over a pluggable broker and a durable content-addressed
+// result store.
+//
+// The frontend owns everything durable and client-facing: the HTTP API,
+// admission control, the single-flight job table, the write-ahead journal
+// and the result store. Agents own only compute: each runs a kecss.Pool
+// and a claim → solve → store put → complete loop against a queue.Broker.
+// In the default fused mode ("all") one in-process Agent consumes the
+// local broker directly — today's single-binary behavior. In split mode
+// the frontend runs with -mode frontend and any number of cmd/kecss-agent
+// processes attach over HTTP (the /broker/v1 mount, always available), so
+// solve capacity scales out without moving any durable state.
 //
 // Endpoints:
 //
 //	POST /v1/solve        solve synchronously (wire.SolveRequest → wire.SolveResponse)
 //	POST /v1/jobs         enqueue an async solve (202 + wire.JobResponse)
 //	GET  /v1/jobs/{id}    poll an async solve
-//	GET  /v1/deadletters  jobs that exhausted their retry budget
+//	GET  /v1/deadletters  jobs that exhausted their retry budget (?limit=N)
 //	GET  /healthz         liveness (503 only once the server is closed)
 //	GET  /readyz          readiness (503 during replay, drain and shutdown)
 //	GET  /metrics         Prometheus text metrics
+//	*    /broker/v1/...   the broker API remote agents consume (httpbroker)
 //
 // Every request is content-addressed by wire.Digest(graph, spec); because
-// the solver stack is deterministic in (graph, spec), a digest hit can be
-// served from the LRU cache with byte-identical results to a fresh solve.
+// the solver stack is deterministic in (graph, spec), a digest hit is
+// served from the store with byte-identical results to a fresh solve —
+// and with Config.StoreDir set the store survives restarts, so yesterday's
+// solves are this morning's cache hits.
 //
 // # The job layer
 //
-// A cache miss does not solve inline. It becomes a job: journaled to the
-// write-ahead log (when Config.JournalPath is set), enqueued on a leased
-// work queue, and solved by a worker goroutine that claims it under a TTL
-// lease. Sync requests block on the job's completion; async requests poll
-// it. Concurrent identical misses share one job (single-flight by digest),
+// A store miss does not solve inline. It becomes a job: journaled to the
+// write-ahead log (when Config.JournalPath is set), enqueued on the
+// broker, and solved by whichever agent claims it under a TTL lease. Sync
+// requests block on the job's completion; async requests poll it.
+// Concurrent identical misses share one job (single-flight by digest),
 // and a client that disconnects mid-solve does not abandon the job — the
-// solve completes into the cache for the waiters and the future.
+// solve completes into the store for the waiters and the future.
 //
-// Workers that stall past the lease TTL lose the lease and the job is
+// Agents that stall past the lease TTL lose the lease and the job is
 // redelivered with capped exponential backoff; a job that exhausts its
 // retry budget is dead-lettered (visible at /v1/deadletters) and reported
 // to its waiters as a 503. Admission is bounded: beyond Config.QueueDepth
@@ -39,18 +52,19 @@
 // 202/200 is written: accepted → leased → done/failed records are
 // fsync-batched to the log, and startup replay reconstructs the job table
 // — finished jobs come back pollable with their results (which also
-// repopulate the result cache), unfinished jobs are re-enqueued and solved
+// repopulate the result store), unfinished jobs are re-enqueued and solved
 // again. Completions are deduplicated per job ID, so a job accepted once
 // is journaled done exactly once even across lease expiries, duplicate
-// deliveries and restarts.
+// deliveries, agent SIGKILLs and restarts. Agents hold no durable state
+// at all: killing one mid-solve costs a lease expiry, never an acked job.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +73,8 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/journal"
 	"repro/internal/queue"
+	"repro/internal/queue/httpbroker"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -95,22 +111,32 @@ type Config struct {
 	Seed int64
 	// Chaos is the fault-injection plan (nil in production).
 	Chaos *chaos.Injector
+	// Mode selects what this process runs: "all" (default) fuses the
+	// frontend with one in-process agent; "frontend" runs only the HTTP
+	// API, journal and store — solves wait for remote agents to attach
+	// via /broker/v1.
+	Mode string
+	// StoreDir is the durable result-store root; empty keeps results in
+	// memory only (they die with the process, as the pre-store cache did).
+	StoreDir string
 }
 
 // Server is the HTTP solve service. Create with New, mount Handler, stop
 // with Drain (stop accepting, wait for in-flight jobs) then Close.
 type Server struct {
-	cfg     Config
-	pool    *kecss.Pool
-	cache   *resultCache
-	sem     chan struct{} // admission tokens for new jobs
-	metrics *metrics
-	jobs    *jobStore
-	queue   *queue.Queue
-	jnl     *journal.Journal // nil when ephemeral
-	inj     *chaos.Injector
-	start   time.Time
-	replay  ReplayInfo
+	cfg       Config
+	agent     *Agent        // fused in-process agent; nil in frontend mode
+	store     *store.Store  // durable (or memory-only) result store
+	sem       chan struct{} // admission tokens for new jobs
+	metrics   *metrics
+	jobs      *jobStore
+	queue     *queue.Queue // the raw local queue
+	broker    queue.Broker // journaling wrapper over queue; what agents consume
+	brokerAPI *httpbroker.Server
+	jnl       *journal.Journal // nil when ephemeral
+	inj       *chaos.Injector
+	start     time.Time
+	replay    ReplayInfo
 
 	// drainMu makes admission atomic with the draining flag: ensureJob
 	// holds it shared around (check draining, Add to inflight), Drain holds
@@ -124,9 +150,7 @@ type Server struct {
 	flightMu sync.Mutex
 	flight   map[string]*job // digest → active job (single-flight)
 
-	workerCancel context.CancelFunc
-	workerWG     sync.WaitGroup
-	closeOnce    sync.Once
+	closeOnce sync.Once
 }
 
 // ReplayInfo summarizes what startup recovered from the journal.
@@ -154,30 +178,47 @@ type solveError struct {
 // JSON, well inside this.
 const maxBodyBytes = 64 << 20
 
-// New starts a Server with its own solver pool, work queue and (when
-// configured) journal; journal replay happens here, so once New returns
-// the server is ready.
+// New starts a Server with its work queue, result store and (when
+// configured) journal and fused agent; journal replay happens here, so
+// once New returns the server is ready.
 func New(cfg Config) (*Server, error) {
-	if cfg.Workers <= 0 {
-		cfg.Workers = 0 // kecss.NewPool reads 0 as GOMAXPROCS
+	switch cfg.Mode {
+	case "", "all", "frontend":
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q (want all or frontend)", cfg.Mode)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 4096
 	}
-	pool := kecss.NewPool(cfg.Workers)
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 4 * pool.Workers()
+		cfg.QueueDepth = 4 * workers
 	}
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 1024
 	}
 	if cfg.SolveWorkers <= 0 {
-		cfg.SolveWorkers = pool.Workers()
+		cfg.SolveWorkers = workers
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize < 0 {
+		cacheSize = 0 // negative disables the memory tier
+	}
+	st, err := store.Open(store.Options{
+		Dir:       cfg.StoreDir,
+		CacheSize: cacheSize,
+		Decode:    DecodeStoredResponse,
+		Inject:    cfg.Chaos,
+	})
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		cfg:     cfg,
-		pool:    pool,
-		cache:   newResultCache(cfg.CacheSize),
+		store:   st,
 		sem:     make(chan struct{}, cfg.QueueDepth),
 		metrics: newMetrics(),
 		jobs:    newJobStore(cfg.JobHistory),
@@ -193,7 +234,10 @@ func New(cfg Config) (*Server, error) {
 		Seed:        cfg.Seed,
 		OnEvent:     s.metrics.countQueueEvent,
 		OnDead:      s.onDeadLetter,
+		OnComplete:  s.onQueueComplete,
 	})
+	s.broker = &journalBroker{Broker: s.queue, s: s}
+	s.brokerAPI = httpbroker.NewServer(s.broker, httpbroker.ServerOptions{})
 	if cfg.JournalPath != "" {
 		jnl, rep, err := journal.Open(cfg.JournalPath, journal.Options{
 			Inject:  cfg.Chaos,
@@ -201,24 +245,46 @@ func New(cfg Config) (*Server, error) {
 		})
 		if err != nil {
 			s.queue.Close()
-			pool.Close()
 			return nil, err
 		}
 		s.jnl = jnl
 		if err := s.applyReplay(rep); err != nil {
 			s.queue.Close()
-			pool.Close()
 			jnl.Close()
 			return nil, err
 		}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s.workerCancel = cancel
-	for i := 0; i < cfg.SolveWorkers; i++ {
-		s.workerWG.Add(1)
-		go s.worker(ctx, fmt.Sprintf("w%d", i))
+	if cfg.Mode != "frontend" {
+		s.agent = NewAgent(s.broker, AgentConfig{
+			Workers: cfg.Workers,
+			Loops:   cfg.SolveWorkers,
+			Store:   st,
+			Chaos:   cfg.Chaos,
+			OnSolve: s.metrics.solveLatency.observe,
+		})
 	}
 	return s, nil
+}
+
+// DecodeStoredResponse is the store's decode hook: entries hold the
+// canonical response JSON, the memory tier holds decoded values. It is
+// shared with cmd/kecss-agent, whose local store holds the same entries.
+func DecodeStoredResponse(b []byte) (any, error) {
+	var r wire.SolveResponse
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// storeGet fetches a decoded response by digest. Entries are immutable:
+// callers copy before mutating presentation fields (Cached).
+func (s *Server) storeGet(digest string) (*wire.SolveResponse, bool) {
+	v, ok := s.store.Get(digest)
+	if !ok {
+		return nil, false
+	}
+	return v.(*wire.SolveResponse), true
 }
 
 // Handler returns the server's routing table.
@@ -231,6 +297,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReady))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The broker API is always mounted: remote agents can attach to a
+	// fused server too (extra capacity alongside the in-process agent).
+	mux.Handle("/broker/v1/", http.StripPrefix("/broker/v1", s.brokerAPI.Handler()))
 	return mux
 }
 
@@ -265,15 +334,19 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the workers, the queue, the journal and the solver pool.
-// /healthz turns 503. Requests arriving afterwards fail cleanly. Idempotent.
+// Close stops the fused agent, the queue and the journal. /healthz turns
+// 503. Requests arriving afterwards fail cleanly. Remote agents see the
+// broker close and detach on their own. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.StartDrain()
 		s.closed.Store(true)
-		s.workerCancel()
+		// The agent first: in-flight solves run to completion and their
+		// outcomes route through the still-open queue into the journal.
+		if s.agent != nil {
+			s.agent.Close()
+		}
 		s.queue.Close()
-		s.workerWG.Wait()
 		// Unfinished jobs (abandoned mid-drain) keep their journal state and
 		// will be replayed by the next incarnation; release their waiters.
 		s.flightMu.Lock()
@@ -287,7 +360,6 @@ func (s *Server) Close() {
 				s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: "server shut down before the job completed"})
 			}
 		}
-		s.pool.Close()
 		if s.jnl != nil {
 			s.jnl.Close()
 		}
@@ -447,7 +519,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if resp, ok := s.cache.get(work.digest); ok {
+	if resp, ok := s.storeGet(work.digest); ok {
 		s.metrics.cacheHits.Add(1)
 		s.serveCached(w, resp)
 		return
@@ -551,10 +623,10 @@ func (s *Server) ensureJob(work *solveWork, rawReq json.RawMessage) (*job, bool,
 		return nil, false, &solveError{code: http.StatusServiceUnavailable, msg: "journal unavailable"}
 	}
 	if err := s.queue.Enqueue(&queue.Job{
-		ID:       j.id,
-		Digest:   j.digest,
-		Deadline: j.deadline,
-		Payload:  j,
+		ID:                j.id,
+		Digest:            j.digest,
+		DeadlineUnixNanos: unixOrZero(j.deadline),
+		Request:           rawReq,
 	}); err != nil {
 		if j.tryFinish() {
 			s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: "server is shutting down"})
@@ -613,71 +685,34 @@ func (s *Server) journalAppend(rec *journal.Record) error {
 	return s.jnl.Append(rec)
 }
 
-// worker is one queue consumer: claim → journal lease → solve → journal
-// outcome → finish → ack, with the chaos plan's crash points threaded
-// through at the spots a real crash would hit.
-func (s *Server) worker(ctx context.Context, name string) {
-	defer s.workerWG.Done()
-	for {
-		lease, err := s.queue.Claim(ctx)
-		if err != nil {
-			return // ctx cancelled or queue closed
-		}
-		s.runLease(name, lease)
+// onQueueComplete is the broker's completion hook: an agent reported an
+// outcome while still holding the lease. It journals the outcome, feeds
+// the store, and finishes the job — exactly once per job; duplicate
+// deliveries lose the tryFinish race and are dropped. The outcome record
+// is durable before waiters are released (the hook runs synchronously
+// inside the agent's Complete call, local or over HTTP).
+func (s *Server) onQueueComplete(qj *queue.Job, out queue.Outcome) {
+	j, ok := s.jobs.get(qj.ID)
+	if !ok {
+		return // evicted from history; the result is in the store regardless
 	}
-}
-
-// runLease executes one claimed delivery of a job.
-func (s *Server) runLease(name string, lease *queue.Lease) {
-	j := lease.Job.Payload.(*job)
-	if j.finished() {
-		// Duplicate delivery of an already-completed job (lease expired
-		// after the work was done); nothing to do.
-		lease.Ack()
-		return
-	}
-	if err := s.journalAppend(&journal.Record{
-		Type:    journal.TypeLeased,
-		JobID:   j.id,
-		Digest:  j.digest,
-		Attempt: lease.Job.Attempt,
-		Worker:  name,
-	}); err != nil {
-		lease.Nack(fmt.Sprintf("journal: %v", err))
-		return
-	}
-	s.inj.At(chaos.QueueAfterLease) // planned crash: lease durable, no solve
-	j.setRunning(lease.Job.Attempt)
-
-	if dl := lease.Job.Deadline; !dl.IsZero() && time.Now().After(dl) {
-		s.completeJob(j, lease, nil, &solveError{code: http.StatusGatewayTimeout, msg: "deadline exceeded before the solve started"})
-		return
-	}
-	// The digest may have been solved by an earlier delivery of another
-	// job between enqueue and claim.
-	if resp, ok := s.cache.get(j.digest); ok {
-		out := *resp
-		out.Cached = true
-		s.completeJob(j, lease, &out, nil)
-		return
-	}
-	s.inj.At(chaos.WorkerSolve) // planned stall: outlive the lease TTL
-	resp, serr := s.solveOnPool(j.work)
-	if serr != nil && serr.retryable {
-		lease.Nack(serr.msg)
-		return
-	}
-	s.inj.At(chaos.WorkerBeforeDone) // planned crash: solved, not journaled
-	s.completeJob(j, lease, resp, serr)
-}
-
-// completeJob journals a job's outcome and finishes it, exactly once per
-// job: duplicate deliveries lose the tryFinish race and just release their
-// lease. The outcome record is durable before waiters are released.
-func (s *Server) completeJob(j *job, lease *queue.Lease, resp *wire.SolveResponse, serr *solveError) {
 	if !j.tryFinish() {
-		lease.Ack()
 		return
+	}
+	var resp *wire.SolveResponse
+	var serr *solveError
+	if out.Err != "" {
+		code := out.Code
+		if code == 0 {
+			code = http.StatusUnprocessableEntity
+		}
+		serr = &solveError{code: code, msg: out.Err}
+	} else {
+		resp = new(wire.SolveResponse)
+		if err := json.Unmarshal(out.Result, resp); err != nil {
+			resp = nil
+			serr = &solveError{code: http.StatusInternalServerError, msg: fmt.Sprintf("agent returned an undecodable result: %v", err)}
+		}
 	}
 	rec := &journal.Record{JobID: j.id, Digest: j.digest}
 	if serr != nil {
@@ -685,9 +720,7 @@ func (s *Server) completeJob(j *job, lease *queue.Lease, resp *wire.SolveRespons
 		rec.Error = serr.msg
 	} else {
 		rec.Type = journal.TypeDone
-		if raw, err := json.Marshal(resp); err == nil {
-			rec.Result = raw
-		}
+		rec.Result = out.Result
 	}
 	if err := s.journalAppend(rec); err != nil {
 		// The outcome could not be made durable; fail the waiters (the next
@@ -695,54 +728,31 @@ func (s *Server) completeJob(j *job, lease *queue.Lease, resp *wire.SolveRespons
 		serr = &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("journal unavailable: %v", err)}
 		resp = nil
 	}
+	if resp != nil {
+		// Idempotent for the fused agent (it already published); for
+		// remote agents with their own store this is where the frontend's
+		// store learns the result.
+		_ = s.store.Put(j.digest, out.Result, resp)
+	}
 	s.finishJob(j, resp, serr)
-	lease.Ack()
 }
 
 // onDeadLetter finishes a job the queue gave up on (retry budget spent).
 func (s *Server) onDeadLetter(d queue.DeadLetter) {
-	j, ok := d.Job.Payload.(*job)
-	if !ok {
-		return
-	}
 	_ = s.journalAppend(&journal.Record{
 		Type:    journal.TypeDead,
-		JobID:   j.id,
-		Digest:  j.digest,
+		JobID:   d.Job.ID,
+		Digest:  d.Job.Digest,
 		Attempt: d.Job.Attempt,
 		Error:   d.Reason,
 	})
+	j, ok := s.jobs.get(d.Job.ID)
+	if !ok {
+		return
+	}
 	if j.tryFinish() {
 		s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("job %s dead-lettered after %d attempts: %s", j.id, d.Job.Attempt, d.Reason)})
 	}
-}
-
-// solveOnPool runs one solve on the shared pool and caches the response.
-func (s *Server) solveOnPool(work *solveWork) (*wire.SolveResponse, *solveError) {
-	start := time.Now()
-	results := s.pool.Sweep([]kecss.Task{work.task})
-	elapsed := time.Since(start)
-	res := results[0]
-	if res.Err != nil {
-		if errors.Is(res.Err, kecss.ErrPoolClosed) {
-			return nil, &solveError{code: http.StatusServiceUnavailable, msg: "server is shut down", retryable: true}
-		}
-		// Anything else is an input the solver rejected (wrong connectivity,
-		// bad k, ...): the request was well-formed but unsolvable — a
-		// permanent failure, not retried.
-		return nil, &solveError{code: http.StatusUnprocessableEntity, msg: res.Err.Error()}
-	}
-	s.metrics.solveLatency.observe(elapsed)
-	resp := &wire.SolveResponse{
-		Digest:       work.digest,
-		Edges:        res.Edges,
-		Weight:       res.Weight,
-		Rounds:       res.Rounds,
-		ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
-		SolveMillis:  float64(elapsed) / float64(time.Millisecond),
-	}
-	s.cache.add(work.digest, resp)
-	return resp, nil
 }
 
 // applyReplay reconstructs the job table from journal records: finished
@@ -795,7 +805,7 @@ func (s *Server) applyReplay(rep *journal.Replay) error {
 				}
 				j.finishing = true
 				j.finish(&resp, nil)
-				s.cache.add(rec.Digest, &resp)
+				_ = s.store.Put(rec.Digest, st.outcome.Result, &resp)
 			case journal.TypeFailed:
 				j.finishing = true
 				j.finish(nil, &solveError{code: http.StatusUnprocessableEntity, msg: st.outcome.Error})
@@ -829,11 +839,11 @@ func (s *Server) applyReplay(rep *journal.Replay) error {
 		s.inflight.Add(1)
 		s.replay.Requeued++
 		if err := s.queue.Enqueue(&queue.Job{
-			ID:       j.id,
-			Digest:   j.digest,
-			Deadline: j.deadline,
-			Payload:  j,
-			Attempt:  st.attempts,
+			ID:                j.id,
+			Digest:            j.digest,
+			DeadlineUnixNanos: unixOrZero(j.deadline),
+			Request:           rawReq,
+			Attempt:           st.attempts,
 		}); err != nil {
 			return fmt.Errorf("server: re-enqueueing job %s: %w", id, err)
 		}
@@ -856,10 +866,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
-		"workers":        s.pool.Workers(),
-		"cache_entries":  s.cache.len(),
+		"workers":        s.workerCount(),
+		"cache_entries":  s.store.CacheLen(),
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 	})
+}
+
+// workerCount is the local solver parallelism: the fused agent's pool size,
+// or 0 in frontend mode (capacity lives in remote agents).
+func (s *Server) workerCount() int {
+	if s.agent != nil {
+		return s.agent.Workers()
+	}
+	return 0
 }
 
 // handleReady is GET /readyz: readiness. 503 while draining or closed —

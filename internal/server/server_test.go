@@ -298,6 +298,10 @@ func TestHealthMetricsAndDrain(t *testing.T) {
 		"kecss_cache_hits_total 1",
 		"kecss_cache_misses_total 1",
 		"kecss_cache_entries 1",
+		`kecss_store_hits_total{tier="mem"} 1`,
+		`kecss_store_hits_total{tier="disk"} 0`,
+		"kecss_store_puts_total",
+		"kecss_store_misses_total",
 		"kecss_solve_seconds_count 1",
 		"kecss_request_seconds_count 2",
 		"kecss_queue_capacity 4",

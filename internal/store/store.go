@@ -1,0 +1,398 @@
+// Package store is the durable, content-addressed result store behind
+// kecss-serve. Results are keyed by wire.Digest — a pure function of
+// (graph, solver spec) — so an entry, once written, is immutable and any
+// re-solve of the same digest produces byte-identical content. That
+// determinism is what makes the design simple: writes are idempotent,
+// duplicate puts are no-ops, and a reader can trust any entry whose
+// checksum verifies.
+//
+// Layout on disk (the "ops note" in README.md walks through it):
+//
+//	<dir>/<digest[:2]>/<digest>     one entry per digest, 256-way fanout
+//
+// Each entry file is:
+//
+//	magic "kcas" | version byte | len uint32 LE | crc32c uint32 LE | payload
+//
+// — the same CRC framing the write-ahead journal uses (Castagnoli, over
+// the payload). Writes go to a temp file in the same directory, fsync,
+// then rename: an entry is either fully published or absent. Crash
+// recovery therefore drops at most the one in-flight entry: Open sweeps
+// leftover temp files, and Get treats a torn or corrupt entry as a miss
+// and removes it (the deterministic solver regenerates it bit-for-bit).
+//
+// A small LRU of decoded values fronts the disk tier so the hot path
+// stays allocation- and decode-free, exactly like the in-memory cache it
+// replaces — but the store survives restarts, and several processes can
+// share one directory (writers never collide: temp names are unique and
+// rename is atomic within the directory).
+//
+// GC is external and trivial because entries are immutable leaves:
+// deleting any entry file at any time is safe and costs at most one
+// re-solve. Store.GC removes entries not accessed for a given age;
+// there is no compaction to run, ever — there is no log to compact.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Entry file framing.
+var magic = [4]byte{'k', 'c', 'a', 's'}
+
+// FormatVersion is the entry format version byte. Bump it when the layout
+// changes; readers refuse versions they do not know (treated as corrupt,
+// so the entry is re-solved and rewritten in the current format).
+const FormatVersion = 0x01
+
+const headerSize = 4 + 1 + 4 + 4 // magic | version | len | crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open. The zero value is a memory-only store with
+// caching disabled (every Get misses).
+type Options struct {
+	// Dir is the store root; "" runs memory-only (no durability — the
+	// pre-split in-process cache behavior).
+	Dir string
+	// CacheSize bounds the in-memory tier (decoded values); <= 0 disables
+	// it, which still leaves the disk tier if Dir is set.
+	CacheSize int
+	// Decode turns a verified payload into the value Get returns and the
+	// LRU holds. Nil means Get returns the raw []byte payload.
+	Decode func([]byte) (any, error)
+	// Inject is the fault plan for crash tests (nil-safe).
+	Inject *chaos.Injector
+}
+
+// Stats is the store's counter census.
+type Stats struct {
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	Puts     uint64 `json:"puts"`
+	// Corrupt counts entries dropped because their frame failed to verify
+	// (torn writes, bit rot, unknown versions).
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Store is a digest-keyed result store: an LRU of decoded values over an
+// optional directory of checksummed entry files.
+type Store struct {
+	dir string
+	dec func([]byte) (any, error)
+	inj *chaos.Injector
+
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	memHits  atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+	puts     atomic.Uint64
+	corrupt  atomic.Uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// Open prepares the store: creates the root, sweeps temp files a crash
+// left behind, and mounts the memory tier.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		dir:   opts.Dir,
+		dec:   opts.Decode,
+		inj:   opts.Inject,
+		max:   opts.CacheSize,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	// Recovery: a crash between temp write and rename leaves only a temp
+	// file; the entry was never published, so removing it loses nothing
+	// that was promised durable.
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp-") {
+			return os.Remove(path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: sweep temp files: %w", err)
+	}
+	return s, nil
+}
+
+// path maps a digest to its entry file.
+func (s *Store) path(digest string) string {
+	fanout := "_"
+	if len(digest) >= 2 {
+		fanout = digest[:2]
+	}
+	return filepath.Join(s.dir, fanout, digest)
+}
+
+// Get returns the decoded value for digest. It checks the memory tier,
+// then the disk tier; a disk hit is verified, decoded, and promoted into
+// memory. A torn or corrupt entry is removed and reported as a miss.
+func (s *Store) Get(digest string) (any, bool) {
+	if s.max > 0 {
+		s.mu.Lock()
+		if el, ok := s.items[digest]; ok {
+			s.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			s.mu.Unlock()
+			s.memHits.Add(1)
+			return v, true
+		}
+		s.mu.Unlock()
+	}
+	if s.dir == "" {
+		s.misses.Add(1)
+		return nil, false
+	}
+	raw, err := s.readEntry(digest)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			// Verification failed: drop the entry so the next solve
+			// rewrites it cleanly.
+			s.corrupt.Add(1)
+			_ = os.Remove(s.path(digest))
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	val := any(raw)
+	if s.dec != nil {
+		v, err := s.dec(raw)
+		if err != nil {
+			s.corrupt.Add(1)
+			_ = os.Remove(s.path(digest))
+			s.misses.Add(1)
+			return nil, false
+		}
+		val = v
+	}
+	s.promote(digest, val)
+	s.diskHits.Add(1)
+	return val, true
+}
+
+// readEntry loads and verifies one entry file, returning its payload.
+func (s *Store) readEntry(digest string) ([]byte, error) {
+	b, err := os.ReadFile(s.path(digest))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("store: entry %s: short header (%d bytes)", digest, len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, fmt.Errorf("store: entry %s: bad magic", digest)
+	}
+	if b[4] != FormatVersion {
+		return nil, fmt.Errorf("store: entry %s: unknown format version %d", digest, b[4])
+	}
+	n := binary.LittleEndian.Uint32(b[5:9])
+	sum := binary.LittleEndian.Uint32(b[9:13])
+	if int(n) != len(b)-headerSize {
+		return nil, fmt.Errorf("store: entry %s: torn payload (%d of %d bytes)", digest, len(b)-headerSize, n)
+	}
+	payload := b[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("store: entry %s: checksum mismatch", digest)
+	}
+	return payload, nil
+}
+
+// Put publishes raw as the entry for digest. decoded, when non-nil, is
+// the already-decoded value for the memory tier (saves a re-decode on the
+// solve path); nil falls back to Decode, then to the raw bytes. Put is
+// idempotent: if the entry already exists the disk write is skipped —
+// determinism guarantees the bytes would have been identical.
+func (s *Store) Put(digest string, raw []byte, decoded any) error {
+	s.puts.Add(1)
+	if decoded == nil {
+		if s.dec != nil {
+			v, err := s.dec(raw)
+			if err != nil {
+				return fmt.Errorf("store: put %s: decode: %w", digest, err)
+			}
+			decoded = v
+		} else {
+			decoded = raw
+		}
+	}
+	s.promote(digest, decoded)
+	if s.dir == "" {
+		return nil
+	}
+	final := s.path(digest)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(final), digest+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	hdr := make([]byte, headerSize)
+	copy(hdr[:4], magic[:])
+	hdr[4] = FormatVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(hdr[9:13], crc32.Checksum(raw, castagnoli))
+	if _, err := f.Write(hdr); err != nil {
+		cleanup()
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		cleanup()
+		return fmt.Errorf("store: put %s: %w", digest, err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: put %s: fsync: %w", digest, err)
+	}
+	// Planned crash between write and publish: ActCrash leaves the temp
+	// file for Open's sweep; ActCrashTorn first truncates it to half,
+	// modeling a torn final record that verification must reject.
+	switch s.inj.At(chaos.StorePut) {
+	case chaos.ActCrashTorn:
+		f.Truncate(int64(headerSize + len(raw)/2))
+		f.Sync()
+		f.Close()
+		// The torn artifact is renamed into place — the worst case, where
+		// the entry looks published but its frame does not verify.
+		os.Rename(tmp, final)
+		s.inj.Exit()
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: close: %w", digest, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: publish: %w", digest, err)
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(filepath.Dir(final)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// promote installs val at the front of the memory tier.
+func (s *Store) promote(digest string, val any) {
+	if s.max <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[digest]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	s.items[digest] = s.ll.PushFront(&entry{key: digest, val: val})
+	for s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+	}
+}
+
+// CacheLen reports the memory-tier entry count (the kecss_cache_entries
+// metric).
+func (s *Store) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Entries walks the disk tier and counts published entries. Memory-only
+// stores report 0. This is an ops call, not a hot-path one.
+func (s *Store) Entries() (int, error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.Contains(d.Name(), ".tmp-") {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// GC removes entries whose file modification time is older than maxAge.
+// Entries are immutable leaves, so this is always safe: a collected
+// digest just costs one deterministic re-solve on its next request. The
+// memory tier is left alone — cached values stay correct forever.
+func (s *Store) GC(maxAge time.Duration) (removed int, err error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	cutoff := time.Now().Add(-maxAge)
+	walkErr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.Contains(d.Name(), ".tmp-") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent GC; skip
+		}
+		if info.ModTime().Before(cutoff) {
+			if os.Remove(path) == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed, walkErr
+}
+
+// Stats reports the counter census.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:  s.memHits.Load(),
+		DiskHits: s.diskHits.Load(),
+		Misses:   s.misses.Load(),
+		Puts:     s.puts.Load(),
+		Corrupt:  s.corrupt.Load(),
+	}
+}
+
+// Dir reports the disk root ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }

@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+type payload struct {
+	N int `json:"n"`
+}
+
+func decodePayload(b []byte) (any, error) {
+	var p payload
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func openT(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func put(t *testing.T, s *Store, digest string, n int) {
+	t.Helper()
+	raw, _ := json.Marshal(payload{N: n})
+	if err := s.Put(digest, raw, &payload{N: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, CacheSize: 8, Decode: decodePayload})
+	put(t, s, "aabbcc", 7)
+	if v, ok := s.Get("aabbcc"); !ok || v.(*payload).N != 7 {
+		t.Fatalf("Get after Put = %v, %v", v, ok)
+	}
+	if st := s.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after warm Get = %+v, want MemHits 1", st)
+	}
+	// A fresh store over the same directory — the restart case the old
+	// in-memory cache could not survive.
+	s2 := openT(t, Options{Dir: dir, CacheSize: 8, Decode: decodePayload})
+	v, ok := s2.Get("aabbcc")
+	if !ok || v.(*payload).N != 7 {
+		t.Fatalf("Get after reopen = %v, %v", v, ok)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats after cold Get = %+v, want DiskHits 1", st)
+	}
+	// The disk hit promoted the entry; the second read is a memory hit.
+	if _, ok := s2.Get("aabbcc"); !ok {
+		t.Fatal("promoted Get missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promoted Get = %+v, want MemHits 1", st)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, CacheSize: 4, Decode: decodePayload})
+	put(t, s, "aabbcc", 1)
+	put(t, s, "aabbcc", 1)
+	n, err := s.Entries()
+	if err != nil || n != 1 {
+		t.Fatalf("Entries after duplicate puts = %d, %v; want 1", n, err)
+	}
+}
+
+func TestMemoryOnlyMode(t *testing.T) {
+	s := openT(t, Options{CacheSize: 4, Decode: decodePayload})
+	put(t, s, "aabbcc", 3)
+	if v, ok := s.Get("aabbcc"); !ok || v.(*payload).N != 3 {
+		t.Fatalf("memory-only Get = %v, %v", v, ok)
+	}
+	if n, err := s.Entries(); err != nil || n != 0 {
+		t.Fatalf("memory-only Entries = %d, %v", n, err)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("memory-only Get of unknown digest hit")
+	}
+}
+
+func TestLRUEvictionKeepsDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, CacheSize: 2, Decode: decodePayload})
+	for i := 0; i < 3; i++ {
+		put(t, s, fmt.Sprintf("d%d", i), i)
+	}
+	if got := s.CacheLen(); got != 2 {
+		t.Fatalf("CacheLen = %d, want 2", got)
+	}
+	// d0 was evicted from memory but must still be served from disk.
+	if v, ok := s.Get("d0"); !ok || v.(*payload).N != 0 {
+		t.Fatalf("evicted entry not recovered from disk: %v, %v", v, ok)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want DiskHits 1", st)
+	}
+}
+
+func TestCorruptEntryDroppedAndRewritable(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, CacheSize: 0, Decode: decodePayload})
+	put(t, s, "aabbcc", 9)
+	path := filepath.Join(dir, "aa", "aabbcc")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("aabbcc"); ok {
+		t.Fatal("Get returned a corrupt entry")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt 1", st)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt entry not removed: %v", err)
+	}
+	// The slot is clean again: a re-solve rewrites it.
+	put(t, s, "aabbcc", 9)
+	if v, ok := s.Get("aabbcc"); !ok || v.(*payload).N != 9 {
+		t.Fatalf("Get after rewrite = %v, %v", v, ok)
+	}
+}
+
+func TestUnknownVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	if err := s.Put("aabbcc", []byte(`{"n":1}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "aa", "aabbcc")
+	b, _ := os.ReadFile(path)
+	b[4] = 0x7f
+	os.WriteFile(path, b, 0o644)
+	if _, ok := s.Get("aabbcc"); ok {
+		t.Fatal("Get accepted an unknown format version")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt 1", st)
+	}
+}
+
+func TestTornTailDropsOnlyThatEntry(t *testing.T) {
+	// Three published entries, the final one torn mid-payload: recovery
+	// must drop only the tail entry and leave the rest readable.
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir, Decode: decodePayload})
+	for i := 0; i < 3; i++ {
+		put(t, s, fmt.Sprintf("d%d", i), i)
+	}
+	path := filepath.Join(dir, "d2", "d2")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, Options{Dir: dir, Decode: decodePayload})
+	for i := 0; i < 2; i++ {
+		if v, ok := s2.Get(fmt.Sprintf("d%d", i)); !ok || v.(*payload).N != i {
+			t.Fatalf("intact entry d%d lost: %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := s2.Get("d2"); ok {
+		t.Fatal("torn entry served")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 || st.DiskHits != 2 {
+		t.Fatalf("stats = %+v, want Corrupt 1 DiskHits 2", st)
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Options{Dir: dir})
+	s.Put("old111", []byte("a"), nil)
+	s.Put("new222", []byte("b"), nil)
+	stale := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "ol", "old111"), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC(time.Hour)
+	if err != nil || removed != 1 {
+		t.Fatalf("GC = %d, %v; want 1 removed", removed, err)
+	}
+	if n, _ := s.Entries(); n != 1 {
+		t.Fatalf("Entries after GC = %d, want 1", n)
+	}
+}
+
+// Chaos-injected crash tests: the child process runs a Put under a fault
+// plan and exits with the planned-crash code; the parent verifies what a
+// reopen recovers. Same re-exec pattern as the kecss-serve crash matrix.
+
+const crashEnv = "STORE_CRASH_HELPER"
+
+func TestCrashHelper(t *testing.T) {
+	plan := os.Getenv(crashEnv)
+	if plan == "" {
+		t.Skip("helper process only")
+	}
+	inj, err := chaos.Parse(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: os.Getenv("STORE_CRASH_DIR"), Decode: decodePayload, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-seed one durable entry, then crash inside the second put.
+	if err := s.Put("seed00", []byte(`{"n":42}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("victim", []byte(`{"n":43}`), nil) // exits here per the plan
+	t.Fatal("planned crash did not fire")
+}
+
+func runCrashHelper(t *testing.T, dir, plan string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), crashEnv+"="+plan, "STORE_CRASH_DIR="+dir)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != chaos.ExitCode {
+		t.Fatalf("helper under %q exited %v, want code %d\n%s", plan, err, chaos.ExitCode, out)
+	}
+}
+
+func TestCrashDuringPutRecovers(t *testing.T) {
+	// Hit #1 is the seed put; the plan crashes inside hit #2, the victim.
+	for _, plan := range []string{"crash@store.put#2", "torn@store.put#2"} {
+		t.Run(plan, func(t *testing.T) {
+			dir := t.TempDir()
+			runCrashHelper(t, dir, plan)
+			s := openT(t, Options{Dir: dir, Decode: decodePayload})
+			// Only the in-flight entry is lost; the pre-seeded one survives.
+			if v, ok := s.Get("seed00"); !ok || v.(*payload).N != 42 {
+				t.Fatalf("pre-crash entry lost: %v, %v", v, ok)
+			}
+			if _, ok := s.Get("victim"); ok {
+				t.Fatal("in-flight entry served after crash")
+			}
+			// No temp debris after the recovery sweep.
+			err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+				if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+					t.Errorf("temp debris left after sweep: %s", path)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The digest is rewritable after recovery.
+			if err := s.Put("victim", []byte(`{"n":43}`), nil); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s.Get("victim"); !ok || v.(*payload).N != 43 {
+				t.Fatalf("rewrite after crash = %v, %v", v, ok)
+			}
+		})
+	}
+}

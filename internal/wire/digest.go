@@ -34,11 +34,23 @@ type SolveSpec struct {
 	PhaseLen int `json:"phase_len,omitempty"`
 }
 
-// Digest returns the content key of solving g under spec: the hex SHA-256 of
-// the canonical binary graph encoding followed by a canonical rendering of
-// every spec field. Identical digests guarantee byte-identical results.
+// DigestVersion is the format-version byte prefixed to every digest
+// pre-image. Digests are durable now (they key result-store entries on
+// disk), so the pre-image layout must be able to evolve without silently
+// colliding with entries written under the old layout: when the solve-spec
+// schema grows a new knob, bump this byte and every old digest becomes
+// unreachable — stored entries are cleanly orphaned (and GC-able) instead
+// of wrongly served for a spec they do not describe.
+const DigestVersion = 0x01
+
+// Digest returns the content key of solving g under spec: the hex SHA-256
+// of the version byte, the canonical binary graph encoding, and a
+// canonical rendering of every spec field. Identical digests guarantee
+// byte-identical results. The pre-image layout is pinned by the golden
+// tests in this package.
 func Digest(g *graph.Graph, spec SolveSpec) string {
 	h := sha256.New()
+	h.Write([]byte{DigestVersion})
 	h.Write(EncodeGraph(g))
 	fmt.Fprintf(h, "|solver=%s|k=%d|seed=%d|mst=%t|vote=%d|bits=%d|phase=%d",
 		spec.Solver, spec.K, spec.Seed, spec.SimulateMST,

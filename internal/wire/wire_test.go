@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"math/rand"
 	"reflect"
@@ -29,21 +31,23 @@ func generatorFamilies() map[string]*graph.Graph {
 }
 
 // goldenDigests pins the content digest of every family's representative
-// under a fixed spec. These values must never change: they freeze both the
-// canonical binary encoding and the generators' outputs. If a digest moves,
-// either the wire format or a generator changed — both invalidate every
-// cache and recorded comparison in the wild.
+// under a fixed spec. These values must never change for a given
+// wire.DigestVersion: they freeze the version byte, the canonical binary
+// encoding and the generators' outputs. If a digest moves, either the
+// pre-image layout or a generator changed — both invalidate every store
+// entry and recorded comparison in the wild, and the layout case requires
+// a DigestVersion bump (recorded under version 0x01).
 var goldenDigests = map[string]string{
-	"chunglu":     "a46ace521897cba232f9e691808b96fac5fc9d68355b0a85ea76e6b32726e868",
-	"circulant":   "6a06c35b1929b491ff73adb3583e001b02b93583992ea94660ceb952b782129a",
-	"cliquechain": "7f6cff3a41728232bfe447b45472c808ac30129e70e639d8e4d9b76256c8d06c",
-	"cycle":       "8afa7e7abeba0e8474a00ded15ecd9774552320358ae8b59aed7e216015a29e9",
-	"fattree":     "3a69dd72c8dc246fdc5249637195103f5882d1f0b3662d5738c838dcc11864f5",
-	"figure2":     "02ee8ed596c3ea4974fc7cae1c291c958ff85ffe88a9f5dddbd1395d2e954446",
-	"geometric":   "26c4cb4117033c36e27c8bbef983efaa0e63bf6379fdc58f67478dac5d15020d",
-	"grid":        "cf2e3dbae7ab82af82e949a6d665241327f3976b1e37a23d5a90c6e2adbbcd94",
-	"harary":      "f0e904090dd16226b81ac6560185ad14a02ebbcb89e32c592fb2680880673b5d",
-	"random":      "70133ffd0132cd1b235e819503592b33ed922a8896326b8e30646f74ec207556",
+	"chunglu":     "fca0e0f1e2c6719fd4a500e553b27788fdcd5a14356aaa14c94545194ed41f9b",
+	"circulant":   "daaea34748d4061af52e61327060b0c6fc2364a601f5178965f820d6bf534157",
+	"cliquechain": "639fd9cfe9eea457c5c747e2782e3c0be336923d584af45f23e71f11313b59aa",
+	"cycle":       "024fa4fc0dad2f961318f01b83ebc6c916286b34eb232b98b8230c79324877fc",
+	"fattree":     "3aed0e6a7a11c651bb23bf373e0a84a6d8415daedec8dd4c67e8e9b7b44855c3",
+	"figure2":     "bed5d33dc073f812fc972a047b353250dbaa7166e0ae13aecabfb2e52abdc474",
+	"geometric":   "0df33f161100e4e66e8c15dcb13e6643a67ed3405292c43efcb787f1e3cfcbc0",
+	"grid":        "5ae93abc4ed73161025a83e01af8106d6fad3db104dcaa52a41beda77ba7fe88",
+	"harary":      "4332c53b54930ad38eba2b663dd568a73e327cb8811f67304659512057317055",
+	"random":      "b9ebc73aed9e9b446ee4df34638bbb2c2719833d35d238e71b04c50f0afa32aa",
 }
 
 func graphsEqual(a, b *graph.Graph) bool {
@@ -107,6 +111,26 @@ func TestGoldenDigestsStable(t *testing.T) {
 		if got := Digest(g, spec); got != want {
 			t.Errorf("family %q digest drifted:\n  got  %s\n  want %s", name, got, want)
 		}
+	}
+}
+
+// TestDigestPreImageLayout pins the digest pre-image byte-for-byte:
+// version byte | EncodeGraph | canonical spec rendering. A digest built by
+// hand from those parts must equal Digest — this is what lets a future
+// schema change prove it bumped DigestVersion instead of silently
+// reshuffling the pre-image under the same version.
+func TestDigestPreImageLayout(t *testing.T) {
+	g := graph.Harary(3, 12, graph.UnitWeights())
+	spec := SolveSpec{Solver: "kecss", K: 3, Seed: 7, VoteDenom: 4}
+	pre := []byte{DigestVersion}
+	pre = append(pre, EncodeGraph(g)...)
+	pre = append(pre, []byte("|solver=kecss|k=3|seed=7|mst=false|vote=4|bits=0|phase=0")...)
+	sum := sha256.Sum256(pre)
+	if want := hex.EncodeToString(sum[:]); Digest(g, spec) != want {
+		t.Fatalf("Digest = %s, want hand-built pre-image digest %s", Digest(g, spec), want)
+	}
+	if DigestVersion != 0x01 {
+		t.Fatalf("DigestVersion = %#x; bumping it requires re-recording goldenDigests", DigestVersion)
 	}
 }
 
