@@ -26,6 +26,19 @@
 // On SIGTERM/SIGINT the agent stops claiming, finishes in-flight solves
 // (their outcomes still flow through the held leases), and exits 0.
 //
+// With -admin the agent serves its own observability listener:
+//
+//	GET /metrics   agent-side Prometheus metrics (claims, solves, store
+//	               hits, lease extends, solve latency)
+//	GET /healthz   liveness
+//	/debug/pprof/  net/http/pprof (only with -pprof)
+//
+// Solver phase telemetry rides the leases automatically: when the
+// frontend traces a job, the agent records store.get/solve/store.put
+// spans — with one "phase.*" sub-span per solver phase, annotated with
+// CONGEST round/message counts — and ships them back on the completion,
+// where they are stitched into the job's end-to-end trace.
+//
 // Fault injection (testing only): -chaos takes a chaos plan spec (see
 // internal/chaos), also readable from $KECSS_CHAOS; a planned crash exits
 // with status 43.
@@ -33,7 +46,10 @@ package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,24 +64,40 @@ import (
 
 func main() {
 	var (
-		frontend  = flag.String("frontend", "http://127.0.0.1:8080", "frontend base URL (the agent claims from <frontend>/broker/v1)")
-		workers   = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
-		loops     = flag.Int("loops", 0, "concurrent claim loops (0 = pool workers)")
-		storeDir  = flag.String("store", "", "local result read-cache root (empty = memory only)")
-		cacheSize = flag.Int("cache", 1024, "in-memory result cache entries (negative disables)")
-		wait      = flag.Duration("claim-wait", 25*time.Second, "long-poll window per claim round")
-		retry     = flag.Duration("claim-retry", 500*time.Millisecond, "pause before re-polling after a transport error")
-		seed      = flag.Int64("seed", 1, "chaos plan seed (testing only)")
-		chaosSpec = flag.String("chaos", os.Getenv("KECSS_CHAOS"), "fault-injection plan (testing only)")
+		frontend    = flag.String("frontend", "http://127.0.0.1:8080", "frontend base URL (the agent claims from <frontend>/broker/v1)")
+		workers     = flag.Int("workers", 0, "solver pool workers (0 = GOMAXPROCS)")
+		loops       = flag.Int("loops", 0, "concurrent claim loops (0 = pool workers)")
+		storeDir    = flag.String("store", "", "local result read-cache root (empty = memory only)")
+		cacheSize   = flag.Int("cache", 1024, "in-memory result cache entries (negative disables)")
+		wait        = flag.Duration("claim-wait", 25*time.Second, "long-poll window per claim round")
+		retry       = flag.Duration("claim-retry", 500*time.Millisecond, "pause before re-polling after a transport error")
+		adminAddr   = flag.String("admin", "", "admin listener address for /metrics and /healthz (empty = no listener)")
+		process     = flag.String("process", "", "process tag on this agent's trace spans (default \"agent\")")
+		extendEvery = flag.Duration("extend-every", 0, "lease-extend heartbeat period for long solves (0 = off; keep off under fault injection)")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof on the admin listener (requires -admin)")
+		seed        = flag.Int64("seed", 1, "chaos plan seed (testing only)")
+		chaosSpec   = flag.String("chaos", os.Getenv("KECSS_CHAOS"), "fault-injection plan (testing only)")
 	)
 	flag.Parse()
 
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "kecss-agent: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	inj, err := chaos.Parse(*chaosSpec, *seed)
 	if err != nil {
-		log.Fatalf("kecss-agent: %v", err)
+		fatal("bad chaos spec", "err", err)
 	}
 	if inj != nil {
-		log.Printf("kecss-agent: FAULT INJECTION ACTIVE: %s", *chaosSpec)
+		logger.Warn("FAULT INJECTION ACTIVE", "plan", *chaosSpec)
 	}
 
 	cache := *cacheSize
@@ -79,7 +111,37 @@ func main() {
 		Inject:    inj,
 	})
 	if err != nil {
-		log.Fatalf("kecss-agent: %v", err)
+		fatal("store open failed", "err", err)
+	}
+
+	metrics := server.NewAgentMetrics()
+	var admin *http.Server
+	if *adminAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			metrics.WriteMetrics(w)
+		})
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		if *enablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		admin = &http.Server{Addr: *adminAddr, Handler: mux}
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr, "pprof", *enablePprof)
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
+	} else if *enablePprof {
+		fatal("-pprof requires -admin")
 	}
 
 	broker := httpbroker.NewClient(*frontend+"/broker/v1", httpbroker.ClientOptions{
@@ -87,23 +149,29 @@ func main() {
 		Retry: *retry,
 	})
 	agent := server.NewAgent(broker, server.AgentConfig{
-		Workers: *workers,
-		Loops:   *loops,
-		Store:   st,
-		Chaos:   inj,
+		Workers:     *workers,
+		Loops:       *loops,
+		Store:       st,
+		Chaos:       inj,
+		Process:     *process,
+		Metrics:     metrics,
+		ExtendEvery: *extendEvery,
+		Logger:      logger,
 	})
-	log.Printf("kecss-agent: %d workers claiming from %s (digest format v%d)",
-		agent.Workers(), *frontend, wire.DigestVersion)
+	logger.Info("claiming", "workers", agent.Workers(), "frontend", *frontend, "digest_version", wire.DigestVersion)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	got := <-sig
-	log.Printf("kecss-agent: %v received, finishing in-flight solves", got)
+	logger.Info("finishing in-flight solves", "signal", got.String())
 
 	// Stop claiming; in-flight solves complete and report through their
 	// leases before Close returns. The remote broker is untouched — other
 	// agents keep claiming from it.
 	broker.Close()
 	agent.Close()
-	log.Println("kecss-agent: drained")
+	if admin != nil {
+		admin.Close()
+	}
+	logger.Info("drained")
 }

@@ -20,6 +20,12 @@
 //	kecss-load -addr http://fe:8080 -spread 8 -cold -label agents=2 \
 //	           -json BENCH_row.json
 //
+//	# Stage breakdown: -trace samples job IDs from X-Kecss-Job response
+//	# headers (cache misses only), fetches /v1/jobs/{id}/trace for each
+//	# after the replay, and prints where the wall clock went — queue wait,
+//	# solve, store writes, solver phases — as percentiles across jobs.
+//	kecss-load -addr http://fe:8080 -spread 4 -cold -trace
+//
 // The default run has three phases: an optional -check phase (solve every
 // distinct request locally to learn the expected digests), a warm phase
 // (send every distinct request once, cold, measuring cold-solve latency),
@@ -82,6 +88,7 @@ type opts struct {
 	label    string
 	jsonPath string
 	timeout  time.Duration
+	trace    bool
 }
 
 func main() {
@@ -101,6 +108,7 @@ func main() {
 	flag.StringVar(&o.label, "label", "", "row label for the -json summary (e.g. agents=2)")
 	flag.StringVar(&o.jsonPath, "json", "", "write a one-row JSON summary of the replay phase to this file")
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request timeout")
+	flag.BoolVar(&o.trace, "trace", false, "sample per-job traces and print a stage-breakdown percentile table")
 	flag.Parse()
 	if len(o.addrs) == 0 {
 		o.addrs = []string{"http://127.0.0.1:8080"}
@@ -175,16 +183,22 @@ func run(o *opts) error {
 	// store), then once more to measure unloaded cache-hit round-trips —
 	// the like-for-like pair behind the reported cache speedup (the timed
 	// replay below measures hits under full concurrency instead).
+	var sampler *traceSampler
+	if o.trace {
+		sampler = newTraceSampler(64)
+	}
+
 	var coldRTT, hitRTT []time.Duration
 	var coldSolveMS []float64
 	if o.warm {
 		for ti, addr := range o.addrs {
 			for i, r := range reqs {
 				start := time.Now()
-				resp, err := post(client, addr, r.body)
+				resp, jobID, err := post(client, addr, r.body)
 				if err != nil {
 					return fmt.Errorf("warm request %d via %s: %w", i, addr, err)
 				}
+				sampler.add(addr, jobID)
 				if ti == 0 {
 					coldRTT = append(coldRTT, time.Since(start))
 					if !resp.Cached {
@@ -199,7 +213,7 @@ func run(o *opts) error {
 		for i, r := range reqs {
 			addr := o.addrs[i%len(o.addrs)]
 			start := time.Now()
-			resp, err := post(client, addr, r.body)
+			resp, _, err := post(client, addr, r.body)
 			if err != nil {
 				return fmt.Errorf("hit-measure request %d: %w", i, err)
 			}
@@ -265,7 +279,7 @@ func run(o *opts) error {
 				target := int(seq) % len(o.addrs)
 				r := reqs[int(seq)%len(reqs)]
 				t0 := time.Now()
-				resp, err := post(client, o.addrs[target], r.body)
+				resp, jobID, err := post(client, o.addrs[target], r.body)
 				rtt := time.Since(t0)
 				if err != nil {
 					var te *throttleError
@@ -291,6 +305,7 @@ func run(o *opts) error {
 					continue
 				}
 				attempt = 0
+				sampler.add(o.addrs[target], jobID)
 				if err := verify(r, resp, o.check); err != nil {
 					mismatch.Add(1)
 					fmt.Fprintf(os.Stderr, "kecss-load: %v\n", err)
@@ -311,6 +326,11 @@ func run(o *opts) error {
 	report(o, samples, elapsed, coldRTT, hitRTT, coldSolveMS, throttled.Load(), retries.Load(),
 		time.Duration(backoffNanos.Load()), failures.Load(), mismatch.Load())
 
+	if o.trace {
+		if err := sampler.report(client); err != nil {
+			return err
+		}
+	}
 	if o.jsonPath != "" {
 		if err := writeSummary(o, samples, elapsed, failures.Load(), mismatch.Load(), throttled.Load()); err != nil {
 			return err
@@ -418,31 +438,34 @@ func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Du
 	return time.Duration(float64(d) * (0.5 + rng.Float64()))
 }
 
-func post(client *http.Client, addr string, body []byte) (*wire.SolveResponse, error) {
+// post sends one solve request. The returned job ID is the X-Kecss-Job
+// response header — present only when the request missed the cache and ran
+// as a durable job, so it doubles as the -trace sampling signal.
+func post(client *http.Client, addr string, body []byte) (*wire.SolveResponse, string, error) {
 	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		var after time.Duration
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			after = time.Duration(secs) * time.Second
 		}
-		return nil, &throttleError{msg: fmt.Sprintf("%d: %s", resp.StatusCode, raw), retryAfter: after}
+		return nil, "", &throttleError{msg: fmt.Sprintf("%d: %s", resp.StatusCode, raw), retryAfter: after}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
 	}
 	var out wire.SolveResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return &out, nil
+	return &out, resp.Header.Get("X-Kecss-Job"), nil
 }
 
 // verify checks a served response against the request's expected direct

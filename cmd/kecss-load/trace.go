@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The -trace report: the load generator samples job IDs from X-Kecss-Job
+// response headers (only cache-miss solves mint a job, so the samples are
+// exactly the requests that exercised the queue and an agent), fetches each
+// job's span timeline from /v1/jobs/{id}/trace after the replay, and prints
+// a per-stage latency table — where did a solve's wall clock go, in
+// percentiles across the sampled jobs.
+
+// traceSampler collects up to cap sampled jobs, concurrency-safe. A nil
+// sampler ignores adds, so the hot path stays unconditional.
+type traceSampler struct {
+	mu      sync.Mutex
+	cap     int
+	entries []traceRef
+	dropped int
+}
+
+type traceRef struct{ addr, jobID string }
+
+func newTraceSampler(cap int) *traceSampler { return &traceSampler{cap: cap} }
+
+func (ts *traceSampler) add(addr, jobID string) {
+	if ts == nil || jobID == "" {
+		return
+	}
+	ts.mu.Lock()
+	if len(ts.entries) < ts.cap {
+		ts.entries = append(ts.entries, traceRef{addr: addr, jobID: jobID})
+	} else {
+		ts.dropped++
+	}
+	ts.mu.Unlock()
+}
+
+// fetchTrace retrieves one job's trace, retrying briefly: the solve response
+// races the frontend's trace finalisation by a hair, so a just-answered job
+// can be a snapshot away from Complete. A 404 means the trace aged out of
+// the server's bounded retention — reported as absent, not an error.
+func fetchTrace(client *http.Client, addr, jobID string) (*telemetry.Data, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(addr + "/v1/jobs/" + jobID + "/trace")
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s/v1/jobs/%s/trace: status %d: %s", addr, jobID, resp.StatusCode, raw)
+		}
+		var d telemetry.Data
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return nil, fmt.Errorf("job %s: bad trace payload: %w", jobID, err)
+		}
+		if d.Complete || attempt >= 10 {
+			return &d, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// stageDurations folds one trace's spans into per-stage totals keyed
+// "process/name" (a lease expiry yields two queue.wait spans; they sum into
+// the job's total time spent waiting). The root span is reported as total.
+func stageDurations(d *telemetry.Data) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range d.Spans {
+		if s.End == 0 || s.Name == "job" {
+			continue
+		}
+		key := s.Name
+		if s.Process != "" {
+			key = s.Process + "/" + s.Name
+		}
+		out[key] += time.Duration(s.End - s.Start)
+	}
+	if d.DurationNanos > 0 {
+		out["total"] = time.Duration(d.DurationNanos)
+	}
+	return out
+}
+
+// traceReport fetches every sampled trace and prints the stage table,
+// slowest stages first.
+func (ts *traceSampler) report(client *http.Client) error {
+	ts.mu.Lock()
+	entries := append([]traceRef(nil), ts.entries...)
+	dropped := ts.dropped
+	ts.mu.Unlock()
+	if len(entries) == 0 {
+		fmt.Println("\ntrace: no jobs sampled — every request was a cache hit (use -cold or -spread for cache-miss traffic)")
+		return nil
+	}
+
+	byStage := make(map[string][]time.Duration)
+	fetched, missing := 0, 0
+	for _, e := range entries {
+		d, err := fetchTrace(client, e.addr, e.jobID)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			missing++
+			continue
+		}
+		fetched++
+		for stage, total := range stageDurations(d) {
+			byStage[stage] = append(byStage[stage], total)
+		}
+	}
+	if fetched == 0 {
+		fmt.Printf("\ntrace: all %d sampled traces already aged out of server retention\n", len(entries))
+		return nil
+	}
+
+	type row struct {
+		stage              string
+		n                  int
+		p50, p90, p99, max time.Duration
+	}
+	rows := make([]row, 0, len(byStage))
+	for stage, ds := range byStage {
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		rows = append(rows, row{
+			stage: stage,
+			n:     len(ds),
+			p50:   percentile(ds, 0.50),
+			p90:   percentile(ds, 0.90),
+			p99:   percentile(ds, 0.99),
+			max:   ds[len(ds)-1],
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].p50 != rows[b].p50 {
+			return rows[a].p50 > rows[b].p50
+		}
+		return rows[a].stage < rows[b].stage
+	})
+
+	fmt.Printf("\ntrace: stage breakdown across %d sampled jobs", fetched)
+	if missing > 0 {
+		fmt.Printf(" (%d aged out)", missing)
+	}
+	if dropped > 0 {
+		fmt.Printf(" (%d over the sample cap)", dropped)
+	}
+	fmt.Println()
+	fmt.Printf("%-28s %5s %10s %10s %10s %10s\n", "stage", "jobs", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		fmt.Printf("%-28s %5d %10.3f %10.3f %10.3f %10.3f\n",
+			r.stage, r.n, ms(r.p50), ms(r.p90), ms(r.p99), ms(r.max))
+	}
+	return nil
+}

@@ -23,11 +23,14 @@
 //	POST /v1/solve        synchronous solve
 //	POST /v1/jobs         asynchronous solve (202 + job id)
 //	GET  /v1/jobs/{id}    poll a job
+//	GET  /v1/jobs/{id}/trace  a job's span timeline (JSON)
 //	GET  /v1/deadletters  jobs that exhausted their retry budget (?limit=N)
+//	GET  /debug/traces    bounded trace retention listing (recent + slowest)
 //	GET  /healthz         liveness (503 only once closed)
 //	GET  /readyz          readiness (503 during drain; replay summary)
 //	GET  /metrics         Prometheus text metrics
 //	*    /broker/v1/...   work-queue API consumed by remote agents
+//	*    /debug/pprof/... net/http/pprof profiling (only with -pprof)
 //
 // With -journal, accepted jobs survive kill -9: on restart the journal is
 // replayed, finished jobs come back pollable and unfinished jobs are
@@ -47,8 +50,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +67,12 @@ func orNone(s string) string {
 		return "none"
 	}
 	return s
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	err := lvl.UnmarshalText([]byte(s))
+	return lvl, err
 }
 
 func main() {
@@ -83,15 +93,30 @@ func main() {
 		seed         = flag.Int64("seed", 1, "retry-jitter seed")
 		chaosSpec    = flag.String("chaos", os.Getenv("KECSS_CHAOS"), "fault-injection plan (testing only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in; exposes goroutine and heap internals)")
+		traceRecent  = flag.Int("trace-recent", 0, "finished job traces retained by recency (0 = default)")
+		traceSlow    = flag.Int("trace-slow", 0, "slowest finished job traces retained beyond recency (0 = default)")
 	)
 	flag.Parse()
 
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kecss-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	inj, err := chaos.Parse(*chaosSpec, *seed)
 	if err != nil {
-		log.Fatalf("kecss-serve: %v", err)
+		fatal("bad chaos spec", "err", err)
 	}
 	if inj != nil {
-		log.Printf("kecss-serve: FAULT INJECTION ACTIVE: %s", *chaosSpec)
+		logger.Warn("FAULT INJECTION ACTIVE", "plan", *chaosSpec)
 	}
 
 	s, err := server.New(server.Config{
@@ -109,19 +134,35 @@ func main() {
 		Chaos:        inj,
 		Mode:         *mode,
 		StoreDir:     *storeDir,
+		Logger:       logger,
+		TraceRecent:  *traceRecent,
+		TraceSlow:    *traceSlow,
 	})
 	if err != nil {
-		log.Fatalf("kecss-serve: %v", err)
+		fatal("startup failed", "err", err)
 	}
 	if rep := s.Replay(); *journalPath != "" {
-		log.Printf("kecss-serve: journal replay: %d records, %d finished jobs recovered, %d re-enqueued, %d torn bytes truncated",
-			rep.Records, rep.Completed, rep.Requeued, rep.TornBytes)
+		logger.Info("journal replay",
+			"records", rep.Records, "recovered", rep.Completed,
+			"requeued", rep.Requeued, "torn_bytes", rep.TornBytes)
 	}
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("kecss-serve: listening on %s (mode=%s, store=%s)", *addr, *mode, orNone(*storeDir))
+		logger.Info("listening", "addr", *addr, "mode", *mode, "store", orNone(*storeDir))
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -130,9 +171,9 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("kecss-serve: %v", err)
+		fatal("http server failed", "err", err)
 	case got := <-sig:
-		log.Printf("kecss-serve: %v received, draining", got)
+		logger.Info("draining", "signal", got.String())
 	}
 
 	// Refuse new work (readyz → 503) before closing the listener, so load
@@ -142,12 +183,13 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("kecss-serve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := s.Drain(ctx); err != nil {
 		s.Close()
-		log.Fatalf("kecss-serve: %v", err)
+		fatal("drain interrupted", "err", err)
 	}
 	s.Close()
+	// CI and the smoke scripts grep for this exact line; keep it on stdout.
 	fmt.Println("kecss-serve: drain complete")
 }

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/promtext"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -76,16 +78,66 @@ func startFrontend(t *testing.T, bin, wal, storeDir string, port int) *serveProc
 	return p
 }
 
-func startAgent(t *testing.T, bin, frontend, chaosSpec string) *serveProc {
+// startAgent launches a kecss-agent; adminPort != 0 adds the -admin
+// listener so the test can scrape the agent's own /metrics.
+func startAgent(t *testing.T, bin, frontend, chaosSpec string, adminPort int) *serveProc {
 	t.Helper()
-	return startProc(t, "kecss-agent", bin,
+	args := []string{
 		"-frontend", frontend,
 		"-workers", "1",
 		"-claim-wait", "2s",
 		"-claim-retry", "100ms",
 		"-seed", "1",
 		"-chaos", chaosSpec,
-	)
+	}
+	if adminPort != 0 {
+		args = append(args, "-admin", fmt.Sprintf("127.0.0.1:%d", adminPort))
+	}
+	return startProc(t, "kecss-agent", bin, args...)
+}
+
+// getBody fetches a URL, failing the test on transport or non-200.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// fetchJobTrace polls GET /v1/jobs/{id}/trace until the trace is complete.
+func fetchJobTrace(t *testing.T, base, id string, timeout time.Duration) *telemetry.Data {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var d telemetry.Data
+		if err := json.Unmarshal(getBody(t, base+"/v1/jobs/"+id+"/trace"), &d); err != nil {
+			t.Fatalf("job %s: bad trace payload: %v", id, err)
+		}
+		if d.Complete {
+			return &d
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace for %s never completed (%d spans)", id, len(d.Spans))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func namedSpans(d *telemetry.Data, name string) []telemetry.Span {
+	var out []telemetry.Span
+	for _, s := range d.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func postSolve(t *testing.T, base string, req *wire.SolveRequest, timeout time.Duration) *wire.SolveResponse {
@@ -141,9 +193,11 @@ func TestMultiProcessSmoke(t *testing.T) {
 	fe.waitReady(t, 10*time.Second)
 
 	// The victim stalls 60s into its first solve — a deterministic
-	// mid-solve hang to SIGKILL — while the survivor runs clean.
-	victim := startAgent(t, agentBin, fe.base, "stall@worker.solve#1:60s")
-	survivor := startAgent(t, agentBin, fe.base, "")
+	// mid-solve hang to SIGKILL — while the survivor runs clean with an
+	// admin listener for the metrics scrape below.
+	adminPort := freePort(t)
+	victim := startAgent(t, agentBin, fe.base, "stall@worker.solve#1:60s", 0)
+	survivor := startAgent(t, agentBin, fe.base, "", adminPort)
 	_ = survivor
 
 	acked := make(map[string]int)
@@ -170,6 +224,63 @@ func TestMultiProcessSmoke(t *testing.T) {
 		if res.Digest != jobs[i].digest || res.ResultDigest != jobs[i].resultDigest {
 			t.Errorf("job %s digests (%s, %s), want (%s, %s)",
 				id, res.Digest, res.ResultDigest, jobs[i].digest, jobs[i].resultDigest)
+		}
+	}
+
+	// The SIGKILL-recovered job's trace stitches both deliveries into one
+	// timeline: the victim's claim closed as expired, a lease.expired
+	// marker, and the survivor's agent subtree grafted under attempt 2 —
+	// across three real processes. Every other job shows one clean claim.
+	recovered := 0
+	for id := range acked {
+		d := fetchJobTrace(t, fe.base, id, 10*time.Second)
+		claims := namedSpans(d, "claim")
+		switch len(claims) {
+		case 1:
+			continue
+		case 2:
+			recovered++
+		default:
+			t.Fatalf("job %s has %d claim spans, want 1 or 2", id, len(claims))
+		}
+		if claims[0].Attempt != 1 || claims[1].Attempt != 2 {
+			t.Errorf("job %s claim attempts = %d, %d; want 1, 2", id, claims[0].Attempt, claims[1].Attempt)
+		}
+		if a, ok := claims[0].Attr("expired"); !ok || !a.Bool {
+			t.Errorf("job %s: first claim not marked expired: %+v", id, claims[0])
+		}
+		if len(namedSpans(d, "lease.expired")) != 1 {
+			t.Errorf("job %s: trace missing the lease.expired marker", id)
+		}
+		if claims[1].Start < claims[0].End {
+			t.Errorf("job %s: attempt 2 (start %d) overlaps attempt 1 (end %d)", id, claims[1].Start, claims[0].End)
+		}
+		agentOK := false
+		for _, a := range namedSpans(d, "agent") {
+			if a.Parent == claims[1].ID && a.Process == "agent" {
+				agentOK = true
+			}
+		}
+		if !agentOK {
+			t.Errorf("job %s: no agent subtree under attempt 2's claim", id)
+		}
+	}
+	if recovered != 1 {
+		t.Errorf("%d jobs show a redelivered trace, want exactly 1 (the SIGKILLed solve)", recovered)
+	}
+
+	// Both processes' /metrics speak valid exposition format.
+	feMetrics := getBody(t, fe.base+"/metrics")
+	if err := promtext.Lint(feMetrics); err != nil {
+		t.Errorf("frontend /metrics fails exposition lint: %v", err)
+	}
+	agentMetrics := getBody(t, fmt.Sprintf("http://127.0.0.1:%d/metrics", adminPort))
+	if err := promtext.Lint(agentMetrics); err != nil {
+		t.Errorf("agent /metrics fails exposition lint: %v", err)
+	}
+	for _, want := range []string{"kecss_agent_claims_total", "kecss_agent_solves_total", "kecss_agent_solve_seconds_bucket"} {
+		if !bytes.Contains(agentMetrics, []byte(want)) {
+			t.Errorf("agent /metrics missing %s:\n%s", want, agentMetrics)
 		}
 	}
 

@@ -27,6 +27,9 @@ type AugOptions struct {
 	// connectivity itself with one capped max-flow pass and hands it to the
 	// enumerator, so CutEnum.KnownConnectivity is ignored here.
 	CutEnum CutEnumOptions
+	// Phase, if set, receives a cut-enum and an augment PhaseEvent for this
+	// level (Level = k). Nil costs nothing.
+	Phase PhaseObserver
 }
 
 // AugResult is the outcome of one connectivity augmentation step.
@@ -70,6 +73,7 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 	size := k - 1
 	enumOpts := opts.CutEnum
 	enumOpts.KnownConnectivity = 0
+	enumStart := opts.Phase.phaseStart()
 	var cuts []Cut
 	var err error
 	if size >= 3 {
@@ -92,15 +96,18 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: enumerating size-%d cuts: %w", size, err)
 	}
+	opts.Phase.emit(PhaseEvent{Phase: "cut-enum", Level: k, Start: enumStart, Items: len(cuts)})
 	res := &AugResult{Cuts: len(cuts)}
 	var acc rounds.Accountant
 	n := g.N()
 	d := int64(g.DiameterEstimate())
 	// All vertices learn H once: O(D + |H|) by pipelined broadcast.
 	acc.Charge("learn H", d+int64(len(h)))
+	loopStart := opts.Phase.phaseStart()
 
 	if len(cuts) == 0 {
 		res.Rounds = acc.Total()
+		opts.Phase.emit(PhaseEvent{Phase: "augment", Level: k, Start: loopStart, Rounds: res.Rounds})
 		return res, nil // H is already k-edge-connected
 	}
 
@@ -282,5 +289,9 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 	res.Added = a
 	res.Weight = g.WeightOf(a)
 	res.Rounds = acc.Total()
+	opts.Phase.emit(PhaseEvent{
+		Phase: "augment", Level: k, Start: loopStart,
+		Rounds: res.Rounds, Iterations: res.Iterations, Items: len(res.Added),
+	})
 	return res, nil
 }

@@ -37,6 +37,10 @@ type KECSSOptions struct {
 	// CutEnum tunes the minimum-cut enumeration of every Aug level (see
 	// CutEnumOptions); results are byte-identical at any setting.
 	CutEnum CutEnumOptions
+	// Phase, if set, receives a PhaseEvent per completed solver phase
+	// (validate, mst, then cut-enum/augment per level, audit for k >= 4).
+	// Nil costs nothing.
+	Phase PhaseObserver
 }
 
 // KECSSResult is the outcome of the k-ECSS computation.
@@ -66,13 +70,20 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	if !opts.SkipValidation && !g.IsKEdgeConnected(k) {
-		return nil, fmt.Errorf("core: input graph is not %d-edge-connected", k)
+	if !opts.SkipValidation {
+		t0 := opts.Phase.phaseStart()
+		ok := g.IsKEdgeConnected(k)
+		opts.Phase.emit(PhaseEvent{Phase: "validate", Start: t0})
+		if !ok {
+			return nil, fmt.Errorf("core: input graph is not %d-edge-connected", k)
+		}
 	}
 	res := &KECSSResult{}
 
 	// Level 1: MST.
 	level1 := &AugResult{}
+	t0 := opts.Phase.phaseStart()
+	var mstMessages int64
 	if opts.SimulateMST {
 		var simOpts []congest.Option
 		if opts.Executor != nil {
@@ -88,18 +99,23 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 		level1.Added = mres.EdgeIDs
 		level1.Weight = mres.Weight
 		level1.Rounds = int64(mres.Metrics.Rounds)
+		mstMessages = mres.Metrics.Messages
 	} else {
 		ids, w := mst.Kruskal(g)
 		level1.Added = ids
 		level1.Weight = w
 		level1.Rounds = rounds.MSTKuttenPeleg(g.N(), g.DiameterEstimate())
 	}
+	opts.Phase.emit(PhaseEvent{
+		Phase: "mst", Level: 1, Start: t0,
+		Rounds: level1.Rounds, Messages: mstMessages, Items: len(level1.Added),
+	})
 	res.Levels = append(res.Levels, level1)
 	h := append([]int(nil), level1.Added...)
 	res.Rounds += level1.Rounds
 
 	for i := 2; i <= k; i++ {
-		ar, err := Aug(g, h, i, AugOptions{Rng: opts.Rng, PhaseLen: opts.PhaseLen, CutEnum: opts.CutEnum})
+		ar, err := Aug(g, h, i, AugOptions{Rng: opts.Rng, PhaseLen: opts.PhaseLen, CutEnum: opts.CutEnum, Phase: opts.Phase})
 		if err != nil {
 			return nil, fmt.Errorf("core: Aug_%d: %w", i, err)
 		}
@@ -116,8 +132,11 @@ func SolveKECSS(g *graph.Graph, k int, opts KECSSOptions) (*KECSSResult, error) 
 		// next level. The pooled-Dinic audit makes a missed cut an explicit
 		// error instead of a silently under-connected result. k <= 3 levels
 		// enumerate exactly (bridges, cut pairs) and need no audit.
+		t0 := opts.Phase.phaseStart()
 		sub, _ := g.SubgraphOf(h)
-		if !sub.IsKEdgeConnected(k) {
+		ok := sub.IsKEdgeConnected(k)
+		opts.Phase.emit(PhaseEvent{Phase: "audit", Level: k, Start: t0, Items: len(h)})
+		if !ok {
 			return nil, fmt.Errorf("core: %d-ECSS output failed the connectivity audit (cut enumeration missed a minimum cut; raise CutEnumOptions.TrialFactor)", k)
 		}
 	}

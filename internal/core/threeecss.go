@@ -52,6 +52,9 @@ type ThreeECSSOptions struct {
 	// pair (see CutEnumOptions). The size-2 enumeration is exact, so only
 	// future size >= 3 uses of the knob consume its trial settings.
 	CutEnum CutEnumOptions
+	// Phase, if set, receives a PhaseEvent per completed phase (validate,
+	// base, base-label, augment, correction). Nil costs nothing.
+	Phase PhaseObserver
 }
 
 // ThreeECSSResult is the outcome of the 3-ECSS computation.
@@ -98,17 +101,35 @@ func Solve3ECSSUnweighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResu
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
 	}
-	if !opts.SkipValidation && !g.IsKEdgeConnected(3) {
-		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
+	if err := validate3EC(g, opts); err != nil {
+		return nil, err
 	}
 	var acc rounds.Accountant
 	// Base subgraph H: BFS tree + O(D)-round augmentation [1].
+	t0 := opts.Phase.phaseStart()
 	h, _, err := baselines.TwoECSSUnweighted2Approx(g, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: base 2-ECSS: %w", err)
 	}
-	acc.Charge("base 2-ECSS [1]", 2*int64(g.DiameterEstimate()))
+	baseRounds := 2 * int64(g.DiameterEstimate())
+	acc.Charge("base 2-ECSS [1]", baseRounds)
+	opts.Phase.emit(PhaseEvent{Phase: "base", Start: t0, Rounds: baseRounds, Items: len(h)})
 	return solve3ECSS(g, h, false, opts, &acc)
+}
+
+// validate3EC runs the up-front 3-edge-connectivity check (unless skipped),
+// reporting it to the phase observer.
+func validate3EC(g *graph.Graph, opts ThreeECSSOptions) error {
+	if opts.SkipValidation {
+		return nil
+	}
+	t0 := opts.Phase.phaseStart()
+	ok := g.IsKEdgeConnected(3)
+	opts.Phase.emit(PhaseEvent{Phase: "validate", Start: t0})
+	if !ok {
+		return fmt.Errorf("core: input graph is not 3-edge-connected")
+	}
+	return nil
 }
 
 // Solve3ECSSWeighted is the §5.4 weighted variant: the base H is the §3
@@ -120,15 +141,17 @@ func Solve3ECSSWeighted(g *graph.Graph, opts ThreeECSSOptions) (*ThreeECSSResult
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("core: ThreeECSSOptions.Rng is required")
 	}
-	if !opts.SkipValidation && !g.IsKEdgeConnected(3) {
-		return nil, fmt.Errorf("core: input graph is not 3-edge-connected")
+	if err := validate3EC(g, opts); err != nil {
+		return nil, err
 	}
 	var acc rounds.Accountant
+	t0 := opts.Phase.phaseStart()
 	base, err := Solve2ECSS(g, TwoECSSOptions{Rng: opts.Rng})
 	if err != nil {
 		return nil, fmt.Errorf("core: weighted base 2-ECSS: %w", err)
 	}
 	acc.Charge("base weighted 2-ECSS (Thm 1.1)", base.Rounds)
+	opts.Phase.emit(PhaseEvent{Phase: "base", Start: t0, Rounds: base.Rounds, Items: len(base.Edges)})
 	return solve3ECSS(g, base.Edges, true, opts, &acc)
 }
 
@@ -180,6 +203,7 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	d := int64(g.DiameterEstimate())
 	res := &ThreeECSSResult{BaseSize: len(h)}
 
+	t0 := opts.Phase.phaseStart()
 	eng, err := cycles.NewIncremental(g, h, bits, opts.Rng, opts.LabelArena, simOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: labeling base H: %w", err)
@@ -187,6 +211,10 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	defer eng.Release()
 	res.LabelRoundsMeasured += int64(eng.Metrics.Rounds)
 	acc.Charge(chargeLabelScans, int64(eng.Metrics.Rounds))
+	opts.Phase.emit(PhaseEvent{
+		Phase: "base-label", Start: t0,
+		Rounds: int64(eng.Metrics.Rounds), Messages: eng.Metrics.Messages, Items: len(h),
+	})
 	height := int64(eng.Tree.Height())
 
 	selected := make([]bool, g.M())
@@ -206,6 +234,8 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	var pool []int // candidate edge IDs at the maximum rounded value
 	var added []int
 
+	loopStart := opts.Phase.phaseStart()
+	roundsAtLoop := acc.Total()
 	for iters := 0; !eng.ThreeEdgeConnected(); {
 		if iters >= maxIters {
 			return nil, fmt.Errorf("core: 3-ECSS exceeded %d iterations", maxIters)
@@ -294,17 +324,25 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 		}
 	}
 
+	opts.Phase.emit(PhaseEvent{
+		Phase: "augment", Start: loopStart,
+		Rounds: acc.Total() - roundsAtLoop, Iterations: res.Iterations,
+		Items: len(sel) - len(h),
+	})
+
 	// Exact verification, then the correction loop if a cut pair survived.
 	// (With this labeling construction the correction is belt-and-braces:
 	// Property 5.1's equality holds with certainty for genuine cut pairs,
 	// so the label-based termination can falsely reject but never falsely
 	// certify, and a genuine cut pair always leaves a positive-CoverCount
 	// candidate while g is 3-edge-connected — see correctTo3EC's test.)
+	t0 = opts.Phase.phaseStart()
 	corrections, err := correctTo3EC(g, selected, &sel, opts.CutEnum)
 	if err != nil {
 		return nil, err
 	}
 	res.CorrectionEdges = corrections
+	opts.Phase.emit(PhaseEvent{Phase: "correction", Start: t0, Items: corrections})
 
 	sort.Ints(sel)
 	res.Edges = sel

@@ -27,6 +27,9 @@ type TwoECSSOptions struct {
 	// Arena, if set, supplies reusable simulation buffers (for repetition
 	// sweeps that solve many same-sized instances).
 	Arena *congest.NetworkArena
+	// Phase, if set, receives a PhaseEvent per completed phase (mst, tap).
+	// Nil costs nothing.
+	Phase PhaseObserver
 }
 
 // TwoECSSResult is the outcome of the 2-ECSS computation.
@@ -59,10 +62,12 @@ func Solve2ECSS(g *graph.Graph, opts TwoECSSOptions) (*TwoECSSResult, error) {
 		return nil, fmt.Errorf("core: need at least 2 vertices")
 	}
 	var (
-		mstIDs    []int
-		mstWeight int64
-		mstRounds int64
+		mstIDs      []int
+		mstWeight   int64
+		mstRounds   int64
+		mstMessages int64
 	)
+	t0 := opts.Phase.phaseStart()
 	if opts.SimulateMST {
 		var simOpts []congest.Option
 		if opts.Executor != nil {
@@ -76,20 +81,30 @@ func Solve2ECSS(g *graph.Graph, opts TwoECSSOptions) (*TwoECSSResult, error) {
 			return nil, fmt.Errorf("core: distributed MST: %w", err)
 		}
 		mstIDs, mstWeight, mstRounds = mres.EdgeIDs, mres.Weight, int64(mres.Metrics.Rounds)
+		mstMessages = mres.Metrics.Messages
 	} else {
 		mstIDs, mstWeight = mst.Kruskal(g)
 		mstRounds = rounds.MSTKuttenPeleg(g.N(), g.DiameterEstimate())
 	}
+	opts.Phase.emit(PhaseEvent{
+		Phase: "mst", Start: t0,
+		Rounds: mstRounds, Messages: mstMessages, Items: len(mstIDs),
+	})
 	tr, err := tree.FromEdges(g, mstIDs, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: rooting MST: %w", err)
 	}
 	topts := opts.TAP
 	topts.Rng = opts.Rng
+	t0 = opts.Phase.phaseStart()
 	tres, err := tap.Augment(g, tr, topts)
 	if err != nil {
 		return nil, fmt.Errorf("core: TAP augmentation: %w", err)
 	}
+	opts.Phase.emit(PhaseEvent{
+		Phase: "tap", Start: t0,
+		Rounds: tres.Rounds, Iterations: tres.Iterations, Items: len(tres.Augmentation),
+	})
 	edges := append(append([]int(nil), mstIDs...), tres.Augmentation...)
 	sort.Ints(edges)
 	return &TwoECSSResult{

@@ -1,0 +1,364 @@
+// Package promtext validates Prometheus text exposition payloads — the
+// hand-rolled /metrics output of kecss-serve and kecss-agent. It is a
+// lint, not a full parser: it enforces the subset of the format a real
+// scraper depends on, so a formatting regression (stray text, duplicated
+// TYPE lines, non-cumulative histogram buckets) fails a test instead of
+// silently breaking ingestion.
+//
+// Checks:
+//
+//   - every line is empty, a # HELP/# TYPE comment, or a sample of the
+//     form name{labels} value, with the name well-formed, the labels
+//     parseable and the value a float
+//   - at most one # TYPE line per metric family, appearing before the
+//     family's first sample
+//   - a family's samples are consecutive (no interleaving with another
+//     family's)
+//   - histogram families have, per label set: le-ordered strictly
+//     increasing bucket bounds, non-decreasing (cumulative) bucket
+//     values, a +Inf bucket, and _count/_sum samples with _count equal
+//     to the +Inf bucket
+package promtext
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed metric line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// family collects what the lint saw of one metric family.
+type family struct {
+	typ     string // from # TYPE, "" if undeclared
+	typLine int
+	samples []sample
+	sealed  bool // a different family's sample appeared after ours
+}
+
+// Lint validates a text exposition payload, returning the first problem
+// found (nil = clean).
+func Lint(b []byte) error {
+	families := map[string]*family{}
+	var order []string
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	lastFamily := ""
+	for i, line := range strings.Split(string(b), "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", n, err)
+			}
+			if kind == "TYPE" {
+				f := get(name)
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s (first at line %d)", n, name, f.typLine)
+				}
+				if len(f.samples) > 0 {
+					return fmt.Errorf("line %d: # TYPE for %s after its samples (first sample at line %d)", n, name, f.samples[0].line)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", n, rest)
+				}
+				f.typ = rest
+				f.typLine = n
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		s.line = n
+		base := familyName(s.name, families)
+		f := get(base)
+		if f.sealed {
+			return fmt.Errorf("line %d: samples of %s are not consecutive (family resumed after other samples)", n, base)
+		}
+		if lastFamily != "" && lastFamily != base {
+			families[lastFamily].sealed = true
+		}
+		lastFamily = base
+		f.samples = append(f.samples, s)
+	}
+	for _, name := range order {
+		f := families[name]
+		if f.typ == "histogram" {
+			if err := checkHistogram(name, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # HELP / # TYPE line.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return "", "", "", fmt.Errorf("malformed # TYPE line %q", line)
+		}
+		if !validName(fields[2]) {
+			return "", "", "", fmt.Errorf("bad metric name %q in # TYPE", fields[2])
+		}
+		return "TYPE", fields[2], fields[3], nil
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return "", "", "", fmt.Errorf("malformed # HELP line %q", line)
+		}
+		return "HELP", fields[2], "", nil
+	default:
+		// Other comments are legal and ignored by scrapers.
+		return "", "", "", nil
+	}
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("sample line %q does not start with a metric name", line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want `value [timestamp]` after name, got %q", s.name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q: %v", s.name, fields[0], err)
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp %q", s.name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at in[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ' ' || in[i] == ',') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(in) && isNameChar(in[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label block %q", in)
+		}
+		key := in[start:i]
+		if i >= len(in) || in[i] != '=' {
+			return 0, fmt.Errorf("label %q not followed by =", key)
+		}
+		i++
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(in[i])
+				default:
+					return 0, fmt.Errorf("label %q: bad escape \\%c", key, in[i])
+				}
+			} else {
+				val.WriteByte(in[i])
+			}
+			i++
+		}
+		if i >= len(in) {
+			return 0, fmt.Errorf("label %q value unterminated", key)
+		}
+		i++ // closing quote
+		if _, dup := out[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+	}
+}
+
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// familyName maps a sample name to its family: histogram suffixes
+// (_bucket/_sum/_count) fold into the declared histogram family.
+func familyName(name string, families map[string]*family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, exists := families[base]; exists && (f.typ == "histogram" || f.typ == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// checkHistogram validates cumulative buckets and _count/_sum consistency
+// per label set of one histogram family.
+func checkHistogram(name string, f *family) error {
+	type series struct {
+		bounds []float64
+		counts []float64
+		count  *sample
+		sum    *sample
+		line   int
+	}
+	byLabels := map[string]*series{}
+	var order []string
+	get := func(s sample) *series {
+		key := labelKey(s.labels)
+		sr, ok := byLabels[key]
+		if !ok {
+			sr = &series{line: s.line}
+			byLabels[key] = sr
+			order = append(order, key)
+		}
+		return sr
+	}
+	for i := range f.samples {
+		s := f.samples[i]
+		switch s.name {
+		case name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket without le label", s.line, name)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = float64(1 << 62) // sorts after every finite bound
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: %s_bucket has bad le %q", s.line, name, le)
+				}
+				bound = v
+			}
+			delete(s.labels, "le")
+			sr := get(s)
+			sr.bounds = append(sr.bounds, bound)
+			sr.counts = append(sr.counts, s.value)
+		case name + "_count":
+			sr := get(s)
+			if sr.count != nil {
+				return fmt.Errorf("line %d: duplicate %s_count for label set", s.line, name)
+			}
+			sr.count = &f.samples[i]
+		case name + "_sum":
+			sr := get(s)
+			if sr.sum != nil {
+				return fmt.Errorf("line %d: duplicate %s_sum for label set", s.line, name)
+			}
+			sr.sum = &f.samples[i]
+		default:
+			return fmt.Errorf("line %d: histogram %s has stray sample %s", s.line, name, s.name)
+		}
+	}
+	for _, key := range order {
+		sr := byLabels[key]
+		where := fmt.Sprintf("histogram %s{%s} (near line %d)", name, key, sr.line)
+		if len(sr.bounds) == 0 {
+			return fmt.Errorf("%s: no buckets", where)
+		}
+		for i := 1; i < len(sr.bounds); i++ {
+			if sr.bounds[i] <= sr.bounds[i-1] {
+				return fmt.Errorf("%s: bucket bounds not increasing", where)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("%s: bucket counts not cumulative", where)
+			}
+		}
+		if sr.bounds[len(sr.bounds)-1] != float64(1<<62) {
+			return fmt.Errorf("%s: missing le=\"+Inf\" bucket", where)
+		}
+		if sr.count == nil || sr.sum == nil {
+			return fmt.Errorf("%s: missing _count or _sum", where)
+		}
+		if inf := sr.counts[len(sr.counts)-1]; sr.count.value != inf {
+			return fmt.Errorf("%s: _count %g != +Inf bucket %g", where, sr.count.value, inf)
+		}
+	}
+	return nil
+}
+
+// labelKey renders a label set canonically (sorted keys).
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}

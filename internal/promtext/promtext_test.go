@@ -1,0 +1,110 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsWellFormedPayload(t *testing.T) {
+	payload := `# TYPE kecss_requests_total counter
+kecss_requests_total{path="/v1/solve",code="200"} 12
+kecss_requests_total{path="/v1/solve",code="429"} 1
+# TYPE kecss_queue_depth gauge
+kecss_queue_depth 3
+# TYPE kecss_solve_seconds histogram
+kecss_solve_seconds_bucket{le="0.1"} 2
+kecss_solve_seconds_bucket{le="1"} 5
+kecss_solve_seconds_bucket{le="+Inf"} 6
+kecss_solve_seconds_sum 4.2
+kecss_solve_seconds_count 6
+`
+	if err := Lint([]byte(payload)); err != nil {
+		t.Fatalf("well-formed payload rejected: %v", err)
+	}
+}
+
+func TestLintAcceptsLabeledHistogramFamily(t *testing.T) {
+	payload := `# TYPE kecss_stage_seconds histogram
+kecss_stage_seconds_bucket{stage="queue_wait",le="0.5"} 1
+kecss_stage_seconds_bucket{stage="queue_wait",le="+Inf"} 2
+kecss_stage_seconds_sum{stage="queue_wait"} 0.9
+kecss_stage_seconds_count{stage="queue_wait"} 2
+kecss_stage_seconds_bucket{stage="solve",le="0.5"} 0
+kecss_stage_seconds_bucket{stage="solve",le="+Inf"} 0
+kecss_stage_seconds_sum{stage="solve"} 0
+kecss_stage_seconds_count{stage="solve"} 0
+`
+	if err := Lint([]byte(payload)); err != nil {
+		t.Fatalf("labeled histogram family rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		want    string
+	}{
+		{
+			"garbage line",
+			"!!! not a metric\n",
+			"does not start with a metric name",
+		},
+		{
+			"bad value",
+			"kecss_up one\n",
+			"bad value",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE a counter\na 1\n# TYPE a counter\n",
+			"duplicate # TYPE",
+		},
+		{
+			"TYPE after samples",
+			"a 1\n# TYPE a counter\n",
+			"after its samples",
+		},
+		{
+			"interleaved families",
+			"a 1\nb 2\na 3\n",
+			"not consecutive",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"+Inf",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+			"_count 7 != +Inf bucket 5",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _count or _sum",
+		},
+		{
+			"unterminated label value",
+			"a{x=\"oops} 1\n",
+			"unterminated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint([]byte(tc.payload))
+			if err == nil {
+				t.Fatalf("payload accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -3,6 +3,8 @@ package queue
 import (
 	"context"
 	"encoding/json"
+
+	"repro/internal/telemetry"
 )
 
 // Broker is the delivery contract of the work-queue layer: producers
@@ -59,6 +61,12 @@ type Outcome struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	Err    string          `json:"error,omitempty"`
 	Code   int             `json:"code,omitempty"`
+	// Spans carries the consumer's telemetry spans for this delivery
+	// (rooted at parent 0; the producer grafts them into the job's trace
+	// under the delivery's claim span). They ride the outcome across
+	// process boundaries — httpbroker ships them in the /complete body —
+	// so a remote agent's solve timeline lands in the frontend's trace.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // Lease is a claimed job. The holder must Complete, Fail (Nack) or let the

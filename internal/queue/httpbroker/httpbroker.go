@@ -34,12 +34,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/queue"
+)
+
+// Trace-context headers. The lease payload (queue.Job.TraceSpan) is the
+// authoritative carrier; the headers duplicate it at the HTTP layer so the
+// broker endpoints can be correlated to a job's trace from access logs and
+// middleware without parsing bodies: /claim responses carry the context
+// out, /complete and /fail requests carry it back.
+const (
+	HeaderTraceID   = "X-Kecss-Trace-Id"
+	HeaderTraceSpan = "X-Kecss-Trace-Span"
+	HeaderAttempt   = "X-Kecss-Attempt"
 )
 
 // claimRequest is the body of POST /claim.
@@ -84,6 +97,7 @@ type Server struct {
 	b queue.Broker
 	// MaxWait caps a single claim long poll (default 30s); clients loop.
 	maxWait time.Duration
+	log     *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -91,6 +105,9 @@ type Server struct {
 type ServerOptions struct {
 	// MaxWait caps one claim long poll (0 = 30s).
 	MaxWait time.Duration
+	// Logger, when set, logs lease traffic (claims, completes, fails) at
+	// debug level, keyed by the trace-context headers.
+	Logger *slog.Logger
 }
 
 // NewServer wraps b. Mount Handler under the broker path prefix with
@@ -99,7 +116,10 @@ func NewServer(b queue.Broker, opts ServerOptions) *Server {
 	if opts.MaxWait <= 0 {
 		opts.MaxWait = 30 * time.Second
 	}
-	s := &Server{b: b, maxWait: opts.MaxWait, mux: http.NewServeMux()}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{b: b, maxWait: opts.MaxWait, log: opts.Logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /claim", s.handleClaim)
 	s.mux.HandleFunc("POST /extend", s.handleExtend)
 	s.mux.HandleFunc("POST /complete", s.handleComplete)
@@ -142,6 +162,12 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	lease, err := s.b.Claim(ctx)
 	switch {
 	case err == nil:
+		// Trace context rides out both in the job payload and as headers.
+		w.Header().Set(HeaderTraceID, lease.Job.ID)
+		w.Header().Set(HeaderTraceSpan, strconv.FormatUint(lease.Job.TraceSpan, 10))
+		w.Header().Set(HeaderAttempt, strconv.Itoa(lease.Job.Attempt))
+		s.log.Debug("broker claim", "job_id", lease.Job.ID, "digest", lease.Job.Digest,
+			"attempt", lease.Job.Attempt, "trace_span", lease.Job.TraceSpan)
 		writeJSON(w, http.StatusOK, claimResponse{Token: lease.Token, Job: lease.Job})
 	case errors.Is(err, queue.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "closed"})
@@ -164,7 +190,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, heldResponse{Held: s.b.Complete(req.Token, req.Outcome)})
+	held := s.b.Complete(req.Token, req.Outcome)
+	s.log.Debug("broker complete", "job_id", r.Header.Get(HeaderTraceID),
+		"attempt", r.Header.Get(HeaderAttempt), "held", held)
+	writeJSON(w, http.StatusOK, heldResponse{Held: held})
 }
 
 func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
@@ -172,7 +201,10 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, heldResponse{Held: s.b.Fail(req.Token, req.Reason)})
+	held := s.b.Fail(req.Token, req.Reason)
+	s.log.Debug("broker fail", "job_id", r.Header.Get(HeaderTraceID),
+		"attempt", r.Header.Get(HeaderAttempt), "reason", req.Reason, "held", held)
+	writeJSON(w, http.StatusOK, heldResponse{Held: held})
 }
 
 func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +251,18 @@ type Client struct {
 	wait   time.Duration
 	retry  time.Duration
 	closed atomic.Bool
+
+	// leaseCtx remembers each held lease's trace context (recorded at
+	// claim, dropped at complete/fail) so the closing round trip can carry
+	// the trace headers back without the caller re-threading them.
+	mu       sync.Mutex
+	leaseCtx map[uint64]traceCtx
+}
+
+// traceCtx is the per-lease trace context echoed on /complete and /fail.
+type traceCtx struct {
+	jobID   string
+	attempt int
 }
 
 var _ queue.Broker = (*Client)(nil)
@@ -248,12 +292,13 @@ func NewClient(base string, opts ClientOptions) *Client {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Client{base: base, hc: hc, wait: opts.Wait, retry: opts.Retry}
+	return &Client{base: base, hc: hc, wait: opts.Wait, retry: opts.Retry, leaseCtx: make(map[uint64]traceCtx)}
 }
 
 // post sends one JSON request/response round trip; a nil out discards the
-// response body. The returned status is 0 on transport errors.
-func (c *Client) post(ctx context.Context, path string, in, out any) (int, error) {
+// response body. hdr entries, if any, are added as request headers. The
+// returned status is 0 on transport errors.
+func (c *Client) post(ctx context.Context, path string, in, out any, hdr map[string]string) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
@@ -263,6 +308,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) (int, error
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -287,7 +335,7 @@ func (c *Client) Enqueue(j *queue.Job) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	code, err := c.post(ctx, "/enqueue", enqueueRequest{Job: j}, nil)
+	code, err := c.post(ctx, "/enqueue", enqueueRequest{Job: j}, nil, nil)
 	if err != nil {
 		return fmt.Errorf("httpbroker: enqueue: %w", err)
 	}
@@ -314,7 +362,7 @@ func (c *Client) Claim(ctx context.Context) (*queue.Lease, error) {
 			return nil, err
 		}
 		var out claimResponse
-		code, err := c.post(ctx, "/claim", claimRequest{WaitMillis: c.wait.Milliseconds()}, &out)
+		code, err := c.post(ctx, "/claim", claimRequest{WaitMillis: c.wait.Milliseconds()}, &out, nil)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -326,6 +374,9 @@ func (c *Client) Claim(ctx context.Context) (*queue.Lease, error) {
 			case <-time.After(c.retry):
 			}
 		case code == http.StatusOK:
+			c.mu.Lock()
+			c.leaseCtx[out.Token] = traceCtx{jobID: out.Job.ID, attempt: out.Job.Attempt}
+			c.mu.Unlock()
 			return queue.NewLease(out.Job, out.Token, c), nil
 		case code == http.StatusNoContent:
 			// Long poll ran its window out; go again.
@@ -340,30 +391,48 @@ func (c *Client) Claim(ctx context.Context) (*queue.Lease, error) {
 // held runs one token round trip; transport errors count as "not held" —
 // indistinguishable, for the caller, from a lease that expired (the job
 // will be redelivered either way).
-func (c *Client) held(path string, req tokenRequest) bool {
+func (c *Client) held(path string, req tokenRequest, hdr map[string]string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	var out heldResponse
-	code, err := c.post(ctx, path, req, &out)
+	code, err := c.post(ctx, path, req, &out, hdr)
 	if err != nil || code != http.StatusOK {
 		return false
 	}
 	return out.Held
 }
 
+// traceHeaders returns the trace-context headers for a held lease,
+// dropping the stored context when done is true (the lease is ending).
+func (c *Client) traceHeaders(token uint64, done bool) map[string]string {
+	c.mu.Lock()
+	tc, ok := c.leaseCtx[token]
+	if done {
+		delete(c.leaseCtx, token)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return map[string]string{
+		HeaderTraceID: tc.jobID,
+		HeaderAttempt: strconv.Itoa(tc.attempt),
+	}
+}
+
 // Extend renews a lease's TTL on the remote broker.
 func (c *Client) Extend(token uint64) bool {
-	return c.held("/extend", tokenRequest{Token: token})
+	return c.held("/extend", tokenRequest{Token: token}, c.traceHeaders(token, false))
 }
 
 // Complete reports a job's outcome and releases the lease.
 func (c *Client) Complete(token uint64, out *queue.Outcome) bool {
-	return c.held("/complete", tokenRequest{Token: token, Outcome: out})
+	return c.held("/complete", tokenRequest{Token: token, Outcome: out}, c.traceHeaders(token, true))
 }
 
 // Fail returns the job for retry with backoff.
 func (c *Client) Fail(token uint64, reason string) bool {
-	return c.held("/fail", tokenRequest{Token: token, Reason: reason})
+	return c.held("/fail", tokenRequest{Token: token, Reason: reason}, c.traceHeaders(token, true))
 }
 
 // DeadLetters fetches the remote dead-letter ring (nil on transport

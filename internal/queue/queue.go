@@ -36,6 +36,11 @@ type Job struct {
 	// Attempt is how many times this job has been delivered, including the
 	// current delivery.
 	Attempt int `json:"attempt,omitempty"`
+	// TraceSpan is trace context riding the lease payload: the span ID
+	// (within the job's trace; the trace ID is the job ID) under which the
+	// claiming worker's spans will be stitched. The producer stamps it per
+	// delivery on the leased copy; the queue itself never reads it.
+	TraceSpan uint64 `json:"trace_span,omitempty"`
 }
 
 // Deadline returns DeadlineUnixNanos as a time (zero time when unset).
@@ -109,6 +114,11 @@ type Config struct {
 	// channel, fed identically by in-process consumers and remote ones
 	// arriving through httpbroker. Called outside the queue lock.
 	OnComplete func(j *Job, out Outcome)
+	// OnExpired, when set, is told about every lease that lapsed without
+	// ack (called outside the queue lock, with a copy of the job as of the
+	// expired delivery), so the producer can mark the gap — e.g. record a
+	// lease-expiry event on the job's trace before the redelivery starts.
+	OnExpired func(j *Job)
 }
 
 // ErrClosed is returned by Enqueue and Claim after Close.
@@ -134,6 +144,7 @@ type Queue struct {
 	deadTotal int               // all-time dead-letter count
 	events    []Event           // buffered under mu, delivered by flushEvents
 	deadq     []DeadLetter      // buffered under mu, delivered by flushEvents to OnDead
+	expq      []*Job            // buffered under mu, delivered by flushEvents to OnExpired
 	next      uint64
 	rng       uint64
 	notify    chan struct{} // closed to broadcast a state change, then replaced
@@ -223,13 +234,20 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 			q.next++
 			e.token = q.next
 			q.leased[e.token] = e
+			// The delivery gets its own copy of the job, captured while the
+			// lock is held: the moment the entry sits in q.leased the reaper
+			// may expire it and hand the queue's own Job to the next
+			// delivery (Attempt++, token reset), so a consumer must never
+			// alias it.
+			token := e.token
+			delivered := e.job.clone()
 			// Wake the reaper so it re-arms its timer against this lease's
 			// expiry (it may be sleeping its idle interval otherwise).
 			q.wakeLocked()
 			q.mu.Unlock()
 			q.emit(EventLease)
 			q.flushEvents()
-			return NewLease(e.job, e.token, q), nil
+			return NewLease(delivered, token, q), nil
 		}
 		ch := q.notify
 		q.mu.Unlock()
@@ -350,6 +368,9 @@ func (q *Queue) reapLocked(now time.Time) {
 		}
 		delete(q.leased, tok)
 		q.events = append(q.events, EventExpire)
+		if q.cfg.OnExpired != nil {
+			q.expq = append(q.expq, e.job.clone())
+		}
 		q.rescheduleLocked(e, "lease expired")
 		woke = true
 	}
@@ -374,16 +395,21 @@ func (q *Queue) emit(ev Event) {
 // flushEvents delivers events and dead letters buffered by locked sections
 // to their hooks.
 func (q *Queue) flushEvents() {
-	if q.cfg.OnEvent == nil && q.cfg.OnDead == nil {
+	if q.cfg.OnEvent == nil && q.cfg.OnDead == nil && q.cfg.OnExpired == nil {
 		return
 	}
 	q.mu.Lock()
-	evs, dead := q.events, q.deadq
-	q.events, q.deadq = nil, nil
+	evs, dead, expired := q.events, q.deadq, q.expq
+	q.events, q.deadq, q.expq = nil, nil, nil
 	q.mu.Unlock()
 	if q.cfg.OnEvent != nil {
 		for _, ev := range evs {
 			q.cfg.OnEvent(ev)
+		}
+	}
+	if q.cfg.OnExpired != nil {
+		for _, j := range expired {
+			q.cfg.OnExpired(j)
 		}
 	}
 	if q.cfg.OnDead != nil {

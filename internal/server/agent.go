@@ -5,14 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	kecss "repro"
 	"repro/internal/chaos"
 	"repro/internal/queue"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -33,6 +37,10 @@ type Agent struct {
 	st      *store.Store
 	inj     *chaos.Injector
 	onSolve func(time.Duration)
+	process string
+	am      *AgentMetrics
+	extend  time.Duration
+	log     *slog.Logger
 
 	cancel    context.CancelFunc
 	wg        sync.WaitGroup
@@ -53,6 +61,21 @@ type AgentConfig struct {
 	Chaos *chaos.Injector
 	// OnSolve, when set, observes each cold solve's latency.
 	OnSolve func(time.Duration)
+	// Process tags the agent's trace spans ("agent" when empty); give
+	// each remote agent a distinct tag so a stitched timeline names the
+	// process that ran each attempt.
+	Process string
+	// Metrics, when set, receives the agent's own counters — for the
+	// standalone agent's /metrics endpoint (the fused agent reports
+	// through the frontend's metrics instead).
+	Metrics *AgentMetrics
+	// ExtendEvery, when > 0, heartbeats each held lease on that period so
+	// long solves outlive the lease TTL. Off by default: the fault-
+	// injection harness relies on stalled solves losing their leases.
+	ExtendEvery time.Duration
+	// Logger receives structured logs keyed by job_id/digest/attempt; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // NewAgent starts an agent consuming b. Stop with Close.
@@ -62,7 +85,25 @@ func NewAgent(b queue.Broker, cfg AgentConfig) *Agent {
 	if loops <= 0 {
 		loops = pool.Workers()
 	}
-	a := &Agent{broker: b, pool: pool, st: cfg.Store, inj: cfg.Chaos, onSolve: cfg.OnSolve}
+	process := cfg.Process
+	if process == "" {
+		process = "agent"
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	a := &Agent{
+		broker:  b,
+		pool:    pool,
+		st:      cfg.Store,
+		inj:     cfg.Chaos,
+		onSolve: cfg.OnSolve,
+		process: process,
+		am:      cfg.Metrics,
+		extend:  cfg.ExtendEvery,
+		log:     logger,
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a.cancel = cancel
 	for i := 0; i < loops; i++ {
@@ -96,68 +137,178 @@ func (a *Agent) loop(ctx context.Context) {
 	}
 }
 
+// leaseTrace is the agent-side slice of a job's trace: a subtree rooted at
+// parent 0 that the frontend grafts under this delivery's claim span. A
+// nil leaseTrace (the delivery carried no trace context) makes every
+// method a no-op, so the solve path pays nothing when tracing is off.
+type leaseTrace struct {
+	tr   *telemetry.Trace
+	root telemetry.SpanRef
+}
+
+func newLeaseTrace(qj *queue.Job, process string) *leaseTrace {
+	if qj.TraceSpan == 0 {
+		return nil
+	}
+	lt := &leaseTrace{tr: telemetry.New(qj.ID, process)}
+	lt.root = lt.tr.Start(0, "agent", qj.Attempt,
+		telemetry.Int("attempt", int64(qj.Attempt)))
+	return lt
+}
+
+// span opens a child of the agent root (inert when tracing is off).
+func (lt *leaseTrace) span(name string, attempt int, attrs ...telemetry.Attr) telemetry.SpanRef {
+	if lt == nil {
+		return telemetry.SpanRef{}
+	}
+	return lt.tr.Start(lt.root.ID(), name, attempt, attrs...)
+}
+
+// attach closes the root and ships the subtree on the outcome.
+func (lt *leaseTrace) attach(out *queue.Outcome) *queue.Outcome {
+	if lt == nil {
+		return out
+	}
+	lt.root.End()
+	out.Spans = lt.tr.Export()
+	return out
+}
+
 // runLease executes one claimed delivery: deadline fail-fast → store hit
 // → solve → store put → complete, with the chaos plan's crash points at
 // the spots a real crash would hit. The store put precedes the completion
 // so a crash between them costs a redelivery, never a lost result.
 func (a *Agent) runLease(lease *queue.Lease) {
 	qj := lease.Job
+	if a.am != nil {
+		a.am.claims.Add(1)
+	}
+	a.log.Debug("lease claimed", "job_id", qj.ID, "digest", qj.Digest, "attempt", qj.Attempt)
+	lt := newLeaseTrace(qj, a.process)
+	if a.extend > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go a.heartbeat(lease, stop)
+	}
 	if dl := qj.Deadline(); !dl.IsZero() && time.Now().After(dl) {
-		lease.Complete(&queue.Outcome{Err: "deadline exceeded before the solve started", Code: http.StatusGatewayTimeout})
+		lease.Complete(lt.attach(&queue.Outcome{Err: "deadline exceeded before the solve started", Code: http.StatusGatewayTimeout}))
 		return
 	}
 	// The digest may already be solved — an earlier delivery, another
 	// agent, or a previous run of a shared store.
-	if v, ok := a.st.Get(qj.Digest); ok {
+	gspan := lt.span("store.get", qj.Attempt)
+	v, hit := a.st.Get(qj.Digest)
+	gspan.End(telemetry.Bool("hit", hit))
+	if hit {
+		if a.am != nil {
+			a.am.storeHits.Add(1)
+		}
 		resp := *(v.(*wire.SolveResponse))
 		resp.Cached = true
 		if raw, err := json.Marshal(&resp); err == nil {
-			lease.Complete(&queue.Outcome{Result: raw})
+			lease.Complete(lt.attach(&queue.Outcome{Result: raw}))
 			return
 		}
 	}
 	a.inj.At(chaos.WorkerSolve) // planned stall: outlive the lease TTL
 	var req wire.SolveRequest
 	if err := json.Unmarshal(qj.Request, &req); err != nil {
-		lease.Complete(&queue.Outcome{Err: fmt.Sprintf("undecodable job request: %v", err), Code: http.StatusBadRequest})
+		lease.Complete(lt.attach(&queue.Outcome{Err: fmt.Sprintf("undecodable job request: %v", err), Code: http.StatusBadRequest}))
 		return
 	}
 	work, _, err := buildWork(&req)
 	if err != nil {
-		lease.Complete(&queue.Outcome{Err: err.Error(), Code: http.StatusBadRequest})
+		lease.Complete(lt.attach(&queue.Outcome{Err: err.Error(), Code: http.StatusBadRequest}))
 		return
 	}
-	resp, serr := a.solve(work)
+	resp, serr := a.solve(work, lt, qj.Attempt)
 	if serr != nil {
+		if a.am != nil {
+			a.am.solveErrs.Add(1)
+		}
+		a.log.Info("solve failed", "job_id", qj.ID, "digest", qj.Digest, "attempt", qj.Attempt, "err", serr.msg, "retryable", serr.retryable)
 		if serr.retryable {
 			lease.Nack(serr.msg)
 			return
 		}
-		lease.Complete(&queue.Outcome{Err: serr.msg, Code: serr.code})
+		lease.Complete(lt.attach(&queue.Outcome{Err: serr.msg, Code: serr.code}))
 		return
 	}
 	raw, err := json.Marshal(resp)
 	if err != nil {
-		lease.Complete(&queue.Outcome{Err: fmt.Sprintf("encoding result: %v", err), Code: http.StatusInternalServerError})
+		lease.Complete(lt.attach(&queue.Outcome{Err: fmt.Sprintf("encoding result: %v", err), Code: http.StatusInternalServerError}))
 		return
 	}
-	if err := a.st.Put(work.digest, raw, resp); err != nil {
+	pspan := lt.span("store.put", qj.Attempt)
+	err = a.st.Put(work.digest, raw, resp)
+	pspan.End()
+	if err != nil {
 		// The result could not be made durable locally; retry the job
 		// rather than completing with an unpublished result.
 		lease.Nack(fmt.Sprintf("store: %v", err))
 		return
 	}
 	a.inj.At(chaos.WorkerBeforeDone) // planned crash: solved, not journaled
-	lease.Complete(&queue.Outcome{Result: raw})
+	a.log.Info("solve complete", "job_id", qj.ID, "digest", qj.Digest, "attempt", qj.Attempt, "solve_millis", resp.SolveMillis)
+	lease.Complete(lt.attach(&queue.Outcome{Result: raw}))
 }
 
-// solve runs one cold solve on the pool.
-func (a *Agent) solve(work *solveWork) (*wire.SolveResponse, *solveError) {
+// heartbeat extends the lease every a.extend until the delivery finishes
+// or the lease is lost (an Extend on a lapsed lease reports false).
+func (a *Agent) heartbeat(lease *queue.Lease, stop <-chan struct{}) {
+	t := time.NewTicker(a.extend)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if !lease.Extend() {
+				return
+			}
+			if a.am != nil {
+				a.am.extends.Add(1)
+			}
+		}
+	}
+}
+
+// solve runs one cold solve on the pool. With tracing on, a phase observer
+// rides the task options and every solver phase (validation, base
+// labeling, cut enumeration, augmentation, ...) lands as a "phase.*" child
+// of the solve span, annotated with its CONGEST round/message counts.
+func (a *Agent) solve(work *solveWork, lt *leaseTrace, attempt int) (*wire.SolveResponse, *solveError) {
+	task := work.task
+	sspan := lt.span("solve", attempt)
+	if lt != nil {
+		sid := sspan.ID()
+		obs := kecss.PhaseObserver(func(ev kecss.PhaseEvent) {
+			attrs := make([]telemetry.Attr, 0, 5)
+			if ev.Level > 0 {
+				attrs = append(attrs, telemetry.Int("level", int64(ev.Level)))
+			}
+			if ev.Rounds > 0 {
+				attrs = append(attrs, telemetry.Int("rounds", ev.Rounds))
+			}
+			if ev.Messages > 0 {
+				attrs = append(attrs, telemetry.Int("messages", ev.Messages))
+			}
+			if ev.Iterations > 0 {
+				attrs = append(attrs, telemetry.Int("iterations", int64(ev.Iterations)))
+			}
+			if ev.Items > 0 {
+				attrs = append(attrs, telemetry.Int("items", int64(ev.Items)))
+			}
+			lt.tr.Add(sid, "phase."+ev.Phase, attempt, ev.Start, ev.Duration, attrs...)
+		})
+		task.Opts = append(append([]kecss.Option(nil), task.Opts...), kecss.WithPhaseObserver(obs))
+	}
 	start := time.Now()
-	results := a.pool.Sweep([]kecss.Task{work.task})
+	results := a.pool.Sweep([]kecss.Task{task})
 	elapsed := time.Since(start)
 	res := results[0]
 	if res.Err != nil {
+		sspan.End(telemetry.String("error", res.Err.Error()))
 		if errors.Is(res.Err, kecss.ErrPoolClosed) {
 			return nil, &solveError{code: http.StatusServiceUnavailable, msg: "agent is shut down", retryable: true}
 		}
@@ -165,8 +316,13 @@ func (a *Agent) solve(work *solveWork) (*wire.SolveResponse, *solveError) {
 		// connectivity, bad k, ...): permanent, not retried.
 		return nil, &solveError{code: http.StatusUnprocessableEntity, msg: res.Err.Error()}
 	}
+	sspan.End(telemetry.Int("rounds", res.Rounds), telemetry.Int("edges", int64(len(res.Edges))))
 	if a.onSolve != nil {
 		a.onSolve(elapsed)
+	}
+	if a.am != nil {
+		a.am.solves.Add(1)
+		a.am.solveLatency.observe(elapsed)
 	}
 	return &wire.SolveResponse{
 		Digest:       work.digest,
@@ -176,4 +332,39 @@ func (a *Agent) solve(work *solveWork) (*wire.SolveResponse, *solveError) {
 		ResultDigest: wire.SolveResultDigest(res.Edges, res.Weight, res.Rounds),
 		SolveMillis:  float64(elapsed) / float64(time.Millisecond),
 	}, nil
+}
+
+// AgentMetrics is the standalone agent's own instrumentation: claim /
+// solve / store counters and a solve-latency histogram, rendered by
+// WriteMetrics in the same Prometheus text format the frontend uses.
+type AgentMetrics struct {
+	claims    atomic.Int64
+	solves    atomic.Int64
+	solveErrs atomic.Int64
+	storeHits atomic.Int64
+	extends   atomic.Int64
+
+	solveLatency *histogram
+}
+
+// NewAgentMetrics builds an empty metrics set.
+func NewAgentMetrics() *AgentMetrics {
+	return &AgentMetrics{solveLatency: newHistogram()}
+}
+
+// WriteMetrics renders the agent metrics in Prometheus text exposition
+// format.
+func (m *AgentMetrics) WriteMetrics(w io.Writer) {
+	fmt.Fprintln(w, "# TYPE kecss_agent_claims_total counter")
+	fmt.Fprintf(w, "kecss_agent_claims_total %d\n", m.claims.Load())
+	fmt.Fprintln(w, "# TYPE kecss_agent_solves_total counter")
+	fmt.Fprintf(w, "kecss_agent_solves_total %d\n", m.solves.Load())
+	fmt.Fprintln(w, "# TYPE kecss_agent_solve_errors_total counter")
+	fmt.Fprintf(w, "kecss_agent_solve_errors_total %d\n", m.solveErrs.Load())
+	fmt.Fprintln(w, "# TYPE kecss_agent_store_hits_total counter")
+	fmt.Fprintf(w, "kecss_agent_store_hits_total %d\n", m.storeHits.Load())
+	fmt.Fprintln(w, "# TYPE kecss_agent_lease_extends_total counter")
+	fmt.Fprintf(w, "kecss_agent_lease_extends_total %d\n", m.extends.Load())
+	fmt.Fprintln(w, "# TYPE kecss_agent_solve_seconds histogram")
+	m.solveLatency.write(w, "kecss_agent_solve_seconds", "")
 }

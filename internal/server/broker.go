@@ -50,6 +50,15 @@ func (b *journalBroker) Claim(ctx context.Context) (*queue.Lease, error) {
 		b.s.inj.At(chaos.QueueAfterLease) // planned crash: lease durable, no solve
 		if known {
 			j.setRunning(qj.Attempt)
+			if span := b.s.traceClaim(j, qj.Attempt); span != 0 {
+				// Stamp the claim span onto the delivered copy, not the
+				// queue's own entry — the stamp is per delivery, and a
+				// redelivery must get the next attempt's span instead.
+				stamped := *qj
+				stamped.TraceSpan = span
+				lease.Job = &stamped
+			}
+			b.s.log.Debug("job claimed", "job_id", qj.ID, "digest", qj.Digest, "attempt", qj.Attempt)
 		}
 		return lease, nil
 	}

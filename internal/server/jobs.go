@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -38,6 +39,18 @@ type job struct {
 	resp      *wire.SolveResponse
 	err       *solveError
 	done      chan struct{} // closed on finish
+
+	// Trace state, guarded by mu (lock order: j.mu before trace.mu — the
+	// trace never calls back into the job). trace is nil for jobs that
+	// never entered the queue (cache-hit async jobs, replayed finished
+	// jobs).
+	trace        *telemetry.Trace
+	rootSpan     telemetry.SpanRef // the "job" span, open for the job's life
+	waitSpan     telemetry.SpanRef // the current "queue.wait" span
+	claimSpan    telemetry.SpanRef // the current attempt's "claim" span
+	waitStart    time.Time         // when the current queue.wait began
+	claimAt      time.Time         // when the current claim began
+	claimAttempt int               // the attempt claimSpan belongs to
 }
 
 func newJob(id, digest string) *job {

@@ -13,9 +13,13 @@ import (
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve/request latency
-// histograms, Prometheus cumulative-bucket style.
+// histograms, Prometheus cumulative-bucket style. The tail extends to 120s
+// because queue-wait under lease expiry (TTL + backoff + re-solve) routinely
+// exceeds the old 5s ceiling, and a histogram whose observations all land in
+// +Inf cannot answer "how much worse".
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+	10, 30, 60, 120,
 }
 
 // histogram is a fixed-bucket latency histogram with atomic counters.
@@ -47,15 +51,27 @@ func (h *histogram) observe(d time.Duration) {
 	h.count.Add(1)
 }
 
-// write renders the histogram in Prometheus text exposition format.
-func (h *histogram) write(w io.Writer, name string) {
+// write renders the histogram in Prometheus text exposition format. labels,
+// when non-empty, is a rendered label pair list (e.g. `stage="solve"`)
+// attached to every sample, letting several histograms share one metric
+// family (kecss_stage_seconds{stage=...}).
+func (h *histogram) write(w io.Writer, name, labels string) {
+	pre := ""
+	if labels != "" {
+		pre = labels + ","
+	}
 	var cum int64
 	for i, ub := range latencyBuckets {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, pre, fmt.Sprintf("%g", ub), cum)
 	}
 	cum += h.inf.Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, pre, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+		return
+	}
 	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }
@@ -82,6 +98,13 @@ type metrics struct {
 	solveLatency   *histogram // cold solves only
 	requestLatency *histogram // every /v1/solve round-trip
 	journalFsync   *histogram // journal fsync batches
+
+	// Stage histograms derived from trace span boundaries: one job
+	// contributes one queue_wait observation per delivery, one solve
+	// observation per completed claim, one store_put per frontend publish.
+	stageQueueWait *histogram
+	stageSolve     *histogram
+	stageStorePut  *histogram
 }
 
 func newMetrics() *metrics {
@@ -90,6 +113,9 @@ func newMetrics() *metrics {
 		solveLatency:   newHistogram(),
 		requestLatency: newHistogram(),
 		journalFsync:   newHistogram(),
+		stageQueueWait: newHistogram(),
+		stageSolve:     newHistogram(),
+		stageStorePut:  newHistogram(),
 	}
 }
 
@@ -184,15 +210,25 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintln(w, "# TYPE kecss_client_disconnects_total counter")
 	fmt.Fprintf(w, "kecss_client_disconnects_total %d\n", m.clientDisconnects.Load())
 
+	active, retained := s.traces.Stats()
+	fmt.Fprintln(w, "# TYPE kecss_traces_active gauge")
+	fmt.Fprintf(w, "kecss_traces_active %d\n", active)
+	fmt.Fprintln(w, "# TYPE kecss_traces_retained gauge")
+	fmt.Fprintf(w, "kecss_traces_retained %d\n", retained)
+
 	fmt.Fprintln(w, "# TYPE kecss_pool_workers gauge")
 	fmt.Fprintf(w, "kecss_pool_workers %d\n", s.workerCount())
 	fmt.Fprintln(w, "# TYPE kecss_solve_seconds histogram")
-	m.solveLatency.write(w, "kecss_solve_seconds")
+	m.solveLatency.write(w, "kecss_solve_seconds", "")
 	fmt.Fprintln(w, "# TYPE kecss_request_seconds histogram")
-	m.requestLatency.write(w, "kecss_request_seconds")
+	m.requestLatency.write(w, "kecss_request_seconds", "")
+	fmt.Fprintln(w, "# TYPE kecss_stage_seconds histogram")
+	m.stageQueueWait.write(w, "kecss_stage_seconds", `stage="queue_wait"`)
+	m.stageSolve.write(w, "kecss_stage_seconds", `stage="solve"`)
+	m.stageStorePut.write(w, "kecss_stage_seconds", `stage="store_put"`)
 	if s.jnl != nil {
 		fmt.Fprintln(w, "# TYPE kecss_journal_fsync_seconds histogram")
-		m.journalFsync.write(w, "kecss_journal_fsync_seconds")
+		m.journalFsync.write(w, "kecss_journal_fsync_seconds", "")
 		fmt.Fprintln(w, "# TYPE kecss_journal_syncs_total counter")
 		fmt.Fprintf(w, "kecss_journal_syncs_total %d\n", s.jnl.Syncs())
 	}

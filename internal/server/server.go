@@ -63,6 +63,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -75,6 +76,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/queue/httpbroker"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -119,6 +121,13 @@ type Config struct {
 	// StoreDir is the durable result-store root; empty keeps results in
 	// memory only (they die with the process, as the pre-store cache did).
 	StoreDir string
+	// Logger receives structured logs keyed by job_id/digest/attempt; nil
+	// discards them (tests, benchmarks).
+	Logger *slog.Logger
+	// TraceRecent and TraceSlow bound the finished-trace retention sets
+	// (0 = 256 recent / 32 slowest).
+	TraceRecent int
+	TraceSlow   int
 }
 
 // Server is the HTTP solve service. Create with New, mount Handler, stop
@@ -137,6 +146,8 @@ type Server struct {
 	inj       *chaos.Injector
 	start     time.Time
 	replay    ReplayInfo
+	traces    *telemetry.Registry
+	log       *slog.Logger
 
 	// drainMu makes admission atomic with the draining flag: ensureJob
 	// holds it shared around (check draining, Add to inflight), Drain holds
@@ -216,6 +227,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   st,
@@ -225,6 +240,8 @@ func New(cfg Config) (*Server, error) {
 		inj:     cfg.Chaos,
 		flight:  make(map[string]*job),
 		start:   time.Now(),
+		traces:  telemetry.NewRegistry(cfg.TraceRecent, cfg.TraceSlow),
+		log:     logger,
 	}
 	s.queue = queue.New(queue.Config{
 		LeaseTTL:    cfg.LeaseTTL,
@@ -235,9 +252,10 @@ func New(cfg Config) (*Server, error) {
 		OnEvent:     s.metrics.countQueueEvent,
 		OnDead:      s.onDeadLetter,
 		OnComplete:  s.onQueueComplete,
+		OnExpired:   s.onLeaseExpired,
 	})
 	s.broker = &journalBroker{Broker: s.queue, s: s}
-	s.brokerAPI = httpbroker.NewServer(s.broker, httpbroker.ServerOptions{})
+	s.brokerAPI = httpbroker.NewServer(s.broker, httpbroker.ServerOptions{Logger: logger})
 	if cfg.JournalPath != "" {
 		jnl, rep, err := journal.Open(cfg.JournalPath, journal.Options{
 			Inject:  cfg.Chaos,
@@ -293,6 +311,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("/v1/jobs/{id}/trace", s.handleJobTrace))
+	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
 	mux.HandleFunc("GET /v1/deadletters", s.instrument("/v1/deadletters", s.handleDeadLetters))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReady))
@@ -536,6 +556,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // client deadline and surviving client disconnects (the job keeps running;
 // the disconnect is a metric, not a failure).
 func (s *Server) awaitJob(w http.ResponseWriter, r *http.Request, j *job, work *solveWork, created bool) {
+	// The job ID doubles as the trace ID; surfacing it lets clients fetch
+	// GET /v1/jobs/{id}/trace for a solve they issued through /v1/solve.
+	w.Header().Set("X-Kecss-Job", j.id)
 	var deadlineC <-chan time.Time
 	if !work.deadline.IsZero() {
 		t := time.NewTimer(time.Until(work.deadline))
@@ -590,6 +613,7 @@ func (s *Server) serveCached(w http.ResponseWriter, resp *wire.SolveResponse) {
 // second return reports whether this caller created the job (false = joined
 // an existing flight).
 func (s *Server) ensureJob(work *solveWork, rawReq json.RawMessage) (*job, bool, *solveError) {
+	admitStart := time.Now()
 	s.flightMu.Lock()
 	if j, ok := s.flight[work.digest]; ok {
 		s.flightMu.Unlock()
@@ -609,30 +633,40 @@ func (s *Server) ensureJob(work *solveWork, rawReq json.RawMessage) (*job, bool,
 	j.admitted = true
 	s.flight[work.digest] = j
 	s.flightMu.Unlock()
+	s.beginTrace(j, admitStart)
+	s.log.Info("job accepted", "job_id", j.id, "digest", j.digest)
 
-	if err := s.journalAppend(&journal.Record{
+	jspan := s.traceSpan(j, "journal.accept", 0)
+	err := s.journalAppend(&journal.Record{
 		Type:     journal.TypeAccepted,
 		JobID:    j.id,
 		Digest:   j.digest,
 		Deadline: unixOrZero(j.deadline),
 		Request:  rawReq,
-	}); err != nil {
+	})
+	jspan.End()
+	if err != nil {
+		s.log.Error("journal append failed", "job_id", j.id, "digest", j.digest, "err", err)
 		if j.tryFinish() {
 			s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("journal unavailable: %v", err)})
 		}
 		return nil, false, &solveError{code: http.StatusServiceUnavailable, msg: "journal unavailable"}
 	}
-	if err := s.queue.Enqueue(&queue.Job{
+	espan := s.traceSpan(j, "enqueue", 0)
+	err = s.queue.Enqueue(&queue.Job{
 		ID:                j.id,
 		Digest:            j.digest,
 		DeadlineUnixNanos: unixOrZero(j.deadline),
 		Request:           rawReq,
-	}); err != nil {
+	})
+	espan.End()
+	if err != nil {
 		if j.tryFinish() {
 			s.finishJob(j, nil, &solveError{code: http.StatusServiceUnavailable, msg: "server is shutting down"})
 		}
 		return nil, false, &solveError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
 	}
+	s.traceWait(j)
 	return j, true, nil
 }
 
@@ -666,6 +700,12 @@ func (s *Server) admitJob() *solveError {
 // have won j.tryFinish (completion is exactly-once per job).
 func (s *Server) finishJob(j *job, resp *wire.SolveResponse, serr *solveError) {
 	j.finish(resp, serr)
+	s.finishTrace(j, serr)
+	if serr != nil {
+		s.log.Info("job failed", "job_id", j.id, "digest", j.digest, "code", serr.code, "err", serr.msg)
+	} else {
+		s.log.Info("job done", "job_id", j.id, "digest", j.digest)
+	}
 	s.flightMu.Lock()
 	if s.flight[j.digest] == j {
 		delete(s.flight, j.digest)
@@ -699,6 +739,7 @@ func (s *Server) onQueueComplete(qj *queue.Job, out queue.Outcome) {
 	if !j.tryFinish() {
 		return
 	}
+	s.traceOutcome(j, &out)
 	var resp *wire.SolveResponse
 	var serr *solveError
 	if out.Err != "" {
@@ -732,13 +773,18 @@ func (s *Server) onQueueComplete(qj *queue.Job, out queue.Outcome) {
 		// Idempotent for the fused agent (it already published); for
 		// remote agents with their own store this is where the frontend's
 		// store learns the result.
+		putStart := time.Now()
+		pspan := s.traceSpan(j, "store.put", qj.Attempt)
 		_ = s.store.Put(j.digest, out.Result, resp)
+		pspan.End()
+		s.metrics.stageStorePut.observe(time.Since(putStart))
 	}
 	s.finishJob(j, resp, serr)
 }
 
 // onDeadLetter finishes a job the queue gave up on (retry budget spent).
 func (s *Server) onDeadLetter(d queue.DeadLetter) {
+	s.log.Warn("job dead-lettered", "job_id", d.Job.ID, "digest", d.Job.Digest, "attempt", d.Job.Attempt, "reason", d.Reason)
 	_ = s.journalAppend(&journal.Record{
 		Type:    journal.TypeDead,
 		JobID:   d.Job.ID,
@@ -838,6 +884,15 @@ func (s *Server) applyReplay(rep *journal.Replay) error {
 		s.flightMu.Unlock()
 		s.inflight.Add(1)
 		s.replay.Requeued++
+		// A replayed job's trace starts at the restart: the original
+		// timeline died with the previous incarnation, so the root is
+		// tagged and the attempts already spent are recorded on it.
+		tr := s.traces.Start(j.id, "frontend")
+		j.trace = tr
+		j.rootSpan = tr.Start(0, "job", 0,
+			telemetry.String("digest", j.digest),
+			telemetry.Bool("replayed", true),
+			telemetry.Int("prior_attempts", int64(st.attempts)))
 		if err := s.queue.Enqueue(&queue.Job{
 			ID:                j.id,
 			Digest:            j.digest,
@@ -847,6 +902,7 @@ func (s *Server) applyReplay(rep *journal.Replay) error {
 		}); err != nil {
 			return fmt.Errorf("server: re-enqueueing job %s: %w", id, err)
 		}
+		s.traceWait(j)
 	}
 	return nil
 }

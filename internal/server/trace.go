@@ -1,0 +1,174 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/telemetry"
+)
+
+// This file is the frontend half of the job tracing pipeline: every
+// admitted job gets a telemetry.Trace (trace ID = job ID) whose span tree
+// follows the job through admission → journal append → enqueue →
+// queue.wait → claim → (agent spans, grafted) → store.put → complete.
+// Each delivery attempt gets its own "claim" span as a sibling subtree, so
+// a lease expiry or agent SIGKILL reads as two attempts in one timeline
+// with the expiry gap visible between them.
+//
+// Lock order: j.mu before trace.mu (trace methods never call back into the
+// job). Every helper tolerates j.trace == nil — cache-hit async jobs and
+// replayed finished jobs never enter the queue and carry no trace.
+
+// beginTrace creates the job's trace: the root "job" span plus an
+// "admission" span back-dated to when the request entered ensureJob.
+func (s *Server) beginTrace(j *job, admitStart time.Time) {
+	tr := s.traces.Start(j.id, "frontend")
+	j.mu.Lock()
+	j.trace = tr
+	j.rootSpan = tr.Start(0, "job", 0, telemetry.String("digest", j.digest))
+	tr.Add(j.rootSpan.ID(), "admission", 0, admitStart, time.Since(admitStart))
+	j.mu.Unlock()
+}
+
+// traceSpan opens a span under the job's root, returning an inert ref when
+// the job has no trace.
+func (s *Server) traceSpan(j *job, name string, attempt int, attrs ...telemetry.Attr) telemetry.SpanRef {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return telemetry.SpanRef{}
+	}
+	return j.trace.Start(j.rootSpan.ID(), name, attempt, attrs...)
+}
+
+// traceWait starts a "queue.wait" span: the job is in the broker's ready
+// (or delayed) set, waiting for an agent to claim it.
+func (s *Server) traceWait(j *job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return
+	}
+	j.waitSpan = j.trace.Start(j.rootSpan.ID(), "queue.wait", 0)
+	j.waitStart = time.Now()
+}
+
+// traceClaim closes the current queue.wait (observing the queue_wait stage)
+// and opens this delivery's "claim" span. It returns the claim span's ID —
+// the trace context stamped onto the lease payload so the agent's spans
+// come back addressed to this attempt.
+func (s *Server) traceClaim(j *job, attempt int) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return 0
+	}
+	if j.waitSpan.Valid() {
+		j.waitSpan.End()
+		j.waitSpan = telemetry.SpanRef{}
+		s.metrics.stageQueueWait.observe(time.Since(j.waitStart))
+	}
+	j.claimSpan = j.trace.Start(j.rootSpan.ID(), "claim", attempt,
+		telemetry.Int("attempt", int64(attempt)))
+	j.claimAt = time.Now()
+	j.claimAttempt = attempt
+	return j.claimSpan.ID()
+}
+
+// onLeaseExpired is the queue's OnExpired hook: a lease lapsed without an
+// ack. The current claim span is closed as expired, the gap is marked with
+// a "lease.expired" event, and a fresh queue.wait opens for the redelivery.
+func (s *Server) onLeaseExpired(qj *queue.Job) {
+	s.log.Warn("lease expired", "job_id", qj.ID, "digest", qj.Digest, "attempt", qj.Attempt)
+	j, ok := s.jobs.get(qj.ID)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return
+	}
+	// Close only the expired delivery's claim span: the queue may already
+	// have redelivered by the time this hook is flushed, in which case
+	// claimSpan belongs to the next attempt and must stay open.
+	if j.claimSpan.Valid() && j.claimAttempt == qj.Attempt {
+		j.claimSpan.End(telemetry.Bool("expired", true))
+		j.claimSpan = telemetry.SpanRef{}
+	}
+	j.trace.Event(j.rootSpan.ID(), "lease.expired", qj.Attempt,
+		telemetry.Int("attempt", int64(qj.Attempt)))
+	j.waitSpan = j.trace.Start(j.rootSpan.ID(), "queue.wait", 0)
+	j.waitStart = time.Now()
+}
+
+// traceOutcome records an outcome's arrival: the claim span closes
+// (observing the solve stage — claim to completion, agent time plus
+// transport), and the agent's spans are grafted under it so the solver's
+// phase timeline lands inside this attempt's subtree.
+func (s *Server) traceOutcome(j *job, out *queue.Outcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.trace == nil {
+		return
+	}
+	if j.claimSpan.Valid() {
+		j.claimSpan.End()
+		s.metrics.stageSolve.observe(time.Since(j.claimAt))
+	}
+	if len(out.Spans) > 0 {
+		j.trace.Graft(out.Spans, j.claimSpan.ID())
+	}
+	j.claimSpan = telemetry.SpanRef{}
+}
+
+// finishTrace closes the job's trace — ending any spans still open, adding
+// a terminal "complete" event with the outcome — and moves it into the
+// registry's retention sets. Safe to call for traceless jobs and after any
+// partial progress (admission failures, dead letters, shutdown).
+func (s *Server) finishTrace(j *job, serr *solveError) {
+	j.mu.Lock()
+	if j.trace == nil {
+		j.mu.Unlock()
+		return
+	}
+	tr := j.trace
+	if j.waitSpan.Valid() {
+		j.waitSpan.End()
+		j.waitSpan = telemetry.SpanRef{}
+	}
+	if j.claimSpan.Valid() {
+		j.claimSpan.End()
+		j.claimSpan = telemetry.SpanRef{}
+	}
+	attrs := []telemetry.Attr{telemetry.String("state", j.state)}
+	if serr != nil {
+		attrs = append(attrs,
+			telemetry.Int("code", int64(serr.code)),
+			telemetry.String("error", serr.msg))
+	}
+	tr.Event(j.rootSpan.ID(), "complete", j.attempt, attrs...)
+	j.rootSpan.End()
+	j.trace = nil
+	j.mu.Unlock()
+	s.traces.Finish(j.id)
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's span timeline as
+// JSON — a live snapshot while the job runs, the retained snapshot after.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := s.traces.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for job %q (finished traces are retained bounded; slow ones longest)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleDebugTraces is GET /debug/traces: the bounded retention listing —
+// most recent finished traces plus the slowest-N survivors.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.List())
+}

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/promtext"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// fetchTrace polls GET /v1/jobs/{id}/trace until the trace is complete.
+func fetchTrace(t *testing.T, base, id string, timeout time.Duration) *telemetry.Data {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, body := getURL(t, base+"/v1/jobs/"+id+"/trace")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace = %d: %s", resp.StatusCode, body)
+		}
+		var d telemetry.Data
+		if err := json.Unmarshal(body, &d); err != nil {
+			t.Fatalf("bad trace payload: %v", err)
+		}
+		if d.Complete {
+			return &d
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace for %s never completed; spans: %d", id, len(d.Spans))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func spansNamed(d *telemetry.Data, name string) []telemetry.Span {
+	var out []telemetry.Span
+	for _, s := range d.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func spanByID(d *telemetry.Data, id uint64) *telemetry.Span {
+	for i := range d.Spans {
+		if d.Spans[i].ID == id {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+// The tentpole acceptance path: a cache-miss solve produces one stitched
+// trace carrying the frontend stages, the claim, and — grafted under it —
+// the agent's store/solve spans with per-phase solver sub-spans annotated
+// with CONGEST round counts.
+func TestJobTraceEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:     2,
+		JournalPath: filepath.Join(t.TempDir(), "journal.wal"),
+	})
+
+	req := testRequest(91)
+	raw, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve = %d", resp.StatusCode)
+	}
+	jobID := resp.Header.Get("X-Kecss-Job")
+	if jobID == "" {
+		t.Fatal("solve response missing X-Kecss-Job header")
+	}
+
+	d := fetchTrace(t, ts.URL, jobID, 5*time.Second)
+	if d.TraceID != jobID {
+		t.Fatalf("trace ID = %q, want %q", d.TraceID, jobID)
+	}
+	if d.DurationNanos <= 0 {
+		t.Fatalf("complete trace has no root duration: %d", d.DurationNanos)
+	}
+
+	// Every frontend stage is present exactly once.
+	for _, name := range []string{"job", "admission", "journal.accept", "enqueue", "queue.wait", "claim", "complete"} {
+		got := spansNamed(d, name)
+		if len(got) != 1 {
+			t.Fatalf("want one %q span, got %d (trace: %+v)", name, len(got), d.Spans)
+		}
+		if got[0].Process != "frontend" {
+			t.Fatalf("%q span process = %q, want frontend", name, got[0].Process)
+		}
+	}
+	root := d.FindSpan("job")
+	if root.Parent != 0 || root.End == 0 {
+		t.Fatalf("root span not closed at completion: %+v", root)
+	}
+	claim := d.FindSpan("claim")
+	if claim.Attempt != 1 || claim.Parent != root.ID {
+		t.Fatalf("claim span = %+v, want attempt 1 under root %d", claim, root.ID)
+	}
+
+	// The agent subtree is grafted under the claim span and keeps its
+	// process tag.
+	agent := d.FindSpan("agent")
+	if agent == nil || agent.Parent != claim.ID || agent.Process != "agent" {
+		t.Fatalf("agent span = %+v, want process=agent under claim %d", agent, claim.ID)
+	}
+	for _, name := range []string{"store.get", "solve"} {
+		sp := d.FindSpan(name)
+		if sp == nil || sp.Process != "agent" {
+			t.Fatalf("%q span = %+v, want agent-side span", name, sp)
+		}
+		if p := spanByID(d, sp.Parent); p == nil || (p.Name != "agent" && p.Name != "solve") {
+			t.Fatalf("%q span parent %d not inside the agent subtree", name, sp.Parent)
+		}
+	}
+	// Both sides publish: the agent's store.put (under its root) and the
+	// frontend's re-publish (under the job root).
+	puts := spansNamed(d, "store.put")
+	procs := map[string]bool{}
+	for _, p := range puts {
+		procs[p.Process] = true
+	}
+	if !procs["agent"] || !procs["frontend"] {
+		t.Fatalf("store.put spans = %+v, want one agent-side and one frontend-side", puts)
+	}
+
+	// Solver phases land as children of the solve span, and the simulated
+	// stages carry their CONGEST round counts (testRequest is a 2-ECSS
+	// solve: mst + tap).
+	solve := d.FindSpan("solve")
+	sawRounds := false
+	var phases []string
+	for _, sp := range d.Spans {
+		if !strings.HasPrefix(sp.Name, "phase.") {
+			continue
+		}
+		if sp.Parent != solve.ID {
+			t.Fatalf("phase span %q parent = %d, want solve span %d", sp.Name, sp.Parent, solve.ID)
+		}
+		phases = append(phases, sp.Name)
+		if a, ok := sp.Attr("rounds"); ok && a.Int > 0 {
+			sawRounds = true
+		}
+	}
+	if len(phases) < 2 {
+		t.Fatalf("want >= 2 solver phase spans, got %v", phases)
+	}
+	if !sawRounds {
+		t.Fatal("no phase span carries a positive rounds attribute")
+	}
+
+	// A repeat of the same request is a cache hit: no new job, no trace.
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Kecss-Job"); got != "" {
+		t.Fatalf("cache hit carried X-Kecss-Job %q, want none", got)
+	}
+}
+
+// A lease expiry mid-solve must read as two sibling attempts in one
+// timeline: claim(attempt 1, expired) → lease.expired → queue.wait →
+// claim(attempt 2) with the recovered solve grafted under the second.
+func TestJobTraceLeaseExpiryShowsBothAttempts(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:      1,
+		SolveWorkers: 1,
+		QueueDepth:   4,
+		LeaseTTL:     25 * time.Millisecond,
+		MaxAttempts:  3,
+		Chaos:        chaosT(t, "stall@worker.solve#1:300ms"),
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", testRequest(67))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, body)
+	}
+	var jr wire.JobResponse
+	json.Unmarshal(body, &jr)
+	pollJob(t, ts, jr.ID, wire.JobDone, 10*time.Second)
+
+	d := fetchTrace(t, ts.URL, jr.ID, 5*time.Second)
+	claims := spansNamed(d, "claim")
+	if len(claims) != 2 {
+		t.Fatalf("want 2 claim spans after a lease expiry, got %d: %+v", len(claims), claims)
+	}
+	if claims[0].Attempt != 1 || claims[1].Attempt != 2 {
+		t.Fatalf("claim attempts = %d, %d; want 1, 2", claims[0].Attempt, claims[1].Attempt)
+	}
+	if a, ok := claims[0].Attr("expired"); !ok || !a.Bool {
+		t.Fatalf("first claim span not marked expired: %+v", claims[0])
+	}
+	if len(spansNamed(d, "lease.expired")) != 1 {
+		t.Fatal("trace missing the lease.expired marker")
+	}
+	// The expiry gap: attempt 2 starts after attempt 1's claim ended, with
+	// the redelivery backoff in between.
+	if claims[1].Start < claims[0].End {
+		t.Fatalf("attempt 2 (start %d) overlaps attempt 1 (end %d)", claims[1].Start, claims[0].End)
+	}
+	// Two queue waits: admission → attempt 1, expiry → attempt 2.
+	if got := len(spansNamed(d, "queue.wait")); got != 2 {
+		t.Fatalf("want 2 queue.wait spans, got %d", got)
+	}
+	// The successful solve's agent subtree hangs under attempt 2.
+	agents := spansNamed(d, "agent")
+	found := false
+	for _, a := range agents {
+		if a.Parent == claims[1].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no agent subtree under attempt 2's claim (%d); agents: %+v", claims[1].ID, agents)
+	}
+	// Give the stalled first delivery time to lose its completion race
+	// cleanly before Cleanup closes the server.
+	time.Sleep(300 * time.Millisecond)
+}
+
+// /debug/traces retains finished jobs bounded, newest first.
+func TestDebugTracesListing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for seed := int64(1); seed <= 3; seed++ {
+		solveOK(t, ts, testRequest(seed*101))
+	}
+	resp, body := getURL(t, ts.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces = %d", resp.StatusCode)
+	}
+	var l telemetry.Listing
+	if err := json.Unmarshal(body, &l); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Recent) != 3 {
+		t.Fatalf("recent = %d traces, want 3", len(l.Recent))
+	}
+	if len(l.Slowest) != 3 {
+		t.Fatalf("slowest = %d traces, want 3", len(l.Slowest))
+	}
+	for _, s := range l.Recent {
+		if !s.Complete || s.DurationNanos <= 0 || s.Spans == 0 {
+			t.Fatalf("retained summary looks empty: %+v", s)
+		}
+	}
+}
+
+// The /metrics payload — stage histograms, trace gauges and all — must
+// stay valid exposition format end to end.
+func TestMetricsExpositionLints(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:     2,
+		JournalPath: filepath.Join(t.TempDir(), "journal.wal"),
+	})
+	solveOK(t, ts, testRequest(55))
+	solveOK(t, ts, testRequest(55)) // a cache hit too
+	getURL(t, ts.URL+"/healthz")
+
+	resp, body := getURL(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if err := promtext.Lint(body); err != nil {
+		t.Fatalf("/metrics payload fails exposition lint: %v\npayload:\n%s", err, body)
+	}
+	for _, want := range []string{
+		`kecss_stage_seconds_bucket{stage="queue_wait",le=`,
+		`kecss_stage_seconds_count{stage="solve"}`,
+		`kecss_stage_seconds_count{stage="store_put"}`,
+		"kecss_traces_active",
+		"kecss_traces_retained",
+		`le="120"`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// The standalone agent's metrics writer speaks the same format.
+func TestAgentMetricsExpositionLints(t *testing.T) {
+	m := NewAgentMetrics()
+	m.claims.Add(3)
+	m.solves.Add(2)
+	m.storeHits.Add(1)
+	m.solveLatency.observe(12 * time.Millisecond)
+	m.solveLatency.observe(700 * time.Millisecond)
+	var buf bytes.Buffer
+	m.WriteMetrics(&buf)
+	if err := promtext.Lint(buf.Bytes()); err != nil {
+		t.Fatalf("agent metrics fail exposition lint: %v\npayload:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "kecss_agent_claims_total 3") {
+		t.Fatalf("agent metrics missing claims counter:\n%s", buf.String())
+	}
+}

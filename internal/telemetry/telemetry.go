@@ -1,0 +1,537 @@
+// Package telemetry is the serving stack's per-job tracing layer: an
+// ordered span tree with monotonic timestamps and typed attributes that
+// follows one job end to end — admission, journal append, enqueue, queue
+// wait, broker claim, agent solve, store put, complete.
+//
+// A Trace is a single job's timeline. Its trace ID is the job ID; span IDs
+// are allocated from a per-trace counter, so every process records into its
+// own Trace and the frontend stitches agent spans back into the job's
+// timeline with Graft, which remaps the incoming batch's span IDs into the
+// frontend's ID space while preserving the batch's internal parent/child
+// links, and re-parents the batch's roots under the claim span of the
+// attempt that produced them — which is what makes retries and SIGKILL
+// recoveries read as sibling attempt subtrees in one timeline.
+//
+// Timestamps are wall-clock nanoseconds derived from a single monotonic
+// anchor captured when the Trace is created, so spans recorded by one
+// process are totally ordered even if the wall clock steps. Spans from
+// different processes share ordering only as far as their clocks agree;
+// that is fine for a timeline whose stages are separated by network hops.
+//
+// The Registry owns every live Trace (keyed by job ID) plus a bounded
+// retention set of finished ones: a recent ring and a slowest-N list, so
+// the pathological traces an operator actually wants survive eviction by
+// newer, faster ones.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is a typed key/value annotation on a span. Exactly one of the value
+// fields is meaningful, named by Type.
+type Attr struct {
+	Key   string  `json:"key"`
+	Type  string  `json:"type"` // "string" | "int" | "float" | "bool"
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Bool  bool    `json:"bool,omitempty"`
+}
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Type: "string", Str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Type: "int", Int: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Type: "float", Float: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Type: "bool", Bool: v} }
+
+// Span is one node of a trace's span tree. Parent is 0 for roots. A span
+// with End == Start is an instant event; a span with End == 0 was still
+// open when the trace was snapshotted.
+type Span struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Process string `json:"process,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Start   int64  `json:"start_unix_nanos"`
+	End     int64  `json:"end_unix_nanos,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// DurationNanos is the span's recorded duration, 0 while it is open.
+func (s *Span) DurationNanos() int64 {
+	if s.End == 0 {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Attr returns the named attribute and whether it exists.
+func (s *Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Trace is one job's span tree, safe for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	process string
+	next    uint64
+	spans   []Span
+	open    map[uint64]int // span ID -> index in spans, while open
+
+	// anchorWall + anchorMono turn monotonic readings into wall-clock
+	// nanoseconds that cannot go backwards within this trace.
+	anchorWall int64
+	anchorMono time.Time
+}
+
+// New creates a trace for the given trace (= job) ID. The process tag is
+// stamped on every span the trace records locally.
+func New(id, process string) *Trace {
+	now := time.Now()
+	return &Trace{
+		id:         id,
+		process:    process,
+		open:       map[uint64]int{},
+		anchorWall: now.UnixNano(),
+		anchorMono: now,
+	}
+}
+
+// ID returns the trace ID (the job ID).
+func (t *Trace) ID() string { return t.id }
+
+// now returns the current time as anchored wall-clock nanoseconds.
+// Callers hold t.mu.
+func (t *Trace) now() int64 { return t.anchorWall + int64(time.Since(t.anchorMono)) }
+
+// at converts a time.Time carrying a monotonic reading (e.g. captured with
+// time.Now in this process) into the trace's anchored nanoseconds.
+func (t *Trace) at(ts time.Time) int64 { return t.anchorWall + int64(ts.Sub(t.anchorMono)) }
+
+// SpanRef is a handle on an open span of a trace. The zero SpanRef is
+// inert: End and ID are no-ops on it.
+type SpanRef struct {
+	t  *Trace
+	id uint64
+}
+
+// ID returns the referenced span's ID (0 for the zero SpanRef).
+func (r SpanRef) ID() uint64 { return r.id }
+
+// Valid reports whether the ref points at a span.
+func (r SpanRef) Valid() bool { return r.t != nil }
+
+// Start opens a span under parent (0 = root) and returns its handle.
+// attempt is the delivery attempt the span belongs to (0 = not
+// attempt-scoped).
+func (t *Trace) Start(parent uint64, name string, attempt int, attrs ...Attr) SpanRef {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	t.spans = append(t.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		Process: t.process,
+		Attempt: attempt,
+		Start:   t.now(),
+		Attrs:   attrs,
+	})
+	t.open[id] = len(t.spans) - 1
+	return SpanRef{t: t, id: id}
+}
+
+// End closes the span, appending any extra attributes. Ending a span twice
+// (or ending the zero SpanRef) is a no-op.
+func (r SpanRef) End(attrs ...Attr) {
+	if r.t == nil {
+		return
+	}
+	t := r.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.open[r.id]
+	if !ok {
+		return
+	}
+	delete(t.open, r.id)
+	t.spans[i].End = t.now()
+	t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+}
+
+// Annotate appends attributes to the span, open or closed.
+func (r SpanRef) Annotate(attrs ...Attr) {
+	if r.t == nil {
+		return
+	}
+	t := r.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].ID == r.id {
+			t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+			return
+		}
+	}
+}
+
+// Event records an instant (zero-duration) span and returns its ID.
+func (t *Trace) Event(parent uint64, name string, attempt int, attrs ...Attr) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	now := t.now()
+	t.spans = append(t.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		Process: t.process,
+		Attempt: attempt,
+		Start:   now,
+		End:     now,
+		Attrs:   attrs,
+	})
+	return id
+}
+
+// Add records a closed span with explicit timing — start must carry a
+// monotonic reading from this process (i.e. come from time.Now). It exists
+// for observers that report (start, duration) pairs after the fact, like
+// the solver phase hook.
+func (t *Trace) Add(parent uint64, name string, attempt int, start time.Time, d time.Duration, attrs ...Attr) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	s := t.at(start)
+	t.spans = append(t.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		Process: t.process,
+		Attempt: attempt,
+		Start:   s,
+		End:     s + int64(d),
+		Attrs:   attrs,
+	})
+	return id
+}
+
+// Graft splices a batch of spans recorded by another process into this
+// trace, attaching the batch's roots under the given span. Every incoming
+// span gets a fresh ID from this trace's counter; parent links inside the
+// batch follow the remapping, while spans whose parent is not in the batch
+// (the other process records its subtree rooted at parent 0) are
+// re-parented under `under`. Re-parenting structurally rather than by raw
+// ID matters because both processes allocate span IDs from 1, so an
+// agent's IDs routinely collide with the frontend's. Spans keep their own
+// process tags and timestamps.
+func (t *Trace) Graft(spans []Span, under uint64) {
+	if len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remap := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		t.next++
+		remap[s.ID] = t.next
+	}
+	for _, s := range spans {
+		s.ID = remap[s.ID]
+		if mapped, ok := remap[s.Parent]; ok {
+			s.Parent = mapped
+		} else {
+			s.Parent = under
+		}
+		t.spans = append(t.spans, s)
+	}
+}
+
+// Export snapshots the trace's spans (open ones included, with End == 0)
+// for shipping to another process.
+func (t *Trace) Export() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.copySpansLocked()
+}
+
+func (t *Trace) copySpansLocked() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		if len(out[i].Attrs) > 0 {
+			attrs := make([]Attr, len(out[i].Attrs))
+			copy(attrs, out[i].Attrs)
+			out[i].Attrs = attrs
+		}
+	}
+	return out
+}
+
+// Data is an immutable snapshot of a trace: the JSON form served by
+// GET /v1/jobs/{id}/trace.
+type Data struct {
+	TraceID string `json:"trace_id"`
+	// Complete is true once the trace was finished (its job reached a
+	// terminal state) and its root span closed.
+	Complete bool `json:"complete"`
+	// DurationNanos is the root span's duration (0 while incomplete).
+	DurationNanos int64  `json:"duration_nanos"`
+	Spans         []Span `json:"spans"`
+}
+
+// Snapshot renders the trace's current state. Spans are in recording
+// order per process; grafted spans keep their original timestamps.
+func (t *Trace) Snapshot(complete bool) *Data {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := &Data{TraceID: t.id, Complete: complete, Spans: t.copySpansLocked()}
+	d.DurationNanos = rootDuration(d.Spans)
+	return d
+}
+
+// rootDuration returns the first root span's duration, or 0 if it is
+// still open (or there is no root).
+func rootDuration(spans []Span) int64 {
+	for i := range spans {
+		if spans[i].Parent == 0 {
+			return spans[i].DurationNanos()
+		}
+	}
+	return 0
+}
+
+// FindSpan returns the first span with the given name, or nil.
+func (d *Data) FindSpan(name string) *Span {
+	for i := range d.Spans {
+		if d.Spans[i].Name == name {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Summary is one row of the /debug/traces listing.
+type Summary struct {
+	TraceID       string `json:"trace_id"`
+	Complete      bool   `json:"complete"`
+	DurationNanos int64  `json:"duration_nanos"`
+	Spans         int    `json:"spans"`
+}
+
+func (d *Data) summary() Summary {
+	return Summary{
+		TraceID:       d.TraceID,
+		Complete:      d.Complete,
+		DurationNanos: d.DurationNanos,
+		Spans:         len(d.Spans),
+	}
+}
+
+// retained is a finished trace plus its retention refcount: a Data may sit
+// in both the recent ring and the slowest-N list, and is dropped from the
+// lookup index only when evicted from both.
+type retained struct {
+	data *Data
+	refs int
+}
+
+// Registry tracks live traces by job ID and retains a bounded set of
+// finished ones: the most recent `recentCap` and the slowest `slowCap` by
+// root duration.
+type Registry struct {
+	mu     sync.Mutex
+	active map[string]*Trace
+	byID   map[string]*retained
+
+	recent  []*retained // ring, len <= recentCap
+	recentI int
+	slow    []*retained // sorted slowest-first, len <= slowCap
+
+	recentCap int
+	slowCap   int
+}
+
+// NewRegistry builds a registry retaining up to recentCap recently
+// finished traces and slowCap slowest finished traces (values <= 0 pick
+// the defaults 256 and 32).
+func NewRegistry(recentCap, slowCap int) *Registry {
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	return &Registry{
+		active:    make(map[string]*Trace),
+		byID:      make(map[string]*retained),
+		recentCap: recentCap,
+		slowCap:   slowCap,
+	}
+}
+
+// Start creates (or returns the existing) live trace for the job.
+func (r *Registry) Start(id, process string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.active[id]; ok {
+		return t
+	}
+	t := New(id, process)
+	r.active[id] = t
+	return t
+}
+
+// Active returns the live trace for the job, if any.
+func (r *Registry) Active(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.active[id]
+	return t, ok
+}
+
+// Lookup returns a snapshot of the job's trace: a live view while the job
+// is in flight, the retained snapshot after it finished.
+func (r *Registry) Lookup(id string) (*Data, bool) {
+	r.mu.Lock()
+	t, live := r.active[id]
+	ret, done := r.byID[id]
+	r.mu.Unlock()
+	if live {
+		return t.Snapshot(false), true
+	}
+	if done {
+		return ret.data, true
+	}
+	return nil, false
+}
+
+// Finish snapshots the job's live trace, moves it into the retention
+// sets, and returns the snapshot (nil if the job had no live trace).
+func (r *Registry) Finish(id string) *Data {
+	r.mu.Lock()
+	t, ok := r.active[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil
+	}
+	delete(r.active, id)
+	r.mu.Unlock()
+
+	d := t.Snapshot(true)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ret := &retained{data: d}
+	r.byID[id] = ret
+	r.insertRecentLocked(ret)
+	r.insertSlowLocked(ret)
+	return d
+}
+
+func (r *Registry) insertRecentLocked(ret *retained) {
+	ret.refs++
+	if len(r.recent) < r.recentCap {
+		r.recent = append(r.recent, ret)
+		return
+	}
+	old := r.recent[r.recentI]
+	r.recent[r.recentI] = ret
+	r.recentI = (r.recentI + 1) % r.recentCap
+	r.releaseLocked(old)
+}
+
+func (r *Registry) insertSlowLocked(ret *retained) {
+	// Insertion sort into the slowest-first list; cheap at slowCap ~32.
+	i := len(r.slow)
+	for i > 0 && r.slow[i-1].data.DurationNanos < ret.data.DurationNanos {
+		i--
+	}
+	if i >= r.slowCap {
+		return // faster than everything retained, list full
+	}
+	ret.refs++
+	r.slow = append(r.slow, nil)
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = ret
+	if len(r.slow) > r.slowCap {
+		evicted := r.slow[len(r.slow)-1]
+		r.slow = r.slow[:len(r.slow)-1]
+		r.releaseLocked(evicted)
+	}
+}
+
+func (r *Registry) releaseLocked(ret *retained) {
+	ret.refs--
+	if ret.refs <= 0 {
+		// Only delete the index entry if it still points at this snapshot
+		// (the job ID may have been reused by a newer finish).
+		if cur, ok := r.byID[ret.data.TraceID]; ok && cur == ret {
+			delete(r.byID, ret.data.TraceID)
+		}
+	}
+}
+
+// Drop discards the live trace for the job without retaining it (e.g. a
+// job admitted but never enqueued).
+func (r *Registry) Drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.active, id)
+}
+
+// Stats reports the registry's current sizes.
+func (r *Registry) Stats() (active, retainedN int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active), len(r.byID)
+}
+
+// Listing is the /debug/traces payload.
+type Listing struct {
+	Active  int       `json:"active"`
+	Recent  []Summary `json:"recent"`
+	Slowest []Summary `json:"slowest"`
+}
+
+// List renders the registry's retained traces: most recent first, then
+// slowest first.
+func (r *Registry) List() Listing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := Listing{Active: len(r.active)}
+	// Walk the ring newest-first: the slot before recentI is the newest
+	// once the ring has wrapped; before that, the ring is append-ordered.
+	n := len(r.recent)
+	for i := 0; i < n; i++ {
+		var idx int
+		if n < r.recentCap {
+			idx = n - 1 - i
+		} else {
+			idx = ((r.recentI-1-i)%n + n) % n
+		}
+		l.Recent = append(l.Recent, r.recent[idx].data.summary())
+	}
+	for _, ret := range r.slow {
+		l.Slowest = append(l.Slowest, ret.data.summary())
+	}
+	return l
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeOrdering(t *testing.T) {
+	tr := New("j1", "frontend")
+	root := tr.Start(0, "job", 0, String("digest", "abc"))
+	adm := tr.Start(root.ID(), "admission", 0)
+	adm.End()
+	enq := tr.Start(root.ID(), "enqueue", 0)
+	enq.End(Int("depth", 3))
+	root.End()
+
+	d := tr.Snapshot(true)
+	if len(d.Spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(d.Spans))
+	}
+	if d.Spans[0].Name != "job" || d.Spans[0].Parent != 0 {
+		t.Fatalf("bad root: %+v", d.Spans[0])
+	}
+	for _, s := range d.Spans[1:] {
+		if s.Parent != d.Spans[0].ID {
+			t.Fatalf("span %q not parented to root", s.Name)
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts", s.Name)
+		}
+	}
+	// Monotonic ordering: spans were started in order.
+	for i := 1; i < len(d.Spans); i++ {
+		if d.Spans[i].Start < d.Spans[i-1].Start {
+			t.Fatalf("span %d starts before span %d", i, i-1)
+		}
+	}
+	if d.DurationNanos <= 0 {
+		t.Fatalf("root duration not recorded: %d", d.DurationNanos)
+	}
+	enqSpan := d.FindSpan("enqueue")
+	if enqSpan == nil {
+		t.Fatal("enqueue span missing")
+	}
+	if a, ok := enqSpan.Attr("depth"); !ok || a.Int != 3 {
+		t.Fatalf("enqueue attrs wrong: %+v", enqSpan.Attrs)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New("j", "p")
+	s := tr.Start(0, "x", 0)
+	s.End()
+	first := tr.Snapshot(false).Spans[0].End
+	time.Sleep(time.Millisecond)
+	s.End()
+	if got := tr.Snapshot(false).Spans[0].End; got != first {
+		t.Fatalf("second End moved the timestamp: %d -> %d", first, got)
+	}
+	// Zero SpanRef is inert.
+	var zero SpanRef
+	zero.End()
+	if zero.ID() != 0 || zero.Valid() {
+		t.Fatal("zero SpanRef should be invalid")
+	}
+}
+
+func TestGraftRemapsBatchPreservingExternalParents(t *testing.T) {
+	front := New("j2", "frontend")
+	root := front.Start(0, "job", 0)
+	claim := front.Start(root.ID(), "claim", 1)
+	claim.End()
+
+	// Agent records its own trace rooted at parent 0; the frontend attaches
+	// the batch under the claim span of the attempt that produced it. Note
+	// the agent's span IDs (1, 2) collide with the frontend's — the graft
+	// must not confuse them.
+	agent := New("j2", "agent")
+	aroot := agent.Start(0, "agent", 1)
+	solve := agent.Start(aroot.ID(), "solve", 1, Int("rounds", 42))
+	solve.End()
+	aroot.End()
+	batch := agent.Export()
+
+	front.Graft(batch, claim.ID())
+	root.End()
+	d := front.Snapshot(true)
+
+	if len(d.Spans) != 4 {
+		t.Fatalf("want 4 spans after graft, got %d", len(d.Spans))
+	}
+	var gAgent, gSolve *Span
+	for i := range d.Spans {
+		switch d.Spans[i].Name {
+		case "agent":
+			gAgent = &d.Spans[i]
+		case "solve":
+			gSolve = &d.Spans[i]
+		}
+	}
+	if gAgent == nil || gSolve == nil {
+		t.Fatal("grafted spans missing")
+	}
+	if gAgent.Parent != claim.ID() {
+		t.Fatalf("agent root should be grafted under claim span %d, got %d", claim.ID(), gAgent.Parent)
+	}
+	if gSolve.Parent != gAgent.ID {
+		t.Fatalf("batch-internal parent not remapped: solve.Parent=%d agent.ID=%d", gSolve.Parent, gAgent.ID)
+	}
+	if gAgent.Process != "agent" {
+		t.Fatalf("grafted span lost its process tag: %q", gAgent.Process)
+	}
+	// No duplicate span IDs after the remap.
+	seen := map[uint64]bool{}
+	for _, s := range d.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after graft", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if a, ok := gSolve.Attr("rounds"); !ok || a.Int != 42 {
+		t.Fatalf("grafted span lost attrs: %+v", gSolve.Attrs)
+	}
+}
+
+func TestAddExplicitTiming(t *testing.T) {
+	tr := New("j3", "agent")
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Add(0, "phase.mst", 1, start, 2*time.Millisecond, Int("rounds", 7))
+	d := tr.Snapshot(false)
+	s := d.FindSpan("phase.mst")
+	if s == nil {
+		t.Fatal("phase span missing")
+	}
+	if got := s.DurationNanos(); got != int64(2*time.Millisecond) {
+		t.Fatalf("explicit duration not preserved: %d", got)
+	}
+}
+
+func TestRegistryRetention(t *testing.T) {
+	r := NewRegistry(4, 2)
+
+	finishWith := func(id string, d time.Duration) {
+		tr := r.Start(id, "frontend")
+		root := tr.Start(0, "job", 0)
+		// Fake the duration by backdating the root span.
+		tr.mu.Lock()
+		tr.spans[0].Start -= int64(d)
+		tr.mu.Unlock()
+		root.End()
+		r.Finish(id)
+	}
+
+	// j0 is the slowest; it must survive the recent ring's eviction.
+	finishWith("j0", time.Hour)
+	for i := 1; i <= 6; i++ {
+		finishWith(fmt.Sprintf("j%d", i), time.Duration(i)*time.Millisecond)
+	}
+
+	if _, ok := r.Lookup("j0"); !ok {
+		t.Fatal("slowest trace evicted despite slowest-N retention")
+	}
+	if _, ok := r.Lookup("j1"); ok {
+		t.Fatal("j1 should be evicted (not recent, not slow)")
+	}
+	if _, ok := r.Lookup("j6"); !ok {
+		t.Fatal("most recent trace missing")
+	}
+
+	l := r.List()
+	if len(l.Recent) != 4 {
+		t.Fatalf("want 4 recent, got %d", len(l.Recent))
+	}
+	if l.Recent[0].TraceID != "j6" {
+		t.Fatalf("recent not newest-first: %+v", l.Recent)
+	}
+	if len(l.Slowest) != 2 || l.Slowest[0].TraceID != "j0" {
+		t.Fatalf("slowest list wrong: %+v", l.Slowest)
+	}
+	for _, s := range l.Slowest {
+		if !s.Complete {
+			t.Fatalf("retained trace not marked complete: %+v", s)
+		}
+	}
+}
+
+func TestRegistryLiveLookup(t *testing.T) {
+	r := NewRegistry(0, 0)
+	tr := r.Start("live", "frontend")
+	tr.Start(0, "job", 0)
+	d, ok := r.Lookup("live")
+	if !ok || d.Complete {
+		t.Fatalf("live lookup wrong: ok=%v d=%+v", ok, d)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].End != 0 {
+		t.Fatalf("open span should have End=0: %+v", d.Spans)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("unknown ID should miss")
+	}
+	r.Drop("live")
+	if _, ok := r.Lookup("live"); ok {
+		t.Fatal("dropped trace still visible")
+	}
+}
+
+func TestDataJSONRoundTrip(t *testing.T) {
+	tr := New("j4", "frontend")
+	s := tr.Start(0, "job", 2, String("digest", "d"), Float("w", 1.5), Bool("hit", true))
+	s.End()
+	d := tr.Snapshot(true)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Data
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != "j4" || len(back.Spans) != 1 || back.Spans[0].Attempt != 2 {
+		t.Fatalf("round trip mangled data: %+v", back)
+	}
+	if len(back.Spans[0].Attrs) != 3 {
+		t.Fatalf("attrs lost: %+v", back.Spans[0].Attrs)
+	}
+}

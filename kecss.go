@@ -103,6 +103,7 @@ type config struct {
 	cutEnumWorkers  int
 	cutEnumTrialFac int
 	refLabeling     bool
+	phase           core.PhaseObserver
 }
 
 // Option configures the solvers.
@@ -186,6 +187,27 @@ func WithCutEnumTrialFactor(f int) Option {
 	return func(c *config) { c.cutEnumTrialFac = f }
 }
 
+// PhaseEvent reports one completed solver phase (validation, MST, base
+// labeling, cut enumeration, augmentation, correction) with its wall-clock
+// duration and its cost in the paper's CONGEST measure (charged/measured
+// rounds, and simulator-measured messages where the phase ran real message
+// passing). See core.PhaseEvent for the per-solver phase lists.
+type PhaseEvent = core.PhaseEvent
+
+// PhaseObserver receives PhaseEvents during a solve. See WithPhaseObserver.
+type PhaseObserver = core.PhaseObserver
+
+// WithPhaseObserver installs a per-phase telemetry hook: fn is called
+// synchronously on the solving goroutine once per completed phase. It must
+// be cheap and must not retain the event past the call. The hook observes
+// only — results and round accounting are byte-identical with or without
+// it — and a nil fn (the default) costs nothing: solvers check the
+// observer for nil before capturing any timestamps, so the disabled hook
+// adds no allocations to the hot paths.
+func WithPhaseObserver(fn PhaseObserver) Option {
+	return func(c *config) { c.phase = fn }
+}
+
 func buildConfig(opts []Option) config {
 	c := config{seed: 1}
 	for _, o := range opts {
@@ -215,6 +237,7 @@ func (c config) twoOpts(env solveEnv) core.TwoECSSOptions {
 		SimulateMST: c.simulateMST,
 		Executor:    c.executor,
 		Arena:       env.arena,
+		Phase:       c.phase,
 	}
 }
 
@@ -231,6 +254,7 @@ func (c config) kecssOpts(env solveEnv) core.KECSSOptions {
 		Arena:          env.arena,
 		SkipValidation: env.skipValidation,
 		CutEnum:        c.cutEnum(),
+		Phase:          c.phase,
 	}
 }
 
@@ -245,6 +269,7 @@ func (c config) threeOpts(env solveEnv) core.ThreeECSSOptions {
 		ReferenceLabeling: c.refLabeling,
 		SkipValidation:    env.skipValidation,
 		CutEnum:           c.cutEnum(),
+		Phase:             c.phase,
 	}
 }
 
