@@ -44,6 +44,32 @@ func BenchmarkMicro_Solve3ECSSEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkMicro_Solve3ECSSEndToEndLarge is the opt-in n=10^4 scale bench:
+// one cold end-to-end solve per op (~4 minutes; run with -benchtime 1x).
+// The regular bench smoke's regex excludes it; the `large-bench` CI job
+// (workflow_dispatch, or a commit message containing [large-bench]) runs it
+// and appends the row to BENCH_cuts.json with allocs/op and ns/op ceilings
+// enforced by benchjson.
+func BenchmarkMicro_Solve3ECSSEndToEndLarge(b *testing.B) {
+	for _, n := range []int{10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(int64(13000)))
+			g := graph.RandomKConnected(n, 3, 2*n, rng, graph.UnitWeights())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve3ECSSUnweighted(g, WithSeed(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Size == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMicro_Solve3ECSSEndToEndReference is the labeling-strategy
 // ablation: the same solves driven through the retained from-scratch
 // per-iteration label scan (results are identical; see the equivalence

@@ -5,12 +5,15 @@
 //	    go run ./cmd/benchjson -out BENCH_cuts.json \
 //	        -max-allocs 'BenchmarkMicro_EnumerateMinCuts=4096'
 //
-// Each -max-allocs (-max-bytes) entry is substring=ceiling; every parsed
-// benchmark whose name contains the substring must report allocs/op
-// (bytes/op) <= ceiling or the tool exits non-zero (after still writing the
-// report, so the artifact survives for debugging). The ceilings pin a warm
-// path's allocation behaviour: a regression that reintroduces per-trial or
-// per-iteration allocations trips them immediately.
+// Each -max-allocs (-max-bytes, -max-ns) entry is substring=ceiling; every
+// parsed benchmark whose name contains the substring must report allocs/op
+// (bytes/op, ns/op) <= ceiling or the tool exits non-zero (after still
+// writing the report, so the artifact survives for debugging). The
+// allocation ceilings pin a warm path's behaviour: a regression that
+// reintroduces per-trial or per-iteration allocations trips them
+// immediately. The ns/op ceilings are the coarse guard for the opt-in
+// large-bench smoke, where a single n=10^4 solve at -benchtime 1x is the
+// whole measurement.
 package main
 
 import (
@@ -87,9 +90,10 @@ func parseLine(line string) (benchResult, bool) {
 
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
-	var ceilings, byteCeilings ceilingList
+	var ceilings, byteCeilings, nsCeilings ceilingList
 	flag.Var(&ceilings, "max-allocs", "substring=ceiling; fail if a matching benchmark exceeds ceiling allocs/op (repeatable)")
 	flag.Var(&byteCeilings, "max-bytes", "substring=ceiling; fail if a matching benchmark exceeds ceiling bytes/op (repeatable)")
+	flag.Var(&nsCeilings, "max-ns", "substring=ceiling; fail if a matching benchmark exceeds ceiling ns/op (repeatable; a coarse wall-clock guard for the opt-in large benches — set it with several-x headroom over the measured baseline, since CI machines vary)")
 	flag.Parse()
 
 	var results []benchResult
@@ -148,6 +152,7 @@ func main() {
 	}
 	check(ceilings, "allocs/op", func(r benchResult) float64 { return r.AllocsPerOp })
 	check(byteCeilings, "bytes/op", func(r benchResult) float64 { return r.BytesPerOp })
+	check(nsCeilings, "ns/op", func(r benchResult) float64 { return r.NsPerOp })
 	if failed {
 		os.Exit(1)
 	}

@@ -73,6 +73,16 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 	size := k - 1
 	enumOpts := opts.CutEnum
 	enumOpts.KnownConnectivity = 0
+	if enumOpts.Phase == nil && opts.Phase != nil {
+		// Forward the solver observer into the enumeration so its ks-sweep /
+		// ks-materialise events appear inside this level's cut-enum span,
+		// tagged with the level they belong to.
+		inner := opts.Phase
+		enumOpts.Phase = func(ev PhaseEvent) {
+			ev.Level = k
+			inner(ev)
+		}
+	}
 	enumStart := opts.Phase.phaseStart()
 	var cuts []Cut
 	var err error
@@ -125,10 +135,14 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 		maxIters = 20*logn*logn*logn + 200
 	}
 
-	// Candidate pool: edges outside H, with the cuts they cross.
+	// Candidate pool: edges outside H, with the cuts they cross, each
+	// carrying its live uncovered-cut count ce — kept current by the
+	// cut→candidate transpose below, so the per-iteration Lines 1–2 scan
+	// reads a cached integer per candidate instead of re-walking c.cuts.
 	type cand struct {
 		id   int
 		w    int64
+		ce   int64 // uncovered cuts crossed; maintained, never rescanned
 		cuts []int // indices into the cuts slice
 		inA  bool
 	}
@@ -144,7 +158,19 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 			}
 		}
 		if len(c.cuts) > 0 {
+			c.ce = int64(len(c.cuts))
 			cands = append(cands, c)
+		}
+	}
+	// cutCands is the transpose of c.cuts (cut index → candidates crossing
+	// it): when a cut flips to covered in the Line-4 loop, exactly the
+	// candidates whose cost-effectiveness that changes get their cached ce
+	// decremented — total maintenance work O(Σ |c.cuts|) over the whole
+	// run, in place of a per-iteration rescan of every candidate's list.
+	cutCands := make([][]int32, len(cuts))
+	for i, c := range cands {
+		for _, ci := range c.cuts {
+			cutCands[ci] = append(cutCands[ci], int32(i))
 		}
 	}
 
@@ -159,7 +185,6 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 
 	// expOf returns the rounded cost-effectiveness exponent, with weight-0
 	// edges treated as +infinity per §2.1.
-	const infExp = 1 << 20
 	expOf := func(c *cand, ce int64) int {
 		if c.w == 0 {
 			return infExp
@@ -181,23 +206,15 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 		}
 		res.Iterations++
 
-		// Lines 1–2: cost-effectiveness and candidate selection.
+		// Lines 1–2: cost-effectiveness and candidate selection, O(1) per
+		// candidate off the maintained ce caches.
 		best := -(1 << 30)
 		var pool []*cand
 		for _, c := range cands {
-			if c.inA {
+			if c.inA || c.ce == 0 {
 				continue
 			}
-			var ce int64
-			for _, ci := range c.cuts {
-				if !covered[ci] {
-					ce++
-				}
-			}
-			if ce == 0 {
-				continue
-			}
-			e := expOf(c, ce)
+			e := expOf(c, c.ce)
 			if e > best {
 				best = e
 				pool = pool[:0]
@@ -264,10 +281,15 @@ func Aug(g *graph.Graph, h []int, k int, opts AugOptions) (*AugResult, error) {
 			// is covered by the end of the iteration — if the candidate was
 			// rejected it closed a cycle in A, and a cycle crosses every cut
 			// an even number of times, so another A-edge covers each cut.
+			// Each flip pushes the decrement through the transpose, so every
+			// crossing candidate's cached ce stays exact.
 			for _, ci := range c.cuts {
 				if !covered[ci] {
 					covered[ci] = true
 					uncovered--
+					for _, cj := range cutCands[ci] {
+						cands[cj].ce--
+					}
 				}
 			}
 		}

@@ -44,4 +44,30 @@
 // size-2 exact enumerator over the bipartition bitset. Aug's coverage
 // bookkeeping then works on dense cut indices (covered bitmaps, candidate
 // cut-index lists) — no string keys on any hot path.
+//
+// # Output-sensitive candidate scans
+//
+// Both covering loops avoid rescanning their candidate pools. Aug keeps a
+// cut→candidate transpose of the candidate cut lists: each cut that flips
+// to covered decrements the cached cover count of exactly the candidates
+// crossing it, so the per-iteration Lines 1–2 selection reads one cached
+// integer per candidate and total maintenance is O(Σ|Ce|) over the run.
+// The 3-ECSS loop goes further, since its cover counts live in the
+// cycle-space labeling rather than an explicit cut list: a
+// cycles.CoverIndex maintains every unselected candidate's |Ce| under
+// label updates (heavy-path Fenwick path sums plus a small same-label
+// pair correction; see that type's docs), reporting exactly the
+// candidates whose count may have changed, and an exponent-bucket
+// structure (expBuckets) turns "max rounded cost-effectiveness + pool
+// attaining it" into an O(pool + stale) pop — iterations touch candidates
+// proportional to what changed, not to m. The pool a bucket pop yields is
+// re-sorted to ascending edge ID, so RNG consumption and results are
+// bit-identical to the legacy full scans (pinned by the equivalence
+// corpus).
+//
+// ThreeECSSOptions.Rebalance adds the §5 mitigation for Θ(n)-height
+// labeling trees: when the tree grows past 4·⌈log n⌉ and a BFS probe of
+// H ∪ A shows at least a 2x height reduction, the engine is rebuilt on the
+// current selection, charging the measured rebuild rounds and emitting a
+// "rebalance" PhaseEvent.
 package core

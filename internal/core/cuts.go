@@ -216,6 +216,19 @@ type CutEnumOptions struct {
 	// subgraph it augments). A cheap min-degree assertion still guards
 	// against contradictory promises.
 	KnownConnectivity int
+	// LeafRecount switches the size >= 3 base-case enumeration back to the
+	// per-mask crossing recount instead of the gray-code sweep. The two
+	// visit the same bipartitions and produce identical output (pinned by
+	// the equivalence tests); the recount survives as the oracle.
+	LeafRecount bool
+	// MaxTrials caps the Karger–Stein repetition count (after TrialFactor),
+	// for tests that compare leaf strategies on graphs too large for the
+	// full w.h.p. schedule. 0 means no cap. Capped runs may miss cuts and
+	// must not be used for solving.
+	MaxTrials int
+	// Phase, if set, receives "ks-sweep" and "ks-materialise" PhaseEvents
+	// from the size >= 3 contraction enumeration. Nil costs nothing.
+	Phase PhaseObserver
 }
 
 // EnumerateMinCuts returns every cut of size exactly `size` of the connected

@@ -301,3 +301,97 @@ func BenchmarkEquivalenceCorpusKargerStein(b *testing.B) {
 		})
 	}
 }
+
+// cutSliceDigest folds every cut's bitset words, in slice order, into one
+// order-sensitive 64-bit digest (FNV-1a). Byte-identical cut slices produce
+// equal digests, and any divergence — content or order — flips it w.h.p.;
+// used where the result sets are too large to hold two at once.
+func cutSliceDigest(cuts []Cut) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range cuts {
+		for _, w := range c.side {
+			for s := 0; s < 64; s += 8 {
+				h ^= (w >> uint(s)) & 0xff
+				h *= prime
+			}
+		}
+	}
+	return h
+}
+
+// TestGrayCodeMatchesRecountLarge pins the gray-code leaf sweep against the
+// per-mask recount oracle on ring-like instances at n=4096 — large enough
+// that the contraction tree is ~19 levels deep and the sweep's incremental
+// crossing counts, sibling-shared leaf materialisation, and composed
+// component maps all operate far outside the small-n regime the corpus
+// above covers. MaxTrials caps the Karger–Stein schedule to a smoke (capped
+// runs may miss cuts; irrelevant here — both evaluators walk the same
+// capped trajectory), and with identical seeds the two must return
+// byte-identical cut slices, as must workers=1 vs 4. The doubled cycle is
+// cut-dense (a single capped trial materialises >10^6 bipartitions), so its
+// runs are compared by order-sensitive digest and released one at a time
+// instead of held side by side.
+func TestGrayCodeMatchesRecountLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4096 equivalence family; skipped in -short")
+	}
+	u := graph.UnitWeights()
+
+	t.Run("harary-ring/k=3/n=4096", func(t *testing.T) {
+		g := graph.Harary(3, 4096, u)
+		// KnownConnectivity skips the capped max-flow λ verification, which
+		// at n=4096 would dominate the whole test.
+		opts := CutEnumOptions{KnownConnectivity: 3, MaxTrials: 2}
+		sweep, err := EnumerateMinCutsOpts(g, 3, rand.New(rand.NewSource(77)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sweep) == 0 {
+			t.Fatal("capped run found no cuts; family or cap drifted")
+		}
+		ro := opts
+		ro.LeafRecount = true
+		recount, err := EnumerateMinCutsOpts(g, 3, rand.New(rand.NewSource(77)), ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sweep, recount) {
+			t.Fatalf("gray-code sweep and recount diverge: %d vs %d cuts", len(sweep), len(recount))
+		}
+		po := opts
+		po.Workers = 4
+		par, err := EnumerateMinCutsOpts(g, 3, rand.New(rand.NewSource(77)), po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sweep, par) {
+			t.Fatalf("workers=1 vs 4 not byte-identical: %d vs %d cuts", len(sweep), len(par))
+		}
+	})
+
+	t.Run("cycle-x2/k=4/n=4096", func(t *testing.T) {
+		g := multiplyEdges(graph.Cycle(4096, u), 2)
+		opts := CutEnumOptions{KnownConnectivity: 4, MaxTrials: 1}
+		run := func(o CutEnumOptions) (int, uint64) {
+			cuts, err := EnumerateMinCutsOpts(g, 4, rand.New(rand.NewSource(77)), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return len(cuts), cutSliceDigest(cuts)
+		}
+		n1, d1 := run(opts)
+		if n1 == 0 {
+			t.Fatal("capped run found no cuts; family or cap drifted")
+		}
+		ro := opts
+		ro.LeafRecount = true
+		n2, d2 := run(ro)
+		if n1 != n2 || d1 != d2 {
+			t.Fatalf("gray-code sweep and recount diverge: %d/%#x vs %d/%#x cuts", n1, d1, n2, d2)
+		}
+	})
+}

@@ -12,14 +12,29 @@ package core
 // supernodes — so Θ(log²n) trials enumerate all minimum cuts w.h.p.,
 // replacing the reference implementation's Θ(n²·log n) flat runs.
 //
-// Two de-amortisations keep a trial cheap. First, dense relabelling: level
-// d works on n_d ≈ n/√2^d supernodes, so its union-find, edge list, and
-// the snapshot taken for the second child are all O(n_d + m_d), not
-// O(n + m). Second, signature interning: a qualifying bipartition is
-// identified by the sorted IDs of its `size` crossing edges (a perfect
-// identity for minimum cuts), so re-sightings of known cuts cost O(λ);
-// the O(n·depth) reconstruction of original-vertex membership — composing
-// the per-level supernode maps — runs only on each cut's first sighting.
+// Four de-amortisations keep a trial cheap. First, dense relabelling:
+// level d works on n_d ≈ n/√2^d supernodes, so its union-find, edge list,
+// and the snapshot taken for the second child are all O(n_d + m_d), not
+// O(n + m) — and the contraction writes a composed supernode→child-label
+// map (ksLevel.comp), making the relabelling pass one array read per
+// endpoint and fully branchless (see contractInto). Second, signature
+// interning: a qualifying bipartition is identified by the sorted IDs of
+// its `size` crossing edges (a perfect identity for minimum cuts), so
+// re-sightings of known cuts cost O(λ); the reconstruction of
+// original-vertex membership runs only on each cut's first sighting.
+// Third, the gray-code leaf sweep: a leaf's 2^(n_leaf - 1) bipartitions
+// are visited in gray-code order, so each step flips one supernode, whose
+// incident-edge bitmask XORs into the crossing set — one XOR plus one
+// popcount per bipartition instead of an O(m_leaf) recount — and the
+// crossing edge IDs are gathered only for the rare bipartitions whose
+// count equals the target (the sweep is output-sensitive; the per-mask
+// recount survives behind CutEnumOptions.LeafRecount as the reference).
+// Fourth, sibling-shared materialisation: the original-vertex → supernode
+// composition is cached per level with a valid-prefix watermark, so the
+// O(n)-per-level composing work for a leaf's first-sighted cut is shared
+// with every later leaf under the same ancestors — contracting into level
+// d+1 only invalidates compositions at levels > d, which both sibling
+// subtrees of level d sit below.
 //
 // All per-trial state lives in a cutArena drawn from a sync.Pool: the
 // per-level edge lists, union-find and relabelling scratch, the side-bitset
@@ -51,10 +66,16 @@ import (
 // enumerates every bipartition of the contracted graph exactly.
 const ksBase = 6
 
-// ksEdge is a surviving edge between two supernodes of its level, in that
-// level's dense labels. id is the original edge ID, carried through every
-// relabelling so leaves can identify cuts by their crossing-edge signature.
-type ksEdge struct{ u, v, id int32 }
+// ksEdge is one surviving multigraph edge between two supernodes of its
+// level, in that level's dense labels, carrying its original edge ID through
+// every relabelling so leaves can identify cuts by their crossing-edge
+// signature. Parallel edges stay separate 12-byte entries: an experiment
+// that merged them into multiplicity bundles lost more to merge-branch
+// mispredictions and merge-grid cache traffic at every level than the
+// 2-3x shorter deep edge lists saved.
+type ksEdge struct {
+	u, v, id int32
+}
 
 // ksRand is the per-trial PRNG: splitmix64, chosen because re-seeding is
 // O(1) (math/rand's source regenerates a 607-entry table per Seed, which
@@ -72,22 +93,37 @@ func (r *ksRand) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform int in [0, n). The modulo bias is < n/2⁶⁴ —
-// irrelevant against the contraction analysis' constant slack.
+// intn returns a uniform int in [0, n) by Lemire's multiply-shift on the
+// top 32 output bits — two multiplies against the 20+-cycle division a
+// modulo would cost, on a path run ~10 times per contraction. The bias is
+// < n/2³² — irrelevant against the contraction analysis' constant slack.
 func (r *ksRand) intn(n int) int {
-	return int(r.next() % uint64(n))
+	return int((r.next() >> 32) * uint64(n) >> 32)
 }
 
 // ksLevel is one recursion level's contraction state.
 type ksLevel struct {
 	nodes int      // supernode count n_d; labels are 0..nodes-1
-	edges []ksEdge // surviving non-loop edges in this level's labels
 	v0    int32    // supernode containing original vertex 0
-	mapTo []int32  // parent-level supernode -> this level's supernode
+	edges []ksEdge // surviving non-loop multigraph edges in this level's labels
+	// comp (this level's supernode -> child supernode) is the composed
+	// union-find + dense-relabel map that the latest contractInto of this
+	// level wrote; composeIDs reads it directly.
+	comp []int32
+	ids  []int32 // original vertex -> this level's supernode (cached; see idsValid)
 	// contraction scratch (sized to this level's nodes / edges)
-	work   []ksEdge // mutable edge copy the random picks consume
+	dead   []uint64 // edges discovered to be self-loops during the picks
 	parent []int32  // union-find over this level's supernodes
 	newid  []int32  // root -> dense child label
+}
+
+// ksStats counts what the base-case sweeps of one arena did. leaves and
+// steps are per-trial quantities, so their totals across a run are
+// deterministic at any worker count (unlike per-arena first-sighting
+// counts, which depend on trial→arena assignment).
+type ksStats struct {
+	leaves int64 // base-case enumerations executed
+	steps  int64 // bipartitions visited across all leaves
 }
 
 // cutArena owns every buffer a contraction worker needs. Arenas are
@@ -95,15 +131,17 @@ type ksLevel struct {
 // is single-goroutine state: the parallel driver hands each arena to one
 // worker at a time.
 type cutArena struct {
-	n      int
-	levels []ksLevel
-	side   []uint64
-	ids    []int32 // original vertex -> leaf supernode, during materialisation
-	sig    []int32 // crossing-edge signature scratch
-	rng    ksRand
-	sigs   sigInterner
-	store  cutStore
-	fresh  []Cut // cuts first seen by this arena in the current trial
+	n        int
+	levels   []ksLevel
+	side     []uint64
+	sig      []int32 // crossing-edge signature scratch
+	idsValid int     // deepest level whose ids cache is current (level 0 always is)
+	recount  bool    // use the per-mask recount oracle instead of the gray sweep
+	stats    ksStats
+	rng      ksRand
+	sigs     sigInterner
+	store    cutStore
+	fresh    []Cut // cuts first seen by this arena in the current trial
 }
 
 // sigInterner dedups minimum cuts by their crossing-edge signature: the
@@ -164,13 +202,20 @@ func (a *cutArena) prepare(n, maxDepth, size int) {
 		a.side = make([]uint64, cutWords(n))
 	}
 	a.side = a.side[:cutWords(n)]
-	if cap(a.ids) < n {
-		a.ids = make([]int32, n)
-	}
-	a.ids = a.ids[:n]
 	for len(a.levels) <= maxDepth {
 		a.levels = append(a.levels, ksLevel{})
 	}
+	// Level 0's vertex→supernode map is the identity and never invalidated.
+	lv0 := &a.levels[0]
+	if cap(lv0.ids) < n {
+		lv0.ids = make([]int32, n)
+	}
+	lv0.ids = lv0.ids[:n]
+	for v := range lv0.ids {
+		lv0.ids[v] = int32(v)
+	}
+	a.idsValid = 0
+	a.stats = ksStats{}
 	a.fresh = a.fresh[:0]
 	a.sigs.reset(size)
 	a.store.reset(n)
@@ -254,143 +299,316 @@ func (a *cutArena) recurse(depth, size int) {
 
 // contractInto contracts level depth's graph to `target` supernodes and
 // writes the relabelled result into level depth+1, leaving level depth
-// intact for the sibling call. Non-loop edges are picked uniformly at
-// random (self-loops are removed lazily when picked, which keeps each pick
-// uniform over the surviving multi-edges).
+// intact for the sibling call. Multi-edges are picked uniformly at random by
+// rejection against a dead-edge bitmap: edges discovered to be self-loops
+// are marked dead, keeping each accepted pick uniform over the surviving
+// multi-edges without copying the edge list.
 func (a *cutArena) contractInto(depth, target int) {
 	lv := &a.levels[depth]
 	child := &a.levels[depth+1]
 	n := lv.nodes
+	m := len(lv.edges)
 	if cap(lv.parent) < n {
 		lv.parent = make([]int32, n)
 		lv.newid = make([]int32, n)
+		lv.comp = make([]int32, n)
 	}
 	p := lv.parent[:n]
+	newid := lv.newid[:n]
 	for i := range p {
 		p[i] = int32(i)
+		newid[i] = -1
 	}
-	work := append(lv.work[:0], lv.edges...)
+	dw := (m + 63) / 64
+	if cap(lv.dead) < dw {
+		lv.dead = make([]uint64, dw)
+	}
+	dead := lv.dead[:dw]
+	for i := range dead {
+		dead[i] = 0
+	}
+	alive := m
 	remaining := n
-	for remaining > target && len(work) > 0 {
-		i := a.rng.intn(len(work))
-		e := work[i]
+	for remaining > target && alive > 0 {
+		i := a.rng.intn(m)
+		if dead[i>>6]&(1<<uint(i&63)) != 0 {
+			continue
+		}
+		e := &lv.edges[i]
 		ru := ksFind(p, e.u)
 		rv := ksFind(p, e.v)
 		if ru == rv {
-			work[i] = work[len(work)-1]
-			work = work[:len(work)-1]
+			dead[i>>6] |= 1 << uint(i&63)
+			alive--
 			continue
 		}
 		p[ru] = rv
 		remaining--
 	}
-	lv.work = work[:0]
-	// Dense relabelling: roots get child labels in scan order (deterministic
-	// for a fixed random stream).
-	newid := lv.newid[:n]
+	// Resolve every supernode to its root once, handing roots dense child
+	// labels in scan order (deterministic for a fixed random stream), and
+	// store the composed supernode→child-label map: the relabelling pass
+	// then needs a single comp read per endpoint instead of chained
+	// root/label lookups.
+	comp := lv.comp[:n]
 	next := int32(0)
 	for i := int32(0); i < int32(n); i++ {
-		if p[i] == i {
-			newid[i] = next
-			next++
-		}
+		r := ksFind(p, i)
+		// Branchless label assignment: a fresh root (newid still -1) takes
+		// the next dense label. The root-vs-merged stream defeats branch
+		// prediction at deep levels, so this is sign-mask selection.
+		id := newid[r]
+		neg := id >> 31
+		id = (id &^ neg) | (next & neg)
+		newid[r] = id
+		next -= neg
+		comp[i] = id
 	}
-	if cap(child.mapTo) < n {
-		child.mapTo = make([]int32, n)
-	}
-	mapTo := child.mapTo[:n]
-	for i := int32(0); i < int32(n); i++ {
-		mapTo[i] = newid[ksFind(p, i)]
-	}
-	child.mapTo = mapTo
 	child.nodes = int(next)
-	child.v0 = mapTo[lv.v0]
-	child.edges = child.edges[:0]
-	for _, e := range lv.edges {
-		u, v := mapTo[e.u], mapTo[e.v]
-		if u != v {
-			child.edges = append(child.edges, ksEdge{u, v, e.id})
-		}
+	child.v0 = comp[lv.v0]
+	if cap(child.edges) < m {
+		child.edges = make([]ksEdge, m)
+	}
+	cedges := child.edges[:cap(child.edges)]
+	k := 0
+	// Branchless relabel: every edge is written at the write cursor, and
+	// the cursor advances only for non-loops — self-loops are overwritten
+	// by the next edge instead of branching on a 25%-taken, unpredictable
+	// skip.
+	for i := range lv.edges {
+		e := &lv.edges[i]
+		u := comp[e.u]
+		v := comp[e.v]
+		cedges[k] = ksEdge{u: u, v: v, id: e.id}
+		nz := uint32(u ^ v)
+		k += int((nz | -nz) >> 31)
+	}
+	child.edges = cedges[:k]
+	// Levels below depth+1 now describe the replaced subtree; level depth
+	// and every ancestor keep their cached vertex→supernode compositions,
+	// which is what shares materialisation work across the two sibling
+	// recursions (the second child recomposes only levels > depth).
+	if a.idsValid > depth {
+		a.idsValid = depth
 	}
 }
 
-// enumerateBase checks every bipartition of the <= ksBase supernodes at
+// enumerateBase visits every bipartition of the <= ksBase supernodes at
 // `depth` and records each one crossed by exactly `size` edges. Because
 // size equals the graph's edge connectivity, every recorded bipartition is
 // a genuine minimum cut (and both its sides are automatically connected: a
 // disconnected side would split δ(S) into two disjoint nonempty cuts of
 // total size λ, contradicting each being >= λ).
+//
+// The bipartitions are swept in binary-reflected gray-code order over the
+// supernodes other than v0 (so vertex 0's supernode stays on side 0 — the
+// canonical orientation). Step i flips exactly the supernode indexed by
+// TrailingZeros(i); an edge changes crossing state iff it is incident to
+// the flipped supernode, so with per-supernode incident-edge bitmasks the
+// crossing set updates with one XOR and the crossing count is one popcount
+// — no per-step dependence on the leaf's edge count. The set of visited
+// masks is identical to the recount's ascending scan; only the order
+// differs, which the signature dedup and the final canonical sort make
+// immaterial.
 func (a *cutArena) enumerateBase(depth, size int) {
 	lv := &a.levels[depth]
-	if len(lv.edges) < size || lv.nodes < 2 {
+	m := len(lv.edges)
+	if m < size || lv.nodes < 2 {
 		return
 	}
 	if cap(a.sig) < size {
 		a.sig = make([]int32, size)
 	}
-	composed := false
+	a.stats.leaves++
+	if a.recount {
+		a.enumerateBaseRecount(depth, size)
+		return
+	}
+	nodes := lv.nodes
+	var free [ksBase]int32
+	nf := 0
+	for s := int32(0); s < int32(nodes); s++ {
+		if s != lv.v0 {
+			free[nf] = s
+			nf++
+		}
+	}
+	steps := uint32(1) << uint(nf)
+	a.stats.steps += int64(steps) - 1
+	if m <= 64 {
+		// Per-supernode incident-edge bitmasks over the (deep leaves are
+		// sparse) <= 64 surviving edges: crossSet's bit i says edge i
+		// currently crosses, maintained by one XOR per gray step.
+		var inc [ksBase]uint64
+		for i := range lv.edges {
+			e := &lv.edges[i]
+			b := uint64(1) << uint(i)
+			inc[e.u] ^= b
+			inc[e.v] ^= b
+		}
+		// Unrolled by two: every odd gray step flips free[0], so its mask
+		// bit and XOR delta are loop constants — which also breaks the
+		// serial dependency chain between consecutive steps.
+		m0 := 1 << uint(free[0])
+		inc0 := inc[free[0]]
+		mask := 0
+		cross := uint64(0)
+		for i := uint32(1); i < steps; i += 2 {
+			mask ^= m0
+			cross ^= inc0
+			if bits.OnesCount64(cross) == size {
+				a.recordLeafCrossSet(depth, mask, size, cross)
+			}
+			if i+1 >= steps {
+				break
+			}
+			s := free[bits.TrailingZeros32(i+1)]
+			mask ^= 1 << uint(s)
+			cross ^= inc[s]
+			if bits.OnesCount64(cross) == size {
+				a.recordLeafCrossSet(depth, mask, size, cross)
+			}
+		}
+		return
+	}
+	// Fallback for leaves with more than 64 surviving edges (dense or
+	// multigraph inputs contracted only a little): a pairwise multiplicity
+	// matrix, updated per flip in O(n_leaf).
+	var c [ksBase][ksBase]int32
+	for i := range lv.edges {
+		e := &lv.edges[i]
+		c[e.u][e.v]++
+		c[e.v][e.u]++
+	}
+	mask := 0
+	crossing := 0
+	for i := uint32(1); i < steps; i++ {
+		s := free[bits.TrailingZeros32(i)]
+		mask ^= 1 << uint(s)
+		ms := (mask >> uint(s)) & 1
+		row := &c[s]
+		// Flipping s toggles the crossing state of exactly its incident
+		// edges (c[s][s] is 0, so including t == s is harmless); the sign
+		// is branchless because the bipartition stream defeats prediction.
+		for t := 0; t < nodes; t++ {
+			sign := int((mask>>uint(t))&1^ms)<<1 - 1
+			crossing += sign * int(row[t])
+		}
+		if crossing == size {
+			a.recordLeafCut(depth, mask, size)
+		}
+	}
+}
+
+// enumerateBaseRecount is the pre-gray-code base case: an ascending mask
+// scan recounting crossings from scratch per bipartition. Retained behind
+// CutEnumOptions.LeafRecount as the oracle the sweep is tested against.
+func (a *cutArena) enumerateBaseRecount(depth, size int) {
+	lv := &a.levels[depth]
 	for mask := 1; mask < 1<<uint(lv.nodes); mask++ {
 		if mask&(1<<uint(lv.v0)) != 0 {
 			continue // canonical orientation: vertex 0's supernode stays out
 		}
+		a.stats.steps++
 		crossing := 0
-		sig := a.sig[:size]
-		for _, e := range lv.edges {
+		for i := range lv.edges {
+			e := &lv.edges[i]
 			if (mask>>uint(e.u))&1 != (mask>>uint(e.v))&1 {
-				if crossing == size {
-					crossing++
+				crossing++
+				if crossing > size {
 					break
 				}
-				sig[crossing] = e.id
-				crossing++
 			}
 		}
-		if crossing != size {
-			continue
+		if crossing == size {
+			a.recordLeafCut(depth, mask, size)
 		}
-		// Identify the cut by its sorted crossing-edge signature — O(λ)
-		// against O(n) for a bitset — and only materialise first sightings.
-		for i := 1; i < size; i++ {
-			for j := i; j > 0 && sig[j] < sig[j-1]; j-- {
-				sig[j], sig[j-1] = sig[j-1], sig[j]
-			}
-		}
-		if !a.sigs.add(sig) {
-			continue
-		}
-		if !composed {
-			a.composeIDs(depth)
-			composed = true
-		}
-		// Materialise the vertex bipartition. Vertex 0's side is 0 by the
-		// mask restriction, so the bitset is already canonical.
-		side := a.side
-		for i := range side {
-			side[i] = 0
-		}
-		for v := 0; v < a.n; v++ {
-			if mask&(1<<uint(a.ids[v])) != 0 {
-				side[v/64] |= 1 << uint(v%64)
-			}
-		}
-		a.fresh = append(a.fresh, a.store.alloc(side))
 	}
 }
 
-// composeIDs fills a.ids with each original vertex's supernode label at
-// `depth` by composing the per-level maps. Called at most once per leaf
-// visit, and only for leaves that found a qualifying bipartition.
-func (a *cutArena) composeIDs(depth int) {
-	ids := a.ids
-	for v := range ids {
-		ids[v] = int32(v)
+// recordLeafCrossSet is recordLeafCut for the bitmask sweep: the crossing
+// edge set is already in hand as a bitmask, so the signature gathers its
+// exactly `size` set bits directly instead of rescanning the edge list.
+func (a *cutArena) recordLeafCrossSet(depth, mask, size int, cross uint64) {
+	lv := &a.levels[depth]
+	sig := a.sig[:size]
+	for k := 0; k < size; k++ {
+		i := bits.TrailingZeros64(cross)
+		cross &= cross - 1
+		sig[k] = lv.edges[i].id
 	}
-	for d := 1; d <= depth; d++ {
-		mapTo := a.levels[d].mapTo
-		for v := range ids {
-			ids[v] = mapTo[ids[v]]
+	a.commitLeafCut(depth, mask, size, sig)
+}
+
+// recordLeafCut handles a bipartition with exactly `size` crossing edges:
+// gather its crossing-edge signature by an O(m_leaf) edge scan (the matrix
+// and recount paths have no crossing bitmask in hand), then commit it.
+func (a *cutArena) recordLeafCut(depth, mask, size int) {
+	lv := &a.levels[depth]
+	sig := a.sig[:size]
+	k := 0
+	for i := range lv.edges {
+		e := &lv.edges[i]
+		if (mask>>uint(e.u))&1 != (mask>>uint(e.v))&1 {
+			sig[k] = e.id
+			k++
 		}
 	}
+	a.commitLeafCut(depth, mask, size, sig)
+}
+
+// commitLeafCut dedups a qualifying bipartition against the arena's intern
+// table by its sorted crossing-edge signature — O(λ) probes against O(n)
+// for a bitset — and materialises the vertex bipartition on first sighting
+// only.
+func (a *cutArena) commitLeafCut(depth, mask, size int, sig []int32) {
+	for i := 1; i < size; i++ {
+		for j := i; j > 0 && sig[j] < sig[j-1]; j-- {
+			sig[j], sig[j-1] = sig[j-1], sig[j]
+		}
+	}
+	if !a.sigs.add(sig) {
+		return
+	}
+	ids := a.composeIDs(depth)
+	// Materialise the vertex bipartition. Vertex 0's side is 0 by the
+	// mask restriction, so the bitset is already canonical.
+	side := a.side
+	for i := range side {
+		side[i] = 0
+	}
+	for v := 0; v < a.n; v++ {
+		if mask&(1<<uint(ids[v])) != 0 {
+			side[v/64] |= 1 << uint(v%64)
+		}
+	}
+	a.fresh = append(a.fresh, a.store.alloc(side))
+}
+
+// composeIDs returns the original-vertex → supernode map for `depth`,
+// composing the per-level contraction maps. Compositions are cached per
+// level with a.idsValid as the valid-prefix watermark (contractInto lowers
+// it), so the work for level d is shared by every leaf below d that sights
+// a new cut — across sibling subtrees, not just within one leaf.
+func (a *cutArena) composeIDs(depth int) []int32 {
+	for d := a.idsValid + 1; d <= depth; d++ {
+		lv := &a.levels[d]
+		if cap(lv.ids) < a.n {
+			lv.ids = make([]int32, a.n)
+		}
+		ids := lv.ids[:a.n]
+		par := &a.levels[d-1]
+		prev := par.ids[:a.n]
+		comp := par.comp[:par.nodes] // written by the ancestor path's latest contractInto
+		for v := range ids {
+			ids[v] = comp[prev[v]]
+		}
+		lv.ids = ids
+	}
+	if depth > a.idsValid {
+		a.idsValid = depth
+	}
+	return a.levels[depth].ids[:a.n]
 }
 
 // cutsByContraction enumerates all minimum cuts of h (whose edge
@@ -425,6 +643,9 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 	if opts.TrialFactor > 1 {
 		trials *= opts.TrialFactor
 	}
+	if opts.MaxTrials > 0 && trials > opts.MaxTrials {
+		trials = opts.MaxTrials
+	}
 	maxDepth := ksDepth(n)
 	base := make([]ksEdge, h.M())
 	for i, e := range h.Edges() {
@@ -436,11 +657,13 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 	if workers > trials {
 		workers = trials
 	}
+	sweepStart := opts.Phase.phaseStart()
 	if workers <= 1 {
 		// Sequential: one arena, whose intern table is the global dedup, so
 		// already-seen bipartitions cost no allocation at all.
 		a := arenaPool.Get().(*cutArena)
 		a.prepare(n, maxDepth, size)
+		a.recount = opts.LeafRecount
 		out := make([]Cut, 0, 16)
 		for t := 0; t < trials; t++ {
 			a.rng.seed(baseSeed ^ int64(t))
@@ -448,8 +671,12 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 			a.runTrial(base, size)
 			out = append(out, a.fresh...)
 		}
+		st := a.stats
 		arenaPool.Put(a)
+		opts.Phase.emit(PhaseEvent{Phase: "ks-sweep", Start: sweepStart, Iterations: trials, Items: int(st.steps)})
+		matStart := opts.Phase.phaseStart()
 		sortCuts(out)
+		opts.Phase.emit(PhaseEvent{Phase: "ks-materialise", Start: matStart, Items: len(out)})
 		return out, nil
 	}
 
@@ -463,6 +690,7 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 	for w := 0; w < workers; w++ {
 		a := arenaPool.Get().(*cutArena)
 		a.prepare(n, maxDepth, size)
+		a.recount = opts.LeafRecount
 		arenas <- a
 	}
 	found := make([][]Cut, trials)
@@ -476,9 +704,17 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 		}
 		arenas <- a
 	})
+	var st ksStats
 	for w := 0; w < workers; w++ {
-		arenaPool.Put(<-arenas)
+		a := <-arenas
+		// leaves/steps are per-trial totals, so this sum is independent of
+		// which arena served which trial.
+		st.leaves += a.stats.leaves
+		st.steps += a.stats.steps
+		arenaPool.Put(a)
 	}
+	opts.Phase.emit(PhaseEvent{Phase: "ks-sweep", Start: sweepStart, Iterations: trials, Items: int(st.steps)})
+	matStart := opts.Phase.phaseStart()
 	var merge cutInterner
 	merge.reset(n)
 	var out []Cut
@@ -490,5 +726,6 @@ func cutsByContraction(h *graph.Graph, size int, rng *rand.Rand, opts CutEnumOpt
 		}
 	}
 	sortCuts(out)
+	opts.Phase.emit(PhaseEvent{Phase: "ks-materialise", Start: matStart, Items: len(out)})
 	return out, nil
 }

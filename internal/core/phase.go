@@ -12,8 +12,13 @@ import "time"
 //	Solve2ECSS:             mst, tap
 //	SolveKECSS:             validate, mst, cut-enum (per level),
 //	                        augment (per level), audit (k >= 4)
-//	Solve3ECSSUnweighted:   validate, base, base-label, augment, correction
-//	Solve3ECSSWeighted:     validate, base, base-label, augment, correction
+//	Solve3ECSSUnweighted:   validate, base, base-label, augment, correction,
+//	                        rebalance (only when Rebalance triggers)
+//	Solve3ECSSWeighted:     validate, base, base-label, augment, correction,
+//	                        rebalance (only when Rebalance triggers)
+//	EnumerateMinCutsOpts:   ks-sweep, ks-materialise (size >= 3 only, via
+//	                        CutEnumOptions.Phase; nested inside cut-enum
+//	                        when Aug forwards its observer)
 //
 // Validate events fire only when the solver itself runs the connectivity
 // check; callers that pre-validate (kecss.Pool sweeps set SkipValidation)

@@ -44,6 +44,17 @@ type ThreeECSSOptions struct {
 	ReferenceLabeling bool
 	// MaxIterations caps the loop (0 = generous O(log³ n) default).
 	MaxIterations int
+	// Rebalance enables the §5 tree rebalancing: when the labeling tree of
+	// H ∪ A is tall (ring-like bases drive it to Θ(n)) and a BFS of G
+	// restricted to the current H ∪ A would at least halve it, the engine
+	// is rebuilt over that BFS tree — capping the per-iteration label-
+	// update height at O(D) once the augmentation has added chords. The
+	// rebuild re-runs the measured distributed base scan (charged, and
+	// reported as a "rebalance" PhaseEvent) and resamples the non-tree
+	// labels from Rng, so rebalanced runs are deterministic but follow a
+	// different random trajectory than unrebalanced ones. Ignored under
+	// ReferenceLabeling (the oracle path keeps its fixed tree).
+	Rebalance bool
 	// SkipValidation skips the up-front 3-edge-connectivity check of the
 	// input graph (see KECSSOptions.SkipValidation).
 	SkipValidation bool
@@ -162,6 +173,7 @@ const (
 	chargeAggregation  = "cost-effectiveness aggregation"
 	chargeLabelUpdates = "incremental label dissemination (charged)"
 	chargeFinalAgg     = "final aggregation (no candidates)"
+	chargeRebalance    = "rebalance scans (measured)"
 )
 
 // solve3ECSS runs the §5 augmentation loop from the 2-edge-connected base h
@@ -208,7 +220,7 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	if err != nil {
 		return nil, fmt.Errorf("core: labeling base H: %w", err)
 	}
-	defer eng.Release()
+	defer func() { eng.Release() }() // eng is rebound when Rebalance rebuilds
 	res.LabelRoundsMeasured += int64(eng.Metrics.Rounds)
 	acc.Charge(chargeLabelScans, int64(eng.Metrics.Rounds))
 	opts.Phase.emit(PhaseEvent{
@@ -234,6 +246,55 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 	var pool []int // candidate edge IDs at the maximum rounded value
 	var added []int
 
+	// The default path evaluates candidates output-sensitively: a
+	// cycles.CoverIndex keeps every candidate's |Ce| current under the
+	// engine's label updates (recomputing only candidates whose covering
+	// tree edges changed), and expBuckets keep them sorted by rounded
+	// exponent, so Lines 1–2 cost O(pool + changed candidates) per
+	// iteration instead of an O(m·height) rescan. The ReferenceLabeling
+	// oracle path below retains the full per-iteration rescan; the
+	// equivalence corpus pins the two paths to identical results.
+	var (
+		cover   *cycles.CoverIndex
+		bk      *expBuckets
+		candIDs []int
+		candIdx []int32 // host edge ID -> candidate index, -1 outside the pool
+	)
+	expFor := func(id int, ce int64) int {
+		if !weighted {
+			return tap.RoundedExp(ce, 1)
+		}
+		if w := g.Edge(id).W; w > 0 {
+			return tap.RoundedExp(ce, w)
+		}
+		return infExp // weight-0 edges have infinite cost-effectiveness
+	}
+	refreshBuckets := func() {
+		cover.Refresh(func(i int, ce int64) {
+			if ce == 0 {
+				bk.remove(i)
+				return
+			}
+			bk.update(i, expFor(candIDs[i], ce))
+		})
+	}
+	if !opts.ReferenceLabeling {
+		candIDs = make([]int, 0, g.M()-len(h))
+		candIdx = make([]int32, g.M())
+		for i := range candIdx {
+			candIdx[i] = -1
+		}
+		for _, e := range g.Edges() {
+			if selected[e.ID] {
+				continue
+			}
+			candIdx[e.ID] = int32(len(candIDs))
+			candIDs = append(candIDs, e.ID)
+		}
+		cover = cycles.NewCoverIndex(eng, candIDs)
+		bk = newExpBuckets(len(candIDs))
+	}
+
 	loopStart := opts.Phase.phaseStart()
 	roundsAtLoop := acc.Total()
 	for iters := 0; !eng.ThreeEdgeConnected(); {
@@ -244,30 +305,29 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 
 		// Lines 1–2: cost-effectiveness via Claim 5.8 (unit weights:
 		// ρ(e) = |Ce|), candidates at the maximum rounded value.
-		const infExp = 1 << 20
 		best := -(1 << 30)
-		pool = pool[:0]
-		for _, e := range g.Edges() {
-			if selected[e.ID] {
-				continue
-			}
-			ce := eng.CoverCount(e.U, e.V)
-			if ce == 0 {
-				continue
-			}
-			exp := infExp // weight-0 edges have infinite cost-effectiveness
-			switch {
-			case !weighted:
-				exp = tap.RoundedExp(ce, 1)
-			case e.W > 0:
-				exp = tap.RoundedExp(ce, e.W)
-			}
-			if exp > best {
-				best = exp
-				pool = pool[:0]
-			}
-			if exp == best {
-				pool = append(pool, e.ID)
+		if cover != nil {
+			refreshBuckets()
+			pool, best = bk.pool(pool[:0], candIDs)
+			sort.Ints(pool) // the legacy scan produced ascending IDs
+		} else {
+			pool = pool[:0]
+			for _, e := range g.Edges() {
+				if selected[e.ID] {
+					continue
+				}
+				ce := eng.CoverCount(e.U, e.V)
+				if ce == 0 {
+					continue
+				}
+				exp := expFor(e.ID, ce)
+				if exp > best {
+					best = exp
+					pool = pool[:0]
+				}
+				if exp == best {
+					pool = append(pool, e.ID)
+				}
 			}
 		}
 		if len(pool) == 0 {
@@ -298,6 +358,14 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 			}
 		}
 		if len(added) > 0 {
+			if cover != nil {
+				// Deactivate before AddEdges so the activation's own label
+				// churn does not dirty the leaving candidates.
+				for _, id := range added {
+					cover.Deactivate(int(candIdx[id]))
+					bk.remove(int(candIdx[id]))
+				}
+			}
 			eng.AddEdges(added)
 			for _, id := range added {
 				selected[id] = true
@@ -315,6 +383,31 @@ func solve3ECSS(g *graph.Graph, h []int, weighted bool, opts ThreeECSSOptions, a
 				// label floods its tree path; pipelined along the fixed
 				// tree this is O(height + |added|) rounds.
 				acc.Charge(chargeLabelUpdates, height+int64(len(added)))
+			}
+			if opts.Rebalance && cover != nil {
+				// §5 rebalance: probe whether a BFS of G restricted to the
+				// current H ∪ A would at least halve the labeling tree, and
+				// only then rebuild the engine over it. The probe runs only
+				// while the tree is tall, so well-balanced bases never pay.
+				if curH := eng.Tree.Height(); curH > 4*logn {
+					if nh := cycles.BFSHeight(g, sel); nh >= 0 && 2*nh <= curH {
+						tr := opts.Phase.phaseStart()
+						eng.Release()
+						eng, err = cycles.NewIncremental(g, sel, bits, opts.Rng, opts.LabelArena, simOpts...)
+						if err != nil {
+							return nil, fmt.Errorf("core: rebalancing H∪A labeling: %w", err)
+						}
+						res.LabelRoundsMeasured += int64(eng.Metrics.Rounds)
+						acc.Charge(chargeRebalance, int64(eng.Metrics.Rounds))
+						height = int64(eng.Tree.Height())
+						cover = cycles.NewCoverIndex(eng, candIDs)
+						opts.Phase.emit(PhaseEvent{
+							Phase: "rebalance", Start: tr,
+							Rounds: int64(eng.Metrics.Rounds), Messages: eng.Metrics.Messages,
+							Items: eng.Tree.Height(),
+						})
+					}
+				}
 			}
 		}
 		itersAtThisP++

@@ -175,3 +175,91 @@ func TestSolve3ECSSAccountingBreakdown(t *testing.T) {
 		}
 	})
 }
+
+// mobiusRing builds the weighted Möbius ladder C(n; 1, n/2): an n-cycle of
+// weight-1 edges plus all n/2 weight-8 diameter chords. λ=3, and the
+// weighted 2-ECSS base is the cheap ring, so the labeling tree starts as a
+// path of height n/2 = Θ(n) — the §5 worst case the Rebalance option
+// targets.
+func mobiusRing(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1)
+	}
+	for i := 0; i < n/2; i++ {
+		g.AddEdge(i, i+n/2, 8)
+	}
+	return g
+}
+
+// TestSolve3ECSSRebalanceEquivalence drives the §5 tree rebalancing on
+// Θ(n)-height bases and pins its contract: the rebalanced solve stays a
+// valid deterministic 3-ECSS, the rebuild actually fires (a "rebalance"
+// PhaseEvent with the post-rebuild height at most half the ring height),
+// and disabling the option on the same instance never emits the event. The
+// two trajectories legitimately diverge after the rebuild (the fresh engine
+// resamples labels, as documented on the option), so equivalence is checked
+// at the contract level — validity, determinism, and event discipline —
+// not byte equality.
+func TestSolve3ECSSRebalanceEquivalence(t *testing.T) {
+	for _, n := range []int{128, 256} {
+		run := func(rebalance bool, seed int64) (*ThreeECSSResult, []PhaseEvent) {
+			var events []PhaseEvent
+			g := mobiusRing(n)
+			res, err := Solve3ECSSWeighted(g, ThreeECSSOptions{
+				Rng:       rand.New(rand.NewSource(seed)),
+				Rebalance: rebalance,
+				Phase:     func(ev PhaseEvent) { events = append(events, ev) },
+			})
+			if err != nil {
+				t.Fatalf("n=%d rebalance=%v: %v", n, rebalance, err)
+			}
+			g2 := mobiusRing(n)
+			sub, _ := g2.SubgraphOf(res.Edges)
+			if !sub.IsKEdgeConnected(3) {
+				t.Fatalf("n=%d rebalance=%v: result is not 3-edge-connected", n, rebalance)
+			}
+			return res, events
+		}
+		countReb := func(events []PhaseEvent) (int, int) {
+			count, minH := 0, 1<<30
+			for _, ev := range events {
+				if ev.Phase == "rebalance" {
+					count++
+					if ev.Items < minH {
+						minH = ev.Items
+					}
+				}
+			}
+			return count, minH
+		}
+
+		on, onEvents := run(true, 5)
+		nReb, newH := countReb(onEvents)
+		if nReb == 0 {
+			t.Fatalf("n=%d: Θ(n)-height base never triggered a rebalance", n)
+		}
+		if newH > n/4 {
+			t.Fatalf("n=%d: rebalanced height %d did not halve the ring height %d", n, newH, n/2)
+		}
+		off, offEvents := run(false, 5)
+		if c, _ := countReb(offEvents); c != 0 {
+			t.Fatalf("n=%d: rebalance event emitted with the option off", n)
+		}
+		// Both paths must be individually deterministic.
+		on2, _ := run(true, 5)
+		if !reflect.DeepEqual(on, on2) {
+			t.Fatalf("n=%d: rebalanced solve is not deterministic", n)
+		}
+		off2, _ := run(false, 5)
+		if !reflect.DeepEqual(off, off2) {
+			t.Fatalf("n=%d: unbalanced solve is not deterministic", n)
+		}
+		// The rebalanced run pays measured rebuild rounds on top; its result
+		// quality must stay in the same regime as the unbalanced run.
+		if on.Size > off.Size+off.Size/4 || off.Size > on.Size+on.Size/4 {
+			t.Fatalf("n=%d: sizes diverged beyond the family's regime: rebalanced %d, unbalanced %d",
+				n, on.Size, off.Size)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package cycles
+
+import (
+	"repro/internal/tree"
+)
+
+// CoverIndex maintains the CoverCount of a fixed candidate-edge set under
+// the Incremental engine's label updates, output-sensitively: instead of
+// re-walking every candidate's O(height) tree path each iteration, it keeps
+// a cached count per candidate and recomputes only the candidates whose
+// count can actually have changed since the last Refresh.
+//
+// It rests on an exact decomposition of Claim 5.8. For a candidate e={u,v}
+// with tree path P and per-label active-edge counts n_φ,
+//
+//	|S²_e| = Σ_L ne_L·(n_L − ne_L)
+//	       = Σ_{t∈P} n_φ(t)  −  |P|  −  2·#{{t,t'} ⊆ P : φ(t) = φ(t')}
+//
+// (ne_L is the number of path edges labeled L; Σ ne_L·n_L telescopes into a
+// per-edge sum, and Σ ne_L² = |P| + 2·same-label pairs). The first term is a
+// Fenwick path sum over heavy-path-decomposition positions (O(log² n)); the
+// last touches only labels carried by ≥ 2 tree edges — exactly the cut-pair
+// labels, a set the engine keeps tiny — each tested against the path in
+// O(1) by subtree position. So one recompute is O(log² n + cut pairs)
+// instead of O(height).
+//
+// Change tracking hooks into the engine (labelHook): a candidate is dirty
+// iff some tree edge on its path changed label or changed its stored
+// n_φ(t) weight — found through the tree-edge→candidate adjacency the
+// index builds once (O(Σ path lengths)). Everything is exact integer
+// arithmetic: Refresh reproduces Incremental.CoverCount bit for bit, which
+// the equivalence tests pin.
+//
+// A CoverIndex attaches to exactly one engine (NewCoverIndex registers the
+// hook) and is not safe for concurrent use.
+type CoverIndex struct {
+	inc *Incremental
+	hp  *tree.HPD
+
+	// Candidates, by index: host endpoints, liveness, cached count.
+	candU, candV []int32
+	active       []bool
+	ce           []int64
+
+	// Tree-edge→candidate adjacency, CSR over child vertices.
+	adjOff  []int32
+	adjList []int32
+
+	// Per tree edge (by child vertex): the stored Fenwick weight
+	// w[x] = n_φ(φ(parent edge of x)), and the Fenwick tree over HPD
+	// positions holding exactly these values.
+	w   []int64
+	fen []int64
+
+	edgeChild []int32 // host edge ID -> child vertex, -1 for non-tree edges
+
+	// Label -> child vertices of the tree edges carrying it, with O(1)
+	// swap-delete via posInLabel; multi lists the labels carried by ≥ 2
+	// tree edges (the only labels that can contribute same-label pairs).
+	byLabel    map[uint64][]int32
+	posInLabel []int32
+	multi      []uint64
+	multiPos   map[uint64]int
+
+	dirty     []bool
+	dirtyList []int32
+}
+
+// NewCoverIndex builds the index for the given candidate host edges over
+// eng's tree and registers it as the engine's label hook (replacing any
+// previous index). Candidates already active in the engine start
+// deactivated. All live candidates start dirty, so the first Refresh
+// computes every cover count.
+func NewCoverIndex(eng *Incremental, candIDs []int) *CoverIndex {
+	n := eng.G.N()
+	cx := &CoverIndex{
+		inc:        eng,
+		hp:         tree.NewHPD(eng.Tree),
+		candU:      make([]int32, len(candIDs)),
+		candV:      make([]int32, len(candIDs)),
+		active:     make([]bool, len(candIDs)),
+		ce:         make([]int64, len(candIDs)),
+		w:          make([]int64, n),
+		fen:        make([]int64, n+1),
+		edgeChild:  make([]int32, eng.G.M()),
+		byLabel:    make(map[uint64][]int32, n),
+		posInLabel: make([]int32, n),
+		multiPos:   make(map[uint64]int, 8),
+		dirty:      make([]bool, len(candIDs)),
+		dirtyList:  make([]int32, 0, len(candIDs)),
+	}
+	for i := range cx.edgeChild {
+		cx.edgeChild[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if v != eng.Tree.Root {
+			cx.edgeChild[eng.Tree.ParentEdge[v]] = int32(v)
+		}
+	}
+	for i, id := range candIDs {
+		e := eng.G.Edge(id)
+		cx.candU[i], cx.candV[i] = int32(e.U), int32(e.V)
+		if !eng.IsActive(id) {
+			cx.active[i] = true
+			cx.dirty[i] = true
+			cx.dirtyList = append(cx.dirtyList, int32(i))
+		}
+	}
+	// Tree-edge→candidate adjacency: count, prefix-sum, fill.
+	counts := make([]int32, n)
+	cx.eachPathVertex(func(x int32, _ int32) { counts[x]++ })
+	cx.adjOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		cx.adjOff[v+1] = cx.adjOff[v] + counts[v]
+	}
+	cx.adjList = make([]int32, cx.adjOff[n])
+	fill := make([]int32, n)
+	copy(fill, cx.adjOff[:n])
+	cx.eachPathVertex(func(x int32, ci int32) {
+		cx.adjList[fill[x]] = ci
+		fill[x]++
+	})
+	cx.rebuildLabels()
+	eng.hook = cx
+	return cx
+}
+
+// eachPathVertex calls fn(childVertex, candidateIndex) for every tree edge
+// on every live candidate's path.
+func (cx *CoverIndex) eachPathVertex(fn func(x, ci int32)) {
+	for i := range cx.candU {
+		if !cx.active[i] {
+			continue
+		}
+		ci := int32(i)
+		cx.hp.ForEachPathSegment(int(cx.candU[i]), int(cx.candV[i]), func(lo, hi int) {
+			for p := lo; p <= hi; p++ {
+				fn(int32(cx.hp.VertexAt(p)), ci)
+			}
+		})
+	}
+}
+
+// rebuildLabels recomputes the label index, Fenwick weights and multi set
+// from the engine's current state (construction and reset()).
+func (cx *CoverIndex) rebuildLabels() {
+	clear(cx.byLabel)
+	clear(cx.multiPos)
+	cx.multi = cx.multi[:0]
+	clear(cx.fen)
+	tr := cx.inc.Tree
+	for v := range cx.w {
+		cx.w[v] = 0
+		if v == tr.Root {
+			continue
+		}
+		lab := cx.inc.phi[tr.ParentEdge[v]]
+		cx.labelAdd(lab, int32(v))
+		wv := int64(cx.inc.nphi[lab])
+		cx.w[v] = wv
+		cx.fenAdd(cx.hp.Pos[v], wv)
+	}
+}
+
+// labelAdd appends tree edge x to lab's list, maintaining the multi set.
+func (cx *CoverIndex) labelAdd(lab uint64, x int32) {
+	l := cx.byLabel[lab]
+	cx.posInLabel[x] = int32(len(l))
+	l = append(l, x)
+	cx.byLabel[lab] = l
+	if len(l) == 2 {
+		cx.multiPos[lab] = len(cx.multi)
+		cx.multi = append(cx.multi, lab)
+	}
+}
+
+// labelRemove removes tree edge x from lab's list by swap-delete.
+func (cx *CoverIndex) labelRemove(lab uint64, x int32) {
+	l := cx.byLabel[lab]
+	p := cx.posInLabel[x]
+	last := len(l) - 1
+	l[p] = l[last]
+	cx.posInLabel[l[p]] = p
+	l = l[:last]
+	if last == 0 {
+		delete(cx.byLabel, lab)
+	} else {
+		cx.byLabel[lab] = l
+	}
+	if last == 1 {
+		mp := cx.multiPos[lab]
+		lastLab := cx.multi[len(cx.multi)-1]
+		cx.multi[mp] = lastLab
+		cx.multiPos[lastLab] = mp
+		cx.multi = cx.multi[:len(cx.multi)-1]
+		delete(cx.multiPos, lab)
+	}
+}
+
+// fenAdd adds delta at HPD position p (0-based).
+func (cx *CoverIndex) fenAdd(p int, delta int64) {
+	for i := p + 1; i < len(cx.fen); i += i & -i {
+		cx.fen[i] += delta
+	}
+}
+
+// fenPrefix returns the sum over positions [0, p] (0-based, inclusive).
+func (cx *CoverIndex) fenPrefix(p int) int64 {
+	var s int64
+	for i := p + 1; i > 0; i -= i & -i {
+		s += cx.fen[i]
+	}
+	return s
+}
+
+// setW moves tree edge x's stored weight to val, updating the Fenwick tree
+// and dirtying the candidates covering x.
+func (cx *CoverIndex) setW(x int32, val int64) {
+	if cx.w[x] == val {
+		return
+	}
+	cx.fenAdd(cx.hp.Pos[x], val-cx.w[x])
+	cx.w[x] = val
+	cx.markEdge(x)
+}
+
+// markEdge dirties every live candidate whose path covers tree edge x.
+func (cx *CoverIndex) markEdge(x int32) {
+	for _, ci := range cx.adjList[cx.adjOff[x]:cx.adjOff[x+1]] {
+		if cx.active[ci] && !cx.dirty[ci] {
+			cx.dirty[ci] = true
+			cx.dirtyList = append(cx.dirtyList, ci)
+		}
+	}
+}
+
+// nphiChanged implements labelHook: every tree edge carrying lab stores
+// n_lab, so each moves by delta.
+func (cx *CoverIndex) nphiChanged(lab uint64, delta int) {
+	for _, x := range cx.byLabel[lab] {
+		cx.setW(x, cx.w[x]+int64(delta))
+	}
+}
+
+// treeRelabeled implements labelHook: move the edge between label lists,
+// restore its weight to the (already-adjusted) count of its new label, and
+// dirty its candidates — a relabel can change the same-label pair term even
+// when the weight happens not to move.
+func (cx *CoverIndex) treeRelabeled(t int, old, new uint64) {
+	x := cx.edgeChild[t]
+	cx.labelRemove(old, x)
+	cx.labelAdd(new, x)
+	cx.setW(x, int64(cx.inc.nphi[new]))
+	cx.markEdge(x)
+}
+
+// reset implements labelHook: the engine recounted wholesale, so rebuild
+// the label state and dirty every live candidate.
+func (cx *CoverIndex) reset() {
+	cx.rebuildLabels()
+	cx.dirtyList = cx.dirtyList[:0]
+	for i := range cx.active {
+		cx.dirty[i] = cx.active[i]
+		if cx.active[i] {
+			cx.dirtyList = append(cx.dirtyList, int32(i))
+		}
+	}
+}
+
+// coverCount answers |S²_e| for e={u,v} by the decomposition above.
+func (cx *CoverIndex) coverCount(u, v int) int64 {
+	var sum int64
+	pathLen := 0
+	cx.hp.ForEachPathSegment(u, v, func(lo, hi int) {
+		sum += cx.fenPrefix(hi) - cx.fenPrefix(lo-1)
+		pathLen += hi - lo + 1
+	})
+	var pairs int64
+	for _, lab := range cx.multi {
+		k := int64(0)
+		for _, x := range cx.byLabel[lab] {
+			if cx.hp.OnPath(int(x), u, v) {
+				k++
+			}
+		}
+		pairs += k * (k - 1) / 2
+	}
+	return sum - int64(pathLen) - 2*pairs
+}
+
+// Refresh recomputes the cover count of every dirty live candidate, calls
+// fn(i, ce) for each, and clears the dirty set. After Refresh, Ce(i) equals
+// Incremental.CoverCount for every live candidate.
+func (cx *CoverIndex) Refresh(fn func(i int, ce int64)) {
+	for _, ci := range cx.dirtyList {
+		cx.dirty[ci] = false
+		if !cx.active[ci] {
+			continue
+		}
+		c := cx.coverCount(int(cx.candU[ci]), int(cx.candV[ci]))
+		cx.ce[ci] = c
+		fn(int(ci), c)
+	}
+	cx.dirtyList = cx.dirtyList[:0]
+}
+
+// Ce returns candidate i's cached cover count (current after a Refresh).
+func (cx *CoverIndex) Ce(i int) int64 { return cx.ce[i] }
+
+// Deactivate drops candidate i from all future dirty tracking — called when
+// the solver selects it (the edge is about to become active in the engine,
+// where a cover count no longer applies).
+func (cx *CoverIndex) Deactivate(i int) { cx.active[i] = false }

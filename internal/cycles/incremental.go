@@ -106,6 +106,26 @@ type Incremental struct {
 
 	onPath map[uint64]int64 // CoverCount scratch
 	arena  *Arena
+
+	// hook observes label-state changes for the CoverIndex (nil otherwise).
+	// Suspended while rebuildCounts replays the active set, which instead
+	// ends with a single reset() notification.
+	hook          labelHook
+	hookSuspended bool
+}
+
+// labelHook receives the engine's label-state deltas, in the order they are
+// applied. The CoverIndex implements it to keep per-candidate cover counts
+// current without rescanning.
+type labelHook interface {
+	// nphiChanged fires after the active-edge count of lab moved by delta.
+	nphiChanged(lab uint64, delta int)
+	// treeRelabeled fires after tree edge t (a host edge ID) changed label
+	// from old to new, with all count adjustments already applied.
+	treeRelabeled(t int, old, new uint64)
+	// reset fires after a wholesale recount (construction, RelabelScan):
+	// incremental deltas were not reported, rebuild from current state.
+	reset()
 }
 
 // NewIncremental builds the incremental labeling of the base subgraph of g
@@ -274,6 +294,57 @@ func (inc *Incremental) baseTree(base []int) (*tree.Rooted, error) {
 	return tree.FromParents(0, parent, parentEdge)
 }
 
+// BFSHeight returns the height of the BFS tree, rooted at vertex 0, of the
+// subgraph of g given by edge IDs base — the height a rebuilt labeling
+// engine over that subgraph would have — or -1 if base does not span g.
+// The 3-ECSS rebalance knob probes with this (O(n + |base|), plain
+// allocation: the probe runs at most once per iteration, and only while
+// the current tree is tall) before paying for an engine rebuild.
+func BFSHeight(g *graph.Graph, base []int) int {
+	n := g.N()
+	deg := make([]int, n)
+	for _, id := range base {
+		e := g.Edge(id)
+		deg[e.U]++
+		deg[e.V]++
+	}
+	arcs := make([]graph.Arc, 2*len(base))
+	adj := make([][]graph.Arc, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		adj[v] = arcs[off : off : off+deg[v]]
+		off += deg[v]
+	}
+	for _, id := range base {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], graph.Arc{To: e.V, Edge: id})
+		adj[e.V] = append(adj[e.V], graph.Arc{To: e.U, Edge: id})
+	}
+	depth := make([]int, n)
+	for v := range depth {
+		depth[v] = -1
+	}
+	depth[0] = 0
+	queue := make([]int, 1, n)
+	height := 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range adj[v] {
+			if depth[a.To] == -1 {
+				depth[a.To] = depth[v] + 1
+				if depth[a.To] > height {
+					height = depth[a.To]
+				}
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if len(queue) != n {
+		return -1
+	}
+	return height
+}
+
 // ownedLists distributes the non-tree edges of ids to their smaller
 // endpoint (the announcing owner of the distributed scan).
 func (inc *Incremental) ownedLists(ids []int) [][]int {
@@ -321,17 +392,23 @@ func (inc *Incremental) ownedLists(ids []int) [][]int {
 }
 
 // rebuildCounts recomputes nphi/treeCnt/nBad from the current labels — used
-// at construction and after a reference rescan.
+// at construction and after a reference rescan. The hook is suspended for
+// the replay and handed one reset() instead.
 func (inc *Incremental) rebuildCounts() {
 	clear(inc.nphi)
 	clear(inc.treeCnt)
 	inc.nBad = 0
+	inc.hookSuspended = true
 	for _, id := range inc.activeIDs {
 		dTree := 0
 		if inc.isTree[id] {
 			dTree = 1
 		}
 		inc.adjust(inc.phi[id], 1, dTree)
+	}
+	inc.hookSuspended = false
+	if inc.hook != nil {
+		inc.hook.reset()
 	}
 }
 
@@ -362,6 +439,9 @@ func (inc *Incremental) adjust(lab uint64, dAll, dTree int) {
 	if inc.isBad(lab) {
 		inc.nBad++
 	}
+	if inc.hook != nil && !inc.hookSuspended && dAll != 0 {
+		inc.hook.nphiChanged(lab, dAll)
+	}
 }
 
 // AddEdges activates the given (inactive, non-tree) host edges: each gets a
@@ -384,6 +464,9 @@ func (inc *Incremental) AddEdges(ids []int) {
 			inc.adjust(old, -1, -1)
 			inc.phi[t] = old ^ lab
 			inc.adjust(old^lab, 1, 1)
+			if inc.hook != nil {
+				inc.hook.treeRelabeled(t, old, old^lab)
+			}
 		})
 	}
 }

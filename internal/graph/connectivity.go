@@ -13,8 +13,8 @@ type bridgeFrame struct {
 }
 
 // bridgeScanner holds the reusable scratch of the low-link bridge scan, so
-// sweeps that scan many times (CutPairs scans once per edge) allocate the
-// disc/low/stack buffers once instead of per scan.
+// sweeps that scan many times (CutPairs scans once per nontrivial 2-cut
+// clique) allocate the disc/low/stack buffers once instead of per scan.
 type bridgeScanner struct {
 	disc  []int
 	low   []int
@@ -102,32 +102,187 @@ type CutPair struct {
 	A, B int
 }
 
-// CutPairs enumerates every cut pair of g by brute force: for each edge e,
-// scan for bridges of g with e ignored and report (e, f) for every bridge f
-// found. Runs in O(m·(n+m)); intended as the verification oracle for the
-// cycle-space sampling implementation, not as a distributed algorithm. The
-// per-edge scans share one bridge scanner, so no per-edge subgraphs are
-// materialised.
+// mix64 is the splitmix64 finalizer, used to fingerprint covering-edge sets
+// so that distinct sets collide with probability ~2^-64 per component.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CutPairs enumerates every cut pair of g with one DFS pass plus one bridge
+// scan per nontrivial 2-cut class, replacing the former per-edge skip-scan
+// (O(m·(n+m))) with an output-sensitive O(n + m + classes·(n+m)) sweep.
+//
+// The structure it exploits: fix any DFS spanning tree. A pair of two
+// non-tree edges never disconnects (the tree survives), so every cut pair
+// contains a tree edge t, and the cut it realises is t's fundamental cut —
+// hence the partner is either (a) the unique non-tree edge covering t, when
+// exactly one does, or (b) another tree edge covered by exactly the same
+// set of non-tree edges. "Same covering set" is an equivalence relation, so
+// case (b) groups tree edges into cliques. The covering set of every tree
+// edge is fingerprinted in O(n+m) total by subtree aggregation: a back edge
+// (d, a) with d the deeper endpoint contributes (+1 at d, −1 at a) to the
+// count (ancestor a is never in a subtree without d, so the subtree sum at
+// a tree edge's child vertex counts exactly the covering edges), its ID to
+// an xor at both endpoints (fully-contained edges cancel), and a mixed hash
+// with opposite signs (same cancellation). Count-1 edges read their partner
+// straight out of the xor. Fingerprint groups of count ≥ 2 and size ≥ 2 are
+// then resolved exactly — never trusting the hash — by scanning bridges of
+// G−t for one representative t per clique: those bridges are, by
+// definition, the exact partner set of t, and resolve the whole clique at
+// once. Equal covering sets always produce equal fingerprints, so no pair
+// is ever missed; a hash collision merely costs one extra verification
+// scan.
 //
 // The graph must be 2-edge-connected (so that every size-2 cut is a pair of
 // edges, each individually removable without disconnecting).
 func (g *Graph) CutPairs() []CutPair {
+	n, m := g.n, len(g.edges)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	disc := make([]int, n)
+	parentEdge := make([]int, n)
+	order := make([]int, 0, n) // preorder: parents precede children
+	for v := range disc {
+		disc[v] = -1
+		parentEdge[v] = -1
+	}
+	isTree := make([]bool, m)
+	var stack []bridgeFrame
+	timer := 0
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		disc[start] = timer
+		timer++
+		order = append(order, start)
+		stack = append(stack, bridgeFrame{v: start, parentEdge: -1})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.arcIdx < len(g.adj[top.v]) {
+				a := g.adj[top.v][top.arcIdx]
+				top.arcIdx++
+				if a.Edge == top.parentEdge || disc[a.To] != -1 {
+					continue
+				}
+				disc[a.To] = timer
+				timer++
+				parentEdge[a.To] = a.Edge
+				isTree[a.Edge] = true
+				order = append(order, a.To)
+				stack = append(stack, bridgeFrame{v: a.To, parentEdge: a.Edge})
+			} else {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+
+	// Per-vertex accumulators; after subtree aggregation, the entry at child
+	// vertex x describes the set of non-tree edges covering tree edge
+	// parentEdge[x].
+	cnt := make([]int, n)
+	xr := make([]uint64, n)
+	hs := make([]uint64, n)
+	for _, e := range g.edges {
+		if isTree[e.ID] || e.U == e.V {
+			continue
+		}
+		d, a := e.U, e.V
+		if disc[d] < disc[a] {
+			d, a = a, d
+		}
+		h := mix64(uint64(e.ID))
+		cnt[d]++
+		cnt[a]--
+		xr[d] ^= uint64(e.ID)
+		xr[a] ^= uint64(e.ID)
+		hs[d] += h
+		hs[a] -= h
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		x := order[i]
+		pe := parentEdge[x]
+		if pe == -1 {
+			continue
+		}
+		p := g.edges[pe].Other(x)
+		cnt[p] += cnt[x]
+		xr[p] ^= xr[x]
+		hs[p] += hs[x]
+	}
+
+	var pairs []CutPair
+	addPair := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, CutPair{A: a, B: b})
+	}
+	emitClique := func(class []int) {
+		for i := 0; i < len(class); i++ {
+			for j := i + 1; j < len(class); j++ {
+				addPair(class[i], class[j])
+			}
+		}
+	}
+	type fingerprint struct {
+		cnt int
+		xr  uint64
+		hs  uint64
+	}
+	groups := make(map[fingerprint][]int)
+	for _, x := range order {
+		pe := parentEdge[x]
+		if pe == -1 || cnt[x] < 1 {
+			continue
+		}
+		if cnt[x] == 1 {
+			// Exactly one covering non-tree edge: the xor IS its ID.
+			addPair(pe, int(xr[x]))
+		}
+		k := fingerprint{cnt[x], xr[x], hs[x]}
+		groups[k] = append(groups[k], pe)
+	}
 	var bs bridgeScanner
 	var scratch []int
-	seen := make(map[CutPair]bool)
-	var pairs []CutPair
-	for _, e := range g.edges {
-		scratch = bs.scan(g, e.ID, scratch[:0])
-		for _, b := range scratch {
-			a, c := e.ID, b
-			if a > c {
-				a, c = c, a
+	var resolved map[int]bool
+	for k, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		if k.cnt == 1 {
+			// A one-element covering set is determined exactly by (cnt, xor):
+			// the whole group genuinely shares the set, no scan needed.
+			emitClique(members)
+			continue
+		}
+		// cnt >= 2: verify each clique with one scan of a representative.
+		// Bridges of G−t are the exact partners of t, so one scan settles t's
+		// entire equivalence class; hash-merged strangers stay unresolved and
+		// get their own scan.
+		if resolved == nil {
+			resolved = make(map[int]bool)
+		}
+		for _, t := range members {
+			if resolved[t] {
+				continue
 			}
-			p := CutPair{A: a, B: c}
-			if !seen[p] {
-				seen[p] = true
-				pairs = append(pairs, p)
+			resolved[t] = true
+			scratch = bs.scan(g, t, scratch[:0])
+			if len(scratch) == 0 {
+				continue
 			}
+			class := make([]int, 0, len(scratch)+1)
+			class = append(class, t)
+			class = append(class, scratch...)
+			for _, p := range class {
+				resolved[p] = true
+			}
+			emitClique(class)
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {

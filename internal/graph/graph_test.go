@@ -628,37 +628,89 @@ func TestEdgeConnectivityPooledReload(t *testing.T) {
 	}
 }
 
-// TestCutPairsMatchesSubgraphOracle pins the scratch-reusing skip-scan
-// against the original remove-one-edge-and-rescan formulation.
-func TestCutPairsMatchesSubgraphOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
-	for trial := 0; trial < 5; trial++ {
-		g := RandomKConnected(10+trial, 2, trial*2, rng, UnitWeights())
-		got := g.CutPairs()
-		seen := make(map[CutPair]bool)
-		var want []CutPair
-		for _, e := range g.Edges() {
-			rem, orig := g.SubgraphWithout(map[int]bool{e.ID: true})
-			for _, b := range rem.Bridges() {
-				a, c := e.ID, orig[b]
-				if a > c {
-					a, c = c, a
-				}
-				p := CutPair{A: a, B: c}
-				if !seen[p] {
-					seen[p] = true
-					want = append(want, p)
-				}
+// cutPairsBruteForce is the original O(m·(n+m)) formulation — for each edge
+// e, rescan G−e for bridges — retained as the oracle for the fingerprint
+// CutPairs implementation.
+func cutPairsBruteForce(g *Graph) []CutPair {
+	seen := make(map[CutPair]bool)
+	var want []CutPair
+	for _, e := range g.Edges() {
+		rem, orig := g.SubgraphWithout(map[int]bool{e.ID: true})
+		for _, b := range rem.Bridges() {
+			a, c := e.ID, orig[b]
+			if a > c {
+				a, c = c, a
+			}
+			p := CutPair{A: a, B: c}
+			if !seen[p] {
+				seen[p] = true
+				want = append(want, p)
 			}
 		}
-		sort.Slice(want, func(i, j int) bool {
-			if want[i].A != want[j].A {
-				return want[i].A < want[j].A
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].A != want[j].A {
+			return want[i].A < want[j].A
+		}
+		return want[i].B < want[j].B
+	})
+	return want
+}
+
+// TestCutPairsMatchesSubgraphOracle pins the single-pass fingerprint
+// enumeration against the remove-one-edge-and-rescan brute force across
+// families exercising each branch: cnt==1 tree/non-tree pairs (cycles),
+// cnt>=2 tree/tree cliques (theta graphs: parallel internally-disjoint
+// paths), parallel edges (multigraphs), and sparse random 2-edge-connected
+// graphs.
+func TestCutPairsMatchesSubgraphOracle(t *testing.T) {
+	theta := func(paths, hops int) *Graph {
+		// Two hubs joined by `paths` internally-disjoint paths of `hops`
+		// edges. Every path's edge set is one 2-cut clique when paths >= 3.
+		g := New(2 + paths*(hops-1))
+		next := 2
+		for p := 0; p < paths; p++ {
+			prev := 0
+			for h := 0; h < hops-1; h++ {
+				g.AddEdge(prev, next, 1)
+				prev = next
+				next++
 			}
-			return want[i].B < want[j].B
-		})
+			g.AddEdge(prev, 1, 1)
+		}
+		return g
+	}
+	multi := func() *Graph {
+		// A 6-cycle with doubled chords and a tripled edge: parallel copies
+		// are mutual cut pairs only when doubling, never when tripled.
+		g := Cycle(6, UnitWeights())
+		g.AddEdge(0, 3, 1)
+		g.AddEdge(0, 3, 1)
+		g.AddEdge(1, 4, 1)
+		g.AddEdge(2, 5, 1)
+		g.AddEdge(2, 5, 1)
+		g.AddEdge(2, 5, 1)
+		return g
+	}
+	cases := []*Graph{
+		Cycle(4, UnitWeights()),
+		Cycle(9, UnitWeights()),
+		theta(3, 4),
+		theta(4, 3),
+		multi(),
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		cases = append(cases, RandomKConnected(10+3*trial, 2, trial*2, rng, UnitWeights()))
+	}
+	for i, g := range cases {
+		got := g.CutPairs()
+		want := cutPairsBruteForce(g)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
 		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("trial %d: CutPairs %v, oracle %v", trial, got, want)
+			t.Fatalf("case %d (n=%d m=%d): CutPairs %v, oracle %v", i, g.N(), g.M(), got, want)
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package tree
+
+// HPD is a heavy-path decomposition of a Rooted tree: every vertex is
+// assigned to the path of its subtree-heaviest child, so any root-to-leaf
+// walk crosses O(log n) path heads regardless of the tree's height. The
+// decomposition positions are a preorder that keeps each heavy path
+// contiguous (head first, increasing with depth), which is what turns tree
+// paths into O(log n) contiguous position ranges — the cycle-space cover
+// index sums Fenwick prefix ranges over them to answer CoverCount path
+// queries in O(log² n) instead of O(height).
+//
+// An HPD is immutable after NewHPD and safe for concurrent reads.
+type HPD struct {
+	T *Rooted
+	// Pos[v] is v's position in the decomposition order; the tree edge
+	// {v, Parent[v]} lives at Pos[v] (the root's position carries no edge).
+	Pos []int
+	// Head[v] is the topmost vertex of v's heavy path.
+	Head []int
+	// order is the inverse of Pos: order[Pos[v]] = v.
+	order []int
+	// size[v] is the number of vertices in v's subtree; together with Pos
+	// (a preorder) it gives O(1) ancestor tests.
+	size []int
+}
+
+// NewHPD decomposes t. O(n).
+func NewHPD(t *Rooted) *HPD {
+	n := t.N()
+	h := &HPD{
+		T:     t,
+		Pos:   make([]int, n),
+		Head:  make([]int, n),
+		order: make([]int, n),
+		size:  t.SubtreeSizes(),
+	}
+	heavy := make([]int, n)
+	for v := 0; v < n; v++ {
+		heavy[v] = -1
+		best := 0
+		for _, c := range t.Children(v) {
+			if h.size[c] > best {
+				best = h.size[c]
+				heavy[v] = c
+			}
+		}
+	}
+	// Preorder traversal that always descends into the heavy child first,
+	// so each heavy path occupies a contiguous, depth-increasing position
+	// range starting at its head.
+	next := 0
+	stack := append(make([]int, 0, 64), t.Root)
+	h.Head[t.Root] = t.Root
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.Pos[v] = next
+		h.order[next] = v
+		next++
+		// Push light children (visited after the whole heavy path), then
+		// the heavy child last so it is popped first.
+		for _, c := range t.Children(v) {
+			if c != heavy[v] {
+				h.Head[c] = c
+				stack = append(stack, c)
+			}
+		}
+		if hc := heavy[v]; hc != -1 {
+			h.Head[hc] = h.Head[v]
+			stack = append(stack, hc)
+		}
+	}
+	return h
+}
+
+// VertexAt returns the vertex at decomposition position p.
+func (h *HPD) VertexAt(p int) int { return h.order[p] }
+
+// IsAncestor reports whether a is an ancestor of v (inclusive), in O(1):
+// positions are a preorder, so a's subtree is the range
+// [Pos[a], Pos[a]+size[a]).
+func (h *HPD) IsAncestor(a, v int) bool {
+	return h.Pos[a] <= h.Pos[v] && h.Pos[v] < h.Pos[a]+h.size[a]
+}
+
+// LCA returns the lowest common ancestor of u and v by head jumping —
+// O(log n) independent of the tree's height (Rooted.LCA walks O(height)).
+func (h *HPD) LCA(u, v int) int {
+	d := h.T.Depth
+	for h.Head[u] != h.Head[v] {
+		if d[h.Head[u]] < d[h.Head[v]] {
+			u, v = v, u
+		}
+		u = h.T.Parent[h.Head[u]]
+	}
+	if d[u] < d[v] {
+		return u
+	}
+	return v
+}
+
+// OnPath reports whether the tree edge {x, Parent[x]} lies on the tree path
+// between u and v, in O(1): the edge separates u from v iff exactly one of
+// them is in x's subtree.
+func (h *HPD) OnPath(x, u, v int) bool {
+	return h.IsAncestor(x, u) != h.IsAncestor(x, v)
+}
+
+// ForEachPathSegment calls fn with the inclusive position ranges [lo, hi]
+// that together cover exactly the edges of the u–v tree path (edge
+// {x, Parent[x]} at position Pos[x]). O(log n) ranges.
+func (h *HPD) ForEachPathSegment(u, v int, fn func(lo, hi int)) {
+	d := h.T.Depth
+	for h.Head[u] != h.Head[v] {
+		if d[h.Head[u]] < d[h.Head[v]] {
+			u, v = v, u
+		}
+		fn(h.Pos[h.Head[u]], h.Pos[u])
+		u = h.T.Parent[h.Head[u]]
+	}
+	if u != v {
+		if d[u] > d[v] {
+			u, v = v, u
+		}
+		// u is now the LCA; its own position carries the edge above the
+		// LCA, which is not on the path — start one past it.
+		fn(h.Pos[u]+1, h.Pos[v])
+	}
+}

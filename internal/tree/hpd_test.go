@@ -1,0 +1,105 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomRooted builds a random tree over n vertices: vertex v > 0 attaches
+// to a uniform earlier vertex. skew < 1 biases parents toward v-1, producing
+// path-like Θ(n)-height trees — the case HPD exists for.
+func randomRooted(t *testing.T, rng *rand.Rand, n int, skew float64) *Rooted {
+	t.Helper()
+	g := graph.New(n)
+	ids := make([]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		p := v - 1
+		if rng.Float64() < skew {
+			p = rng.Intn(v)
+		}
+		ids = append(ids, g.AddEdge(p, v, 1))
+	}
+	tr, err := FromEdges(g, ids, 0)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return tr
+}
+
+func TestHPDAgainstRooted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n    int
+		skew float64
+	}{
+		{2, 1}, {3, 1}, {17, 1}, {64, 0.5}, {200, 1},
+		{200, 0.05}, // essentially a path: height Θ(n)
+		{333, 0},    // exactly a path
+	} {
+		tr := randomRooted(t, rng, tc.n, tc.skew)
+		h := NewHPD(tr)
+
+		// Positions are a permutation with the root first, and each heavy
+		// path is contiguous: Pos[v] = Pos[Parent[v]]+1 whenever v continues
+		// its parent's path.
+		if h.Pos[tr.Root] != 0 {
+			t.Fatalf("n=%d: root at position %d", tc.n, h.Pos[tr.Root])
+		}
+		for v := 0; v < tc.n; v++ {
+			if h.VertexAt(h.Pos[v]) != v {
+				t.Fatalf("n=%d: order/Pos disagree at %d", tc.n, v)
+			}
+			if v != tr.Root && h.Head[v] != v && h.Pos[v] != h.Pos[tr.Parent[v]]+1 {
+				t.Fatalf("n=%d: heavy path not contiguous at %d", tc.n, v)
+			}
+		}
+
+		for trial := 0; trial < 300; trial++ {
+			u, v := rng.Intn(tc.n), rng.Intn(tc.n)
+			if got, want := h.LCA(u, v), tr.LCA(u, v); got != want {
+				t.Fatalf("n=%d: LCA(%d,%d) = %d, want %d", tc.n, u, v, got, want)
+			}
+			for x := 0; x < tc.n; x++ {
+				if got, want := h.IsAncestor(x, u), tr.IsAncestor(x, u); got != want {
+					t.Fatalf("n=%d: IsAncestor(%d,%d) = %v, want %v", tc.n, x, u, got, want)
+				}
+			}
+
+			// Segment union == PathEdges, and OnPath agrees edge by edge.
+			want := map[int]bool{}
+			for _, id := range tr.PathEdges(u, v) {
+				want[id] = true
+			}
+			got := map[int]bool{}
+			edges := 0
+			h.ForEachPathSegment(u, v, func(lo, hi int) {
+				if lo > hi {
+					t.Fatalf("n=%d: empty segment [%d,%d]", tc.n, lo, hi)
+				}
+				for p := lo; p <= hi; p++ {
+					x := h.VertexAt(p)
+					got[tr.ParentEdge[x]] = true
+					edges++
+				}
+			})
+			if edges != len(want) {
+				t.Fatalf("n=%d: path(%d,%d) segments cover %d edges, want %d", tc.n, u, v, edges, len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("n=%d: path(%d,%d) missing edge %d", tc.n, u, v, id)
+				}
+			}
+			for x := 0; x < tc.n; x++ {
+				if x == tr.Root {
+					continue
+				}
+				if on := h.OnPath(x, u, v); on != want[tr.ParentEdge[x]] {
+					t.Fatalf("n=%d: OnPath(%d,%d,%d) = %v, want %v", tc.n, x, u, v, on, !on)
+				}
+			}
+		}
+	}
+}
