@@ -23,9 +23,9 @@ import (
 // sampler ignores adds, so the hot path stays unconditional.
 type traceSampler struct {
 	mu      sync.Mutex
-	cap     int
-	entries []traceRef
-	dropped int
+	cap     int        // immutable after newTraceSampler
+	entries []traceRef // guarded by mu
+	dropped int        // guarded by mu
 }
 
 type traceRef struct{ addr, jobID string }

@@ -1,0 +1,15 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/alloccheck"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestHotPathContract pins the analyzer against the compiler's real escape
+// analysis: a clean //kecss:alloc-free function, a violating one, the
+// panic-path exemption, and both outcomes of a //kecss:noescape line.
+func TestHotPathContract(t *testing.T) {
+	analysistest.Run(t, "testdata/hotpath.txtar", alloccheck.Analyzer)
+}

@@ -1,0 +1,236 @@
+// Package analysistest runs kecss-vet analyzers against self-contained
+// fixture modules and checks their diagnostics against expectations written
+// in the fixture source. It mirrors the x/tools analysistest workflow —
+// txtar fixtures, `// want` comments — without the dependency, using the
+// same loader as cmd/kecss-vet, so a fixture exercises exactly the code
+// path a real run does (go list -export, go/types, and for alloccheck the
+// real `go tool compile -m`).
+//
+// # Fixtures
+//
+// A fixture is a txtar archive: a sequence of files introduced by
+// `-- name --` marker lines. Run extracts it into a fresh temporary
+// directory (synthesizing a `module fixture` go.mod when the archive has
+// none), loads `./...` there, applies the analyzers, and compares
+// diagnostics with expectations:
+//
+//	return e.job // want `read of e\.job after unlocking`
+//
+// A want comment carries one or more regexps, each quoted with `...` or
+// "..." (Go syntax). Every diagnostic reported on that line must be matched
+// by one of the line's regexps and every regexp must match a diagnostic:
+// unexpected findings and unfulfilled expectations both fail the test, so
+// fixtures pin both the positives and the negatives (a clean function with
+// no want comment asserts the analyzer stays quiet on it).
+//
+// Fixtures must import only the standard library: the harness runs where
+// the module cache has no third-party packages and the network is absent.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// File is one file of a txtar archive.
+type File struct {
+	Name string
+	Data []byte
+}
+
+var markerRE = regexp.MustCompile(`^-- (.+) --$`)
+
+// ParseTxtar splits a txtar archive into its files. Text before the first
+// `-- name --` marker is a comment and is discarded. The format guarantees
+// every file body ends with a newline (one is added if missing), matching
+// the reference implementation.
+func ParseTxtar(data []byte) []File {
+	var (
+		files []File
+		cur   *File
+	)
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		trimmed := strings.TrimRight(string(line), "\r\n")
+		if m := markerRE.FindStringSubmatch(trimmed); m != nil {
+			files = append(files, File{Name: strings.TrimSpace(m[1])})
+			cur = &files[len(files)-1]
+			continue
+		}
+		if cur != nil {
+			cur.Data = append(cur.Data, line...)
+		}
+	}
+	for i := range files {
+		if n := len(files[i].Data); n > 0 && files[i].Data[n-1] != '\n' {
+			files[i].Data = append(files[i].Data, '\n')
+		}
+	}
+	return files
+}
+
+// want is one expectation: a regexp at a (file, line), plus match state.
+type want struct {
+	file    string // slash-separated, fixture-relative
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run extracts the fixture at path into a temporary module, runs the
+// analyzers on it with the production loader, and reports any mismatch
+// between diagnostics and `// want` comments through t.
+func Run(t *testing.T, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	files := ParseTxtar(data)
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no files (missing `-- name --` markers?)", path)
+	}
+
+	dir := t.TempDir()
+	hasMod := false
+	for _, f := range files {
+		if f.Name == "go.mod" {
+			hasMod = true
+		}
+		dst := filepath.Join(dir, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatalf("extracting fixture: %v", err)
+		}
+		if err := os.WriteFile(dst, f.Data, 0o644); err != nil {
+			t.Fatalf("extracting fixture: %v", err)
+		}
+	}
+	if !hasMod {
+		mod := []byte("module fixture\n\ngo 1.24\n")
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), mod, 0o644); err != nil {
+			t.Fatalf("writing go.mod: %v", err)
+		}
+	}
+
+	wants, err := collectWants(files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", path, err)
+	}
+
+	prog, pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, errs := analysis.RunAnalyzers(prog, pkgs, analyzers)
+	for _, e := range errs {
+		t.Errorf("analyzer error: %v", e)
+	}
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.Position.Filename)
+		if err != nil {
+			rel = d.Position.Filename
+		}
+		rel = filepath.ToSlash(rel)
+		if !claim(wants, rel, d.Position.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", rel, d.Position.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on (file, line) whose regexp matches
+// msg, reporting whether one was found.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans the archive's .go files for `// want` comments.
+func collectWants(files []File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name, ".go") {
+			continue
+		}
+		for i, line := range strings.Split(string(f.Data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			patterns, err := parseWantPatterns(line[idx+len("// want "):])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", f.Name, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", f.Name, i+1, p, err)
+				}
+				wants = append(wants, &want{file: f.Name, line: i + 1, pattern: p, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns reads the space-separated Go-quoted regexps after
+// `// want `.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		var raw string
+		switch s[0] {
+		case '"':
+			i := 1
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			raw, s = s[:i+1], s[i+1:]
+		case '`':
+			i := strings.IndexByte(s[1:], '`')
+			if i < 0 {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			raw, s = s[:i+2], s[i+2:]
+		default:
+			return nil, fmt.Errorf("want comment must hold quoted regexps, got %q", s)
+		}
+		p, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad quoted regexp %s: %v", raw, err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package analysistest
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTxtar(t *testing.T) {
+	archive := "leading comment\nis discarded\n" +
+		"-- a/one.go --\npackage a\n" +
+		"-- b.txt --\nno trailing newline" // parser must add one
+	got := ParseTxtar([]byte(archive))
+	want := []File{
+		{Name: "a/one.go", Data: []byte("package a\n")},
+		{Name: "b.txt", Data: []byte("no trailing newline\n")},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d files, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || string(got[i].Data) != string(want[i].Data) {
+			t.Errorf("file %d: got %q %q, want %q %q", i, got[i].Name, got[i].Data, want[i].Name, want[i].Data)
+		}
+	}
+}
+
+func TestParseTxtarEmptyFile(t *testing.T) {
+	got := ParseTxtar([]byte("-- empty --\n-- next --\nx\n"))
+	if len(got) != 2 || got[0].Name != "empty" || len(got[0].Data) != 0 {
+		t.Fatalf("empty file mishandled: %+v", got)
+	}
+}
+
+func TestParseWantPatterns(t *testing.T) {
+	got, err := parseWantPatterns("`first re` \"second \\\"re\\\"\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"first re", `second "re"`}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	for _, bad := range []string{"", "unquoted", "`unterminated", `"unterminated`} {
+		if _, err := parseWantPatterns(bad); err == nil {
+			t.Errorf("parseWantPatterns(%q): expected error", bad)
+		}
+	}
+}
+
+func TestCollectWants(t *testing.T) {
+	files := []File{
+		{Name: "p/x.go", Data: []byte("package p\nvar x = 1 // want `one` `two`\n")},
+		{Name: "notes.txt", Data: []byte("// want `ignored outside go files`\n")},
+	}
+	wants, err := collectWants(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) != 2 {
+		t.Fatalf("got %d wants, want 2: %+v", len(wants), wants)
+	}
+	for i, pattern := range []string{"one", "two"} {
+		if wants[i].file != "p/x.go" || wants[i].line != 2 || wants[i].pattern != pattern {
+			t.Errorf("want %d: got %+v", i, wants[i])
+		}
+	}
+	if !claim(wants, "p/x.go", 2, "message two") {
+		t.Error("claim failed to match `two`")
+	}
+	if claim(wants, "p/x.go", 2, "message two") {
+		t.Error("claim matched the same want twice")
+	}
+}

@@ -1,0 +1,16 @@
+package arenacheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenacheck"
+)
+
+// TestOwnershipRules pins the analyzer on re-shared arenas (literal and
+// field stores), loaned buffers leaking out of owner types (directly and
+// through an alias), goroutine crossings, and the cases that must stay
+// quiet: owner types, fresh construction, and //kecss:arena-ok handoffs.
+func TestOwnershipRules(t *testing.T) {
+	analysistest.Run(t, "testdata/ownership.txtar", arenacheck.Analyzer)
+}

@@ -1,0 +1,331 @@
+// Package determcheck enforces the solver stack's determinism contract:
+// for a fixed (graph, options, seed), every solver path must produce
+// byte-identical output at any worker count, on any scheduler, on any run
+// — that is what makes wire.Digest a content address, result stores
+// idempotent, and the equivalence corpora meaningful.
+//
+// The analyzer applies only to packages that declare the contract with a
+// `//kecss:deterministic` directive above their package clause. In such
+// packages it flags the constructs that have actually produced (or nearly
+// produced) nondeterminism in this repo:
+//
+//   - range over a map, unless the loop body is a commutative fold
+//     (order-insensitive accumulation: +=, ^=, |=, &=, *=, ++/--, writes
+//     into other maps, delete, constant flag assignments) or the
+//     collect-then-sort idiom (the body only appends to one slice and the
+//     statement immediately after the loop sorts that slice). The PR-1
+//     Borůvka bug — EdgeIDs assembled in map-iteration order and returned
+//     — is exactly the non-fold, non-sorted case.
+//   - time.Now (and time.Since/time.Until), which smuggle wall-clock into
+//     solver output.
+//   - the global math/rand functions (rand.Intn, rand.Shuffle, ...): all
+//     solver randomness must flow from a seeded *rand.Rand or the repo's
+//     splitmix64 streams, derived from the task seed.
+//   - select statements with more than one communication case, whose
+//     choice among ready cases is randomized by the runtime.
+//
+// A construct that is nondeterministic by design (diagnostics, jitter
+// outside the digest path) is silenced with
+// `//kecss:nondeterministic-ok <justification>` on its line or the line
+// above.
+package determcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determcheck instance wired into kecss-vet.
+var Analyzer = &analysis.Analyzer{
+	Name: "determcheck",
+	Doc:  "flag map-iteration, wall-clock, global-rand and select nondeterminism in //kecss:deterministic packages",
+	Run:  run,
+}
+
+const (
+	pkgDirective = "deterministic"
+	okDirective  = "nondeterministic-ok"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackageHas(pass, pkgDirective) {
+		return nil, nil
+	}
+	dirs := analysis.CollectDirectives(pass)
+	c := &checker{pass: pass, dirs: dirs, sortedAfter: make(map[*ast.RangeStmt]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.markSortedAfter)
+		ast.Inspect(f, c.visit)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	dirs *analysis.Directives
+	// sortedAfter holds the map-range loops sanctioned by the
+	// collect-then-sort idiom.
+	sortedAfter map[*ast.RangeStmt]bool
+}
+
+// markSortedAfter scans statement lists for the collect-then-sort idiom: a
+// range loop whose body only appends to one slice, immediately followed by
+// a statement that sorts that slice. Iteration order cannot reach the
+// result, so such loops are deterministic even over maps.
+func (c *checker) markSortedAfter(n ast.Node) bool {
+	var list []ast.Stmt
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		list = n.List
+	case *ast.CaseClause:
+		list = n.Body
+	case *ast.CommClause:
+		list = n.Body
+	default:
+		return true
+	}
+	for i := 0; i+1 < len(list); i++ {
+		rng, ok := list[i].(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		if target := appendTarget(rng.Body.List); target != "" && sortsSlice(list[i+1], target) {
+			c.sortedAfter[rng] = true
+		}
+	}
+	return true
+}
+
+// appendTarget returns the printed form of the one slice the statements
+// append to, or "" if they do anything else. An if-without-else wrapper is
+// allowed (conditional collection stays order-free).
+func appendTarget(stmts []ast.Stmt) string {
+	target := ""
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return ""
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return ""
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || len(call.Args) < 2 {
+				return ""
+			}
+			lhs := types.ExprString(s.Lhs[0])
+			if len(call.Args) > 0 && types.ExprString(call.Args[0]) != lhs {
+				return ""
+			}
+			if target != "" && target != lhs {
+				return ""
+			}
+			target = lhs
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return ""
+			}
+			t := appendTarget(s.Body.List)
+			if t == "" || (target != "" && target != t) {
+				return ""
+			}
+			target = t
+		default:
+			return ""
+		}
+	}
+	return target
+}
+
+// sortsSlice reports whether s is a sort call whose subject is the named
+// slice: sort.Ints/Strings/Float64s/Slice/SliceStable/Sort(target, ...) or
+// slices.Sort*/SortFunc(target, ...).
+func sortsSlice(s ast.Stmt, target string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+		return false
+	}
+	if !strings.HasPrefix(sel.Sel.Name, "Sort") &&
+		!strings.HasPrefix(sel.Sel.Name, "Ints") &&
+		!strings.HasPrefix(sel.Sel.Name, "Strings") &&
+		!strings.HasPrefix(sel.Sel.Name, "Float64s") &&
+		!strings.HasPrefix(sel.Sel.Name, "Slice") {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == target
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		c.checkRange(n)
+	case *ast.CallExpr:
+		c.checkCall(n)
+	case *ast.SelectStmt:
+		c.checkSelect(n)
+	}
+	return true
+}
+
+func (c *checker) ok(pos token.Pos) bool { return c.dirs.HasAt(pos, okDirective) }
+
+// checkRange flags `range m` over a map unless the body is a commutative
+// fold, so iteration order cannot reach the result.
+func (c *checker) checkRange(n *ast.RangeStmt) {
+	t := c.pass.TypesInfo.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if c.ok(n.Pos()) {
+		return
+	}
+	if c.sortedAfter[n] || commutativeFold(n.Body.List) {
+		return
+	}
+	c.pass.Reportf(n.Pos(), "range over map %s in a deterministic package: iteration order is random; iterate sorted keys, restructure as a commutative fold, or annotate //kecss:nondeterministic-ok with a justification", types.ExprString(n.X))
+}
+
+// commutativeFold reports whether every statement of a loop body is an
+// order-insensitive accumulation, so running the iterations in any order
+// produces the same final state.
+func commutativeFold(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !commutativeStmt(s) {
+			return false
+		}
+	}
+	return len(stmts) > 0
+}
+
+func commutativeStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.XOR_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.MUL_ASSIGN:
+			return true
+		case token.ASSIGN:
+			// m[k] = v is commutative when distinct iterations write
+			// distinct keys; the common shape here is indexing by the
+			// range key, which is unique per iteration. A constant flag
+			// assignment (done = false) lands on the same value whichever
+			// iteration runs last. Other writes to plain variables are
+			// order-sensitive (last writer wins).
+			for i, lhs := range s.Lhs {
+				if _, ok := lhs.(*ast.IndexExpr); ok {
+					continue
+				}
+				if _, ok := lhs.(*ast.Ident); ok && len(s.Lhs) == len(s.Rhs) && isConstLit(s.Rhs[i]) {
+					continue
+				}
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		// Conditional accumulation stays commutative only if every branch
+		// is; a guarded `best = x` min/max fold is NOT (ties break by
+		// order) unless the condition is strict on the folded value —
+		// being strict is beyond syntax, so require annotations there.
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		return commutativeFold(s.Body.List)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// isConstLit reports whether e is a literal constant (true/false/nil, a
+// basic literal, or their negation).
+func isConstLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	case *ast.UnaryExpr:
+		return isConstLit(e.X)
+	}
+	return false
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			if !c.ok(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "time.%s in a deterministic package: wall-clock readings are nondeterministic; thread times through options, or annotate //kecss:nondeterministic-ok with a justification", sel.Sel.Name)
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		if !c.ok(call.Pos()) {
+			c.pass.Reportf(call.Pos(), "global %s.%s in a deterministic package: the process-wide source is not seed-derived; use a *rand.Rand (or splitmix64 stream) derived from the task seed, or annotate //kecss:nondeterministic-ok", pkgName.Imported().Path(), sel.Sel.Name)
+		}
+	}
+}
+
+// checkSelect flags selects that choose among multiple ready cases.
+func (c *checker) checkSelect(n *ast.SelectStmt) {
+	comms := 0
+	for _, cl := range n.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms < 2 {
+		return
+	}
+	if c.ok(n.Pos()) {
+		return
+	}
+	c.pass.Reportf(n.Pos(), "select with %d communication cases in a deterministic package: the runtime picks among ready cases pseudo-randomly; sequence the channels explicitly or annotate //kecss:nondeterministic-ok with a justification", comms)
+}

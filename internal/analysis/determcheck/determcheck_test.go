@@ -1,0 +1,16 @@
+package determcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determcheck"
+)
+
+// TestBoruvkaMapOrder pins the analyzer on the distilled PR-1 Borůvka
+// map-iteration-order bug, the sanctioned collect-then-sort and
+// commutative-fold idioms, wall-clock and global-rand reads, and the
+// //kecss:nondeterministic-ok escape.
+func TestBoruvkaMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/boruvka.txtar", determcheck.Analyzer)
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces kecss-vet directive comments. Like `//go:`
+// directives they are written with no space after `//`.
+const DirectivePrefix = "//kecss:"
+
+// Directives indexes the `//kecss:` directive comments of one package by
+// file and line, so analyzers can answer "is this line annotated?" and
+// "does this declaration carry directive X?".
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps filename → line → directive names on that line.
+	byLine map[string]map[int][]string
+}
+
+// CollectDirectives scans every comment of the pass's files.
+func CollectDirectives(pass *Pass) *Directives {
+	d := &Directives{fset: pass.Fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective extracts the directive name from a `//kecss:name ...`
+// comment (the remainder is the human justification; it is required by
+// convention but not parsed).
+func parseDirective(text string) (string, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// at reports whether the given file line carries the named directive.
+func (d *Directives) at(filename string, line int, name string) bool {
+	for _, got := range d.byLine[filename][line] {
+		if got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Lines returns every (filename, line) on which the named directive
+// appears.
+func (d *Directives) Lines(name string) map[string][]int {
+	out := make(map[string][]int)
+	for file, lines := range d.byLine {
+		for line, names := range lines {
+			for _, got := range names {
+				if got == name {
+					out[file] = append(out[file], line)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasAt reports whether the named directive annotates pos: on the same
+// line (a trailing comment) or on the line directly above it.
+func (d *Directives) HasAt(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	return d.at(p.Filename, p.Line, name) || d.at(p.Filename, p.Line-1, name)
+}
+
+// FuncHas reports whether a function declaration carries the directive in
+// its doc comment or on the lines directly above its first line.
+func (d *Directives) FuncHas(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if got, ok := parseDirective(c.Text); ok && got == name {
+				return true
+			}
+		}
+	}
+	return d.HasAt(fn.Pos(), name)
+}
+
+// GenDeclHas reports whether a declaration (or its enclosing GenDecl)
+// carries the directive in a doc comment or directly above it.
+func (d *Directives) GenDeclHas(doc *ast.CommentGroup, pos token.Pos, name string) bool {
+	if doc != nil {
+		for _, c := range doc.List {
+			if got, ok := parseDirective(c.Text); ok && got == name {
+				return true
+			}
+		}
+	}
+	return d.HasAt(pos, name)
+}
+
+// PackageHas reports whether any file of the pass declares the package-
+// level directive: in the package doc comment or anywhere above the
+// package clause.
+func PackageHas(pass *Pass, name string) bool {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			if cg.End() > f.Package {
+				continue // only comments above the package clause count
+			}
+			for _, c := range cg.List {
+				if got, ok := parseDirective(c.Text); ok && got == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// PackageMeta is the slice of a `go list -json` record the driver needs.
+type PackageMeta struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string // absolute paths
+	Imports    []string
+	Export     string // export-data file (built by go list -export)
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Package is one target package: its metadata, parsed files, and
+// type-check results.
+type Package struct {
+	Meta      *PackageMeta
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is a loaded set of target packages plus the export-data index of
+// everything they (transitively) import.
+type Program struct {
+	Fset *token.FileSet
+	// Dir is the directory Load ran in (module root for relative patterns).
+	Dir string
+	// export maps import path → export-data file for every dependency.
+	export map[string]string
+	// GoTool is the `go` binary used for loading (re-used by alloccheck).
+	GoTool string
+}
+
+// ExportFile returns the export-data file for an import path ("" when
+// unknown — e.g. "unsafe", which has none).
+func (p *Program) ExportFile(path string) string { return p.export[path] }
+
+// ExportedDeps returns every (importPath, exportFile) pair the program
+// knows, for building compiler importcfg files.
+func (p *Program) ExportedDeps() map[string]string { return p.export }
+
+// Load runs `go list -deps -export -json` on the patterns in dir, parses
+// and type-checks every matched (non-dependency-only) package of the main
+// module, and returns the program. Dependencies — the standard library and
+// in-module packages alike — are consumed as compiled export data, so each
+// target package type-checks independently; the underlying build is cached
+// by the go build cache.
+func Load(dir string, patterns ...string) (*Program, []*Package, error) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: cannot find the go tool: %w", err)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=Dir,ImportPath,Name,GoFiles,Imports,Export,Standard,DepOnly,Module,Error", "--"}, patterns...)
+	cmd := exec.Command(goTool, args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Dir:    dir,
+		export: make(map[string]string),
+		GoTool: goTool,
+	}
+	var metas []*PackageMeta
+	dec := json.NewDecoder(&stdout)
+	for {
+		m := new(PackageMeta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if m.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if m.Export != "" {
+			prog.export[m.ImportPath] = m.Export
+		}
+		metas = append(metas, m)
+	}
+
+	imp := importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file := prog.export[path]
+		if file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.DepOnly || m.Standard {
+			continue
+		}
+		pkg, err := typeCheck(prog, imp, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return prog, pkgs, nil
+}
+
+// typeCheck parses and type-checks one package against export data.
+func typeCheck(prog *Program, imp types.Importer, m *PackageMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(m.Dir, name)
+		}
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	goVersion := ""
+	if m.Module != nil && m.Module.GoVersion != "" {
+		goVersion = "go" + m.Module.GoVersion
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(m.ImportPath, prog.Fset, files, info)
+	if len(typeErrs) > 0 {
+		var sb strings.Builder
+		for i, e := range typeErrs {
+			if i > 0 {
+				sb.WriteString("\n")
+			}
+			sb.WriteString(e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:\n%s", m.ImportPath, sb.String())
+	}
+	return &Package{Meta: m, Files: files, Types: tpkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,654 @@
+// Package lockcheck reports reads and writes of mutex-guarded struct
+// fields outside a critical section of their mutex.
+//
+// The guard map comes from the repo's existing comment convention: a
+// struct field whose declaration comment says `guarded by mu` is protected
+// by the sibling field `mu` (a sync.Mutex or sync.RWMutex); `guarded by
+// Queue.mu` names a mutex living in another struct of the same package
+// (for satellite structs like queue.entry, whose instances are owned by a
+// Queue).
+//
+// The checker is deliberately intra-procedural and precise about the bug
+// class that has actually bitten this repo twice (the PR-7 Claim shutdown
+// race and the PR-8 Claim/reaper race): within a function that locks and
+// unlocks a guard, an access to a guarded field while the guard is not
+// held — most often a read of a captured pointer *after* mu.Unlock(), when
+// the reaper or a concurrent claimer may already be mutating the entry.
+// Functions that never touch the guard (constructors, `...Locked` helpers
+// whose caller holds the lock) are skipped: whole-program lock inference
+// is out of scope, the runtime -race matrix covers it statistically, and
+// skipping keeps the checker's findings precise enough to block CI on.
+//
+// With an RWMutex, RLock admits reads of guarded fields but not writes.
+//
+// A finding is suppressed by `//kecss:lockcheck-ok <justification>` on the
+// access's line or the line above — for accesses that are safe by
+// ownership transfer rather than by holding the lock.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockcheck instance wired into kecss-vet.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "report accesses to `guarded by mu` struct fields outside the mutex's critical section",
+	Run:  run,
+}
+
+// okDirective suppresses a finding on its line.
+const okDirective = "lockcheck-ok"
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)(?:\.([A-Za-z_][A-Za-z0-9_]*))?`)
+
+// guardKey identifies a mutex as (struct type, field name): any value of
+// that struct type locking that field counts as the same critical section.
+// This collapses distinct instances of one type into one lock identity,
+// which is the right granularity for the intra-procedural check: the base
+// expressions in one function overwhelmingly refer to one instance.
+type guardKey struct {
+	recv  *types.Named
+	field string
+}
+
+func (k guardKey) String() string { return k.recv.Obj().Name() + "." + k.field }
+
+// lockState is the checker's per-guard abstract state.
+type lockState int
+
+const (
+	stUnlocked lockState = iota
+	stRLocked
+	stLocked
+	stUnknown // conflicting paths; no reports
+)
+
+func join(a, b lockState) lockState {
+	if a == b {
+		return a
+	}
+	return stUnknown
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := analysis.CollectDirectives(pass)
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	c := &checker{pass: pass, dirs: dirs, guards: guards}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards builds the field→mutex map from `guarded by` comments and
+// validates each annotation (the named mutex must exist and be a
+// sync.Mutex/RWMutex, reported otherwise so a typo cannot silently disable
+// the check).
+func collectGuards(pass *analysis.Pass) map[*types.Var]guardKey {
+	guards := make(map[*types.Var]guardKey)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			def := pass.TypesInfo.Defs[ts.Name]
+			if def == nil {
+				return true
+			}
+			named, ok := def.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := commentText(field)
+				m := guardRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				key, err := resolveGuard(pass, named, m[1], m[2])
+				if err != nil {
+					pass.Reportf(field.Pos(), "bad `guarded by` annotation: %v", err)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = key
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func commentText(field *ast.Field) string {
+	var sb strings.Builder
+	if field.Doc != nil {
+		sb.WriteString(field.Doc.Text())
+		sb.WriteString(" ")
+	}
+	if field.Comment != nil {
+		sb.WriteString(field.Comment.Text())
+	}
+	return sb.String()
+}
+
+// resolveGuard maps a `guarded by X` / `guarded by T.X` comment to its
+// guard key. The bare form names a mutex field of the annotated struct
+// itself; the qualified form names a struct type of the same package.
+func resolveGuard(pass *analysis.Pass, owner *types.Named, a, b string) (guardKey, error) {
+	holder, mutex := owner, a
+	if b != "" {
+		obj := pass.Pkg.Scope().Lookup(a)
+		if obj == nil {
+			return guardKey{}, fmt.Errorf("no type %q in package %s", a, pass.Pkg.Name())
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return guardKey{}, fmt.Errorf("%q is not a named type", a)
+		}
+		holder, mutex = named, b
+	}
+	st, ok := holder.Underlying().(*types.Struct)
+	if !ok {
+		return guardKey{}, fmt.Errorf("%s is not a struct", holder.Obj().Name())
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != mutex {
+			continue
+		}
+		if !isMutexType(f.Type()) {
+			return guardKey{}, fmt.Errorf("%s.%s is not a sync.Mutex or sync.RWMutex", holder.Obj().Name(), mutex)
+		}
+		return guardKey{recv: holder, field: mutex}, nil
+	}
+	return guardKey{}, fmt.Errorf("struct %s has no field %q", holder.Obj().Name(), mutex)
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	dirs   *analysis.Directives
+	guards map[*types.Var]guardKey
+
+	// Per-function state:
+	used     map[guardKey]bool // guards this function locks or unlocks
+	silent   bool              // true during the loop-body pre-simulation
+	reported map[token.Pos]bool
+}
+
+// checkFunc analyzes one function (or function literal) body in isolation.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	saveUsed, saveSilent, saveReported := c.used, c.silent, c.reported
+	defer func() { c.used, c.silent, c.reported = saveUsed, saveSilent, saveReported }()
+
+	c.used = make(map[guardKey]bool)
+	c.silent = false
+	c.reported = make(map[token.Pos]bool)
+	c.scanLockOps(body)
+	if len(c.used) == 0 {
+		return
+	}
+	st := make(map[guardKey]*stateEntry)
+	for k := range c.used {
+		st[k] = &stateEntry{state: stUnlocked}
+	}
+	c.walkStmts(body.List, st)
+}
+
+// stateEntry is the abstract state of one guard plus how it got there —
+// `afterUnlock` distinguishes "after mu.Unlock()" (the PR-7/PR-8 race
+// shape) from "before ever locking" in the diagnostic.
+type stateEntry struct {
+	state       lockState
+	afterUnlock bool
+}
+
+func cloneState(st map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	out := make(map[guardKey]*stateEntry, len(st))
+	for k, v := range st {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+func joinState(a, b map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	out := make(map[guardKey]*stateEntry, len(a))
+	for k, av := range a {
+		bv := b[k]
+		out[k] = &stateEntry{state: join(av.state, bv.state), afterUnlock: av.afterUnlock || bv.afterUnlock}
+	}
+	return out
+}
+
+// scanLockOps records which guards the function manipulates directly —
+// the opt-in that keeps caller-holds-the-lock helpers out of scope. Nested
+// function literals are their own functions and do not opt the outer one in.
+func (c *checker) scanLockOps(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, _, ok := c.lockOp(call); ok {
+				c.used[key] = true
+			}
+		}
+		return true
+	})
+}
+
+// lockOp matches `<expr>.<mutexfield>.Lock/RLock/Unlock/RUnlock()` calls
+// and returns the guard key plus the operation name.
+func (c *checker) lockOp(call *ast.CallExpr) (guardKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return guardKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return guardKey{}, "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return guardKey{}, "", false
+	}
+	if !isMutexType(c.pass.TypesInfo.TypeOf(inner)) {
+		return guardKey{}, "", false
+	}
+	base := c.pass.TypesInfo.TypeOf(inner.X)
+	if base == nil {
+		return guardKey{}, "", false
+	}
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return guardKey{}, "", false
+	}
+	return guardKey{recv: named, field: inner.Sel.Name}, op, true
+}
+
+// walkStmts simulates a statement list, reporting guarded accesses made
+// while their guard is not held. It returns the exit state.
+func (c *checker) walkStmts(stmts []ast.Stmt, st map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	for _, s := range stmts {
+		st = c.walkStmt(s, st)
+	}
+	return st
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st, false)
+		c.applyLockOps(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, st, false)
+			c.applyLockOps(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			c.checkLHS(lhs, st)
+		}
+	case *ast.IncDecStmt:
+		c.checkLHS(s.X, st)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the lock stays held for the
+		// rest of the simulated body. Any other deferred call is checked as
+		// an opaque expression (its own FuncLit body is analyzed separately).
+		if _, _, ok := c.lockOp(s.Call); ok {
+			return st
+		}
+		c.checkExpr(s.Call, st, false)
+	case *ast.GoStmt:
+		c.checkExprFuncLitsOnly(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, st, false)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st, false)
+		thenSt := c.walkStmts(s.Body.List, cloneState(st))
+		var elseSt map[guardKey]*stateEntry
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt = c.walkStmts(e.List, cloneState(st))
+		case *ast.IfStmt:
+			elseSt = c.walkStmt(e, cloneState(st))
+		default:
+			elseSt = st
+		}
+		switch {
+		case terminates(s.Body):
+			return elseSt
+		case s.Else != nil && stmtTerminates(s.Else):
+			return thenSt
+		default:
+			return joinState(thenSt, elseSt)
+		}
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st, false)
+		}
+		// Two-pass loop body: a silent pass estimates the loop-carried exit
+		// state, then the reporting pass runs from the join of entry and
+		// back-edge states — so a body that leaves the lock in a different
+		// state than it entered is analyzed as Unknown, not half-right.
+		exit := c.silently(func() map[guardKey]*stateEntry {
+			bst := c.walkStmts(s.Body.List, cloneState(st))
+			if s.Post != nil {
+				bst = c.walkStmt(s.Post, bst)
+			}
+			return bst
+		})
+		entry := joinState(st, exit)
+		bst := c.walkStmts(s.Body.List, cloneState(entry))
+		if s.Post != nil {
+			bst = c.walkStmt(s.Post, bst)
+		}
+		return joinState(st, bst)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st, false)
+		exit := c.silently(func() map[guardKey]*stateEntry {
+			return c.walkStmts(s.Body.List, cloneState(st))
+		})
+		entry := joinState(st, exit)
+		if s.Key != nil {
+			c.checkLHS(s.Key, entry)
+		}
+		if s.Value != nil {
+			c.checkLHS(s.Value, entry)
+		}
+		bst := c.walkStmts(s.Body.List, cloneState(entry))
+		return joinState(st, bst)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st, false)
+		}
+		return c.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		c.walkStmt(s.Assign, cloneState(st))
+		return c.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		return c.walkCases(s.Body, st)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, st, false)
+		c.checkExpr(s.Value, st, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, st, false)
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// walkCases joins the exits of every case clause (plus fallthrough of the
+// pre-switch state, since no case may match).
+func (c *checker) walkCases(body *ast.BlockStmt, st map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	out := cloneState(st)
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkExpr(e, st, false)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, cloneState(st))
+			}
+			stmts = cl.Body
+		}
+		caseSt := c.walkStmts(stmts, cloneState(st))
+		if !stmtsTerminate(stmts) {
+			out = joinState(out, caseSt)
+		}
+	}
+	return out
+}
+
+func (c *checker) silently(fn func() map[guardKey]*stateEntry) map[guardKey]*stateEntry {
+	save := c.silent
+	c.silent = true
+	defer func() { c.silent = save }()
+	return fn()
+}
+
+// applyLockOps updates the state for every lock operation in an expression
+// (in practice: the single call of an ExprStmt).
+func (c *checker) applyLockOps(e ast.Expr, st map[guardKey]*stateEntry) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, op, ok := c.lockOp(call)
+	if !ok {
+		return
+	}
+	entry, tracked := st[key]
+	if !tracked {
+		return
+	}
+	switch op {
+	case "Lock":
+		entry.state = stLocked
+		entry.afterUnlock = false
+	case "RLock":
+		entry.state = stRLocked
+		entry.afterUnlock = false
+	case "Unlock", "RUnlock":
+		entry.state = stUnlocked
+		entry.afterUnlock = true
+	default: // TryLock/TryRLock: held only on one branch
+		entry.state = stUnknown
+	}
+}
+
+// checkLHS checks an assignment target: the stored-to field is a write,
+// any guarded fields on the path to it (e.g. the map in m[k] = v) too.
+func (c *checker) checkLHS(e ast.Expr, st map[guardKey]*stateEntry) {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		c.checkExpr(e.Index, st, false)
+		c.checkLHS(e.X, st) // writing through an index mutates the container
+	case *ast.StarExpr:
+		c.checkExpr(e.X, st, false)
+	case *ast.SelectorExpr:
+		c.checkAccess(e, st, true)
+		c.checkExpr(e.X, st, false)
+	default:
+		c.checkExpr(e, st, false)
+	}
+}
+
+// checkExpr walks an expression tree reporting guarded accesses; write
+// applies to the outermost selector only (via checkLHS).
+func (c *checker) checkExpr(e ast.Expr, st map[guardKey]*stateEntry, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkFunc(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Taking a guarded field's address lets it escape the
+				// critical section; treat as a write.
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					c.checkAccess(sel, st, true)
+					c.checkExpr(sel.X, st, false)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			c.checkAccess(n, st, write)
+		}
+		return true
+	})
+}
+
+// checkExprFuncLitsOnly analyzes function literals inside a go statement
+// as their own functions; the spawned call's own arguments are evaluated
+// at spawn time under the current state, but flagging them adds noise for
+// little value, so only literals are descended into.
+func (c *checker) checkExprFuncLitsOnly(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded-field access whose guard is not held.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, st map[guardKey]*stateEntry, write bool) {
+	selection := c.pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	key, guarded := c.guards[v]
+	if !guarded {
+		return
+	}
+	entry, tracked := st[key]
+	if !tracked {
+		return // this function never touches the guard: out of scope
+	}
+	ok = entry.state == stLocked || entry.state == stUnknown ||
+		(entry.state == stRLocked && !write)
+	if ok {
+		return
+	}
+	if c.silent || c.reported[sel.Pos()] {
+		return
+	}
+	if c.dirs.HasAt(sel.Pos(), okDirective) {
+		return
+	}
+	c.reported[sel.Pos()] = true
+	kind := "read of"
+	if write {
+		kind = "write to"
+	}
+	expr := types.ExprString(sel)
+	if entry.state == stRLocked {
+		c.pass.Reportf(sel.Pos(), "%s %s while holding only %s.RLock (field guarded by %s)", kind, expr, key, key)
+		return
+	}
+	how := "without holding"
+	if entry.afterUnlock {
+		how = "after unlocking"
+	}
+	c.pass.Reportf(sel.Pos(), "%s %s %s %s (field guarded by %s)", kind, expr, how, key, key)
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic-like call, continue, break, goto).
+func terminates(b *ast.BlockStmt) bool { return stmtsTerminate(b.List) }
+
+func stmtsTerminate(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				// os.Exit, log.Fatal*, t.Fatal* and friends.
+				name := sel.Sel.Name
+				if name == "Exit" || strings.HasPrefix(name, "Fatal") {
+					return true
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+// TestQueueClaimRace pins the analyzer on the distilled PR-8 Queue.Claim
+// read-after-Unlock race (and its fixed form, which must stay quiet).
+func TestQueueClaimRace(t *testing.T) {
+	analysistest.Run(t, "testdata/queue.txtar", lockcheck.Analyzer)
+}

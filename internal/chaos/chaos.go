@@ -99,8 +99,8 @@ type fault struct {
 // is inert; all methods are nil-safe.
 type Injector struct {
 	mu     sync.Mutex
-	counts map[Point]uint64
-	plan   map[Point]*fault
+	counts map[Point]uint64 // guarded by mu
+	plan   map[Point]*fault // guarded by mu
 	// exit is os.Exit, swappable for the injector's own tests.
 	exit func(int)
 	// sleep is time.Sleep, swappable for tests.

@@ -20,6 +20,8 @@ package congest
 // The round stamp is carried across networks (see sentStamp in the package
 // documentation): recycled stamp buffers never need re-zeroing because a new
 // network's starting stamp is strictly greater than every stale stamp.
+//
+//kecss:arena
 type NetworkArena struct {
 	slots      []Message
 	inboxArena []Message

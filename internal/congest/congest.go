@@ -47,6 +47,8 @@
 // three produce byte-identical results and Metrics because programs touch
 // only per-node state and delivery order is fixed by the network, not the
 // executor.
+//
+//kecss:deterministic
 package congest
 
 import "fmt"
@@ -107,6 +109,8 @@ func (c *Context) Neighbors() []Neighbor { return c.neighbors }
 // not incident to this node or if a second message is sent on the same edge
 // in the same round — both violate the CONGEST model and indicate a bug in
 // the algorithm, not a runtime condition.
+//
+//kecss:alloc-free
 func (c *Context) Send(edge int, p Payload) {
 	net := c.net
 	if edge < 0 || edge >= net.g.M() {
@@ -128,6 +132,8 @@ func (c *Context) Send(edge int, p Payload) {
 
 // sendPort performs the actual send on a resolved port: stamps it, writes
 // the message into its slot and records the slot in send order.
+//
+//kecss:alloc-free
 func (c *Context) sendPort(port int32, to, edge int, p Payload) {
 	net := c.net
 	if c.sentStamp[port] == net.stamp {

@@ -16,7 +16,11 @@ type Metrics struct {
 
 // Network is one instantiation of the CONGEST model over a communication
 // graph, with one Program per vertex. See the package documentation for the
-// buffer layout.
+// buffer layout. A Network is the borrower of its arena: it marks the arena
+// busy in attachBuffers and returns the buffers in Release, so its lifetime
+// is exactly one loan.
+//
+//kecss:arena-owner
 type Network struct {
 	g        *graph.Graph
 	exec     Executor
@@ -50,7 +54,10 @@ type Network struct {
 	released bool          // arena buffers returned; stepping is an error
 }
 
-// config collects option state before buffers are allocated.
+// config collects option state before buffers are allocated; it exists only
+// inside NewNetwork, before the arena loan is even taken.
+//
+//kecss:arena-owner
 type config struct {
 	exec  Executor
 	arena *NetworkArena
@@ -198,6 +205,8 @@ func (n *Network) buildTopology() {
 // sender-ID then send order (the order a sequential scan of per-node out
 // queues would produce), and advances the round stamp, which clears all
 // per-port send state in O(1).
+//
+//kecss:alloc-free
 func (n *Network) deliver() {
 	for v := range n.inboxes {
 		n.inboxes[v] = n.inboxes[v][:0]
@@ -226,6 +235,8 @@ func (n *Network) deliver() {
 
 // Step executes one synchronous round. It returns true if the network has
 // quiesced: every node reported done and no messages are in flight.
+//
+//kecss:alloc-free
 func (n *Network) Step() bool {
 	if n.released {
 		panic("congest: Step on a network whose arena buffers were released (Run already finished)")

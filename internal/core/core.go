@@ -70,4 +70,6 @@
 // H ∪ A shows at least a 2x height reduction, the engine is rebuilt on the
 // current selection, charging the measured rebuild rounds and emitting a
 // "rebalance" PhaseEvent.
+//
+//kecss:deterministic
 package core

@@ -130,6 +130,8 @@ type ksStats struct {
 // recycled through arenaPool; prepare resets them for a new graph. An arena
 // is single-goroutine state: the parallel driver hands each arena to one
 // worker at a time.
+//
+//kecss:arena
 type cutArena struct {
 	n        int
 	levels   []ksLevel

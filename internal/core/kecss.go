@@ -12,6 +12,10 @@ import (
 )
 
 // KECSSOptions configures the weighted k-ECSS solver (§4, Theorem 1.2).
+// The option value (and the arena it may carry) lives for one Solve call
+// on the caller's goroutine.
+//
+//kecss:arena-owner
 type KECSSOptions struct {
 	// Rng drives all randomness. Required.
 	Rng *rand.Rand

@@ -59,7 +59,7 @@ func (o PhaseObserver) phaseStart() time.Time {
 	if o == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return time.Now() //kecss:nondeterministic-ok phase timings feed observer telemetry only, never solver output
 }
 
 // emit delivers the event, filling Duration from Start. No-op when nil.
@@ -67,6 +67,6 @@ func (o PhaseObserver) emit(ev PhaseEvent) {
 	if o == nil {
 		return
 	}
-	ev.Duration = time.Since(ev.Start)
+	ev.Duration = time.Since(ev.Start) //kecss:nondeterministic-ok durations feed observer telemetry only, never solver output
 	o(ev)
 }

@@ -14,6 +14,10 @@ import (
 )
 
 // ThreeECSSOptions configures the unweighted 3-ECSS solver (§5, Theorem 1.3).
+// The option value (and the arenas it may carry) lives for one Solve call
+// on the caller's goroutine.
+//
+//kecss:arena-owner
 type ThreeECSSOptions struct {
 	// Rng drives label sampling and candidate activation. Required.
 	Rng *rand.Rand

@@ -14,6 +14,10 @@ import (
 )
 
 // TwoECSSOptions configures the weighted 2-ECSS solver (§3, Theorem 1.1).
+// The option value (and the arena it may carry) lives for one Solve call
+// on the caller's goroutine.
+//
+//kecss:arena-owner
 type TwoECSSOptions struct {
 	// Rng drives the TAP voting. Required.
 	Rng *rand.Rand

@@ -26,11 +26,14 @@
 //     stay O(height) and O(1). See incremental.go for the engine's contract
 //     (what the counts cover, the from-scratch reference scan, and the
 //     Arena ownership rules).
+//
+//kecss:deterministic
 package cycles
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -68,13 +71,24 @@ const (
 	kindXORUp
 )
 
+// ownedLabel is one (edge, label) announcement a label program makes in
+// round 1.
+type ownedLabel struct {
+	edge  int
+	label uint64
+}
+
 // labelProgram performs the distributed label computation of Lemma 5.5:
 // round 1 exchanges the assigned non-tree labels across their edges; then a
 // leaf-to-root convergecast computes φ({v,p(v)}) as the XOR of φ(f) for all
 // f ∈ δ(v) \ {v,p(v)}.
 type labelProgram struct {
-	tr        *tree.Rooted
-	nonTree   map[int]uint64 // labels this node announces (it is the owner endpoint)
+	tr *tree.Rooted
+	// nonTree holds the labels this node announces (it is the owner
+	// endpoint), in the caller's owned-edge order: round-1 sends must not
+	// depend on map iteration order, because inbox delivery preserves each
+	// sender's send order.
+	nonTree   []ownedLabel
 	collected map[int]uint64 // all incident non-tree labels, learned round 1
 	pending   int            // children not yet reported
 	shared    bool
@@ -86,9 +100,9 @@ type labelProgram struct {
 func (p *labelProgram) Init(ctx *congest.Context) {
 	p.collected = make(map[int]uint64, len(ctx.Neighbors()))
 	p.pending = len(p.tr.Children(ctx.Node()))
-	for e, l := range p.nonTree {
-		p.collected[e] = l
-		ctx.Send(e, congest.Payload{Kind: kindShareLabel, A: int64(l)})
+	for _, el := range p.nonTree {
+		p.collected[el.edge] = el.label
+		ctx.Send(el.edge, congest.Payload{Kind: kindShareLabel, A: int64(el.label)})
 	}
 	p.shared = true
 }
@@ -128,11 +142,11 @@ func (p *labelProgram) Round(ctx *congest.Context, inbox []congest.Message) bool
 func runLabelScan(host *graph.Graph, tr *tree.Rooted, owned [][]int, labelOf func(edgeID int) uint64, opts []congest.Option) ([]*labelProgram, congest.Metrics, error) {
 	progs := make([]*labelProgram, host.N())
 	net := congest.NewNetwork(host, func(v int) congest.Program {
-		var nt map[int]uint64
+		var nt []ownedLabel
 		if len(owned[v]) > 0 {
-			nt = make(map[int]uint64, len(owned[v]))
+			nt = make([]ownedLabel, 0, len(owned[v]))
 			for _, e := range owned[v] {
-				nt[e] = labelOf(e)
+				nt = append(nt, ownedLabel{edge: e, label: labelOf(e)})
 			}
 		}
 		p := &labelProgram{tr: tr, nonTree: nt}
@@ -213,23 +227,35 @@ func (l *Labeling) NPhi() map[uint64]int {
 }
 
 // CutPairs returns every unordered pair of edges with equal labels — by
-// Property 5.1 exactly the cut pairs, w.h.p. in the label width.
+// Property 5.1 exactly the cut pairs, w.h.p. in the label width. The order
+// is a pure function of the labeling (groups by label value, ascending edge
+// IDs within a group), never of map iteration.
 func (l *Labeling) CutPairs() []graph.CutPair {
-	byLabel := make(map[uint64][]int)
-	for id, lab := range l.Phi {
-		byLabel[lab] = append(byLabel[lab], id)
+	ids := make([]int, 0, len(l.Phi))
+	for id := 0; id < l.G.M(); id++ {
+		if _, ok := l.Phi[id]; ok {
+			ids = append(ids, id)
+		}
 	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if l.Phi[a] != l.Phi[b] {
+			return l.Phi[a] < l.Phi[b]
+		}
+		return a < b
+	})
 	var out []graph.CutPair
-	for _, ids := range byLabel {
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := ids[i], ids[j]
-				if a > b {
-					a, b = b, a
-				}
-				out = append(out, graph.CutPair{A: a, B: b})
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && l.Phi[ids[j]] == l.Phi[ids[i]] {
+			j++
+		}
+		for x := i; x < j; x++ {
+			for y := x + 1; y < j; y++ {
+				out = append(out, graph.CutPair{A: ids[x], B: ids[y]})
 			}
 		}
+		i = j
 	}
 	return out
 }

@@ -25,6 +25,8 @@ import (
 //     (the next NewIncremental on the arena will overwrite them).
 //   - An arena is not safe for concurrent use. Use one arena per goroutine
 //     (pool workers each own one, next to their simulation arena).
+//
+//kecss:arena
 type Arena struct {
 	phi       []uint64
 	active    []bool
@@ -83,7 +85,11 @@ func growSlice[T any](buf []T, n int) []T {
 // state, so only the solver's exact verification clears it. The error stays
 // one-sided (Claim 5.10 can falsely reject, never falsely certify); the
 // cost of a persistent collision is extra augmentation edges, not
-// incorrectness. An Incremental is not safe for concurrent use.
+// incorrectness. An Incremental is not safe for concurrent use. It is the
+// borrower of its Arena: attachScratch marks the arena busy, Release
+// returns it, so the engine's lifetime is one loan.
+//
+//kecss:arena-owner
 type Incremental struct {
 	G    *graph.Graph
 	Tree *tree.Rooted
@@ -420,6 +426,8 @@ func (inc *Incremental) isBad(lab uint64) bool {
 
 // adjust moves label lab's active-edge count by dAll and its tree-edge
 // count by dTree, keeping the bad-label tally exact.
+//
+//kecss:alloc-free
 func (inc *Incremental) adjust(lab uint64, dAll, dTree int) {
 	if inc.isBad(lab) {
 		inc.nBad--
@@ -448,6 +456,8 @@ func (inc *Incremental) adjust(lab uint64, dAll, dTree int) {
 // fresh uniform b-bit label, XOR-ed into every tree edge on its
 // fundamental-cycle tree path, with all per-label counts maintained.
 // O(|ids|·height), allocation-free warm. Labels are drawn in ids order.
+//
+//kecss:alloc-free
 func (inc *Incremental) AddEdges(ids []int) {
 	for _, id := range ids {
 		if inc.active[id] {
@@ -481,6 +491,8 @@ func (inc *Incremental) ThreeEdgeConnected() bool { return inc.nBad == 0 }
 // CoverCount returns |S²_e| (Claim 5.8) for a prospective edge e = {u, v}
 // of the host not yet active: the number of cut pairs of the active
 // subgraph that activating e would cover. O(height), allocation-free warm.
+//
+//kecss:alloc-free
 func (inc *Incremental) CoverCount(u, v int) int64 {
 	clear(inc.onPath)
 	inc.Tree.ForEachPathEdge(u, v, func(t int) {

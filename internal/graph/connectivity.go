@@ -250,6 +250,10 @@ func (g *Graph) CutPairs() []CutPair {
 	var bs bridgeScanner
 	var scratch []int
 	var resolved map[int]bool
+	// The emitted pair set is iteration-order independent: a scan resolves
+	// a whole equivalence class whichever member is scanned first, and the
+	// pairs are sorted before return.
+	//kecss:nondeterministic-ok pair set is order-independent and sorted below
 	for k, members := range groups {
 		if len(members) < 2 {
 			continue
@@ -407,6 +411,8 @@ func growInts(s []int, n int) []int {
 
 // reset restores all capacities to 1 (valid because the undirected reduction
 // starts every arc at capacity 1).
+//
+//kecss:alloc-free
 func (d *dinic) reset() {
 	for i := range d.cap {
 		d.cap[i] = 1
@@ -415,6 +421,7 @@ func (d *dinic) reset() {
 	// for the undirected case both start at 1, so a flat reset is correct.
 }
 
+//kecss:alloc-free
 func (d *dinic) bfs(s, t int) bool {
 	for v := 0; v < d.n; v++ {
 		d.level[v] = -1
@@ -433,6 +440,7 @@ func (d *dinic) bfs(s, t int) bool {
 	return d.level[t] != -1
 }
 
+//kecss:alloc-free
 func (d *dinic) dfs(v, t int) bool {
 	if v == t {
 		return true
@@ -450,6 +458,8 @@ func (d *dinic) dfs(v, t int) bool {
 }
 
 // maxFlow computes the s→t max flow, stopping early once it reaches limit.
+//
+//kecss:alloc-free
 func (d *dinic) maxFlow(s, t, limit int) int {
 	d.reset()
 	flow := 0

@@ -6,6 +6,8 @@
 // Vertices are dense integers 0..N-1. Edges carry non-negative integer
 // weights, matching the paper's assumption that weights are integers
 // polynomial in n (so a weight fits in an O(log n)-bit message).
+//
+//kecss:deterministic
 package graph
 
 import (

@@ -105,12 +105,12 @@ type Journal struct {
 	onFsync func(time.Duration)
 
 	mu      sync.Mutex
-	pending []byte
-	waiters []chan error
-	closed  bool
-	kick    chan struct{}
-	flushed chan struct{} // closed when the flusher exits
-	syncs   int64
+	pending []byte        // guarded by mu
+	waiters []chan error  // guarded by mu
+	closed  bool          // guarded by mu
+	kick    chan struct{} // immutable after Open; sends race-free by design
+	flushed chan struct{} // immutable after Open; closed when the flusher exits
+	syncs   int64         // guarded by mu
 }
 
 // Replay is what Open recovered from an existing journal file.

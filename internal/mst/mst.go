@@ -10,6 +10,8 @@
 // segments, TAP) is exactly the one the paper's pipeline would see. Headline
 // round accounting for the theorems charges the Kutten–Peleg bound via
 // internal/rounds (see DESIGN.md, substitutions).
+//
+//kecss:deterministic
 package mst
 
 import (

@@ -4,6 +4,8 @@
 // standard techniques") as genuine message-passing programs on the
 // simulator: BFS-tree construction, tree aggregation (convergecast),
 // tree broadcast, pipelined upcast of ℓ distinct items, and min-ID flooding.
+//
+//kecss:deterministic
 package primitives
 
 import (

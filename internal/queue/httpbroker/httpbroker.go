@@ -256,7 +256,7 @@ type Client struct {
 	// claim, dropped at complete/fail) so the closing round trip can carry
 	// the trace headers back without the caller re-threading them.
 	mu       sync.Mutex
-	leaseCtx map[uint64]traceCtx
+	leaseCtx map[uint64]traceCtx // guarded by mu
 }
 
 // traceCtx is the per-lease trace context echoed on /complete and /fail.

@@ -124,11 +124,12 @@ type Config struct {
 // ErrClosed is returned by Enqueue and Claim after Close.
 var ErrClosed = errors.New("queue: closed")
 
-// entry is a job plus its scheduling state.
+// entry is a job plus its scheduling state. Entries are owned by a Queue
+// and live in exactly one of its sets (ready, delayed, leased) at a time.
 type entry struct {
-	job   *Job
-	at    time.Time // delayed: eligible time; leased: expiry time
-	token uint64
+	job   *Job      // guarded by Queue.mu
+	at    time.Time // guarded by Queue.mu; delayed: eligible time; leased: expiry time
+	token uint64    // guarded by Queue.mu
 }
 
 // Queue is the in-memory Broker implementation. Safe for concurrent use.
@@ -136,20 +137,20 @@ type Queue struct {
 	cfg Config
 
 	mu        sync.Mutex
-	ready     []*entry          // FIFO
-	delayed   []*entry          // unordered; reap scans for due entries
-	leased    map[uint64]*entry // token → entry
-	dead      []DeadLetter      // ring, at most cfg.DeadLetterCap entries
-	deadPos   int               // next overwrite index once the ring is full
-	deadTotal int               // all-time dead-letter count
-	events    []Event           // buffered under mu, delivered by flushEvents
-	deadq     []DeadLetter      // buffered under mu, delivered by flushEvents to OnDead
-	expq      []*Job            // buffered under mu, delivered by flushEvents to OnExpired
-	next      uint64
-	rng       uint64
-	notify    chan struct{} // closed to broadcast a state change, then replaced
-	closed    bool
-	quit      chan struct{}
+	ready     []*entry          // guarded by mu; FIFO
+	delayed   []*entry          // guarded by mu; unordered, reap scans for due entries
+	leased    map[uint64]*entry // guarded by mu; token → entry
+	dead      []DeadLetter      // guarded by mu; ring, at most cfg.DeadLetterCap entries
+	deadPos   int               // guarded by mu; next overwrite index once the ring is full
+	deadTotal int               // guarded by mu; all-time dead-letter count
+	events    []Event           // guarded by mu; delivered by flushEvents
+	deadq     []DeadLetter      // guarded by mu; delivered by flushEvents to OnDead
+	expq      []*Job            // guarded by mu; delivered by flushEvents to OnExpired
+	next      uint64            // guarded by mu
+	rng       uint64            // guarded by mu
+	notify    chan struct{}     // guarded by mu; closed to broadcast a state change, then replaced
+	closed    bool              // guarded by mu
+	quit      chan struct{}     // closed by Close; immutable otherwise
 }
 
 var _ Broker = (*Queue)(nil)
@@ -271,13 +272,20 @@ func (q *Queue) Complete(token uint64, out *Outcome) bool {
 	q.mu.Lock()
 	e, held := q.leased[token]
 	delete(q.leased, token)
+	// Capture the job while the lock is held: after Unlock this entry's
+	// fields belong to whoever holds mu next (the PR-8 Claim race was
+	// exactly a post-Unlock read of e.job racing the reaper's reschedule).
+	var job *Job
+	if held {
+		job = e.job
+	}
 	q.mu.Unlock()
 	if !held {
 		return false
 	}
 	q.emit(EventAck)
 	if out != nil && q.cfg.OnComplete != nil {
-		q.cfg.OnComplete(e.job, *out)
+		q.cfg.OnComplete(job, *out)
 	}
 	return true
 }

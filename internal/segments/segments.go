@@ -9,6 +9,8 @@
 // fragments are carved deterministically from the tree by subtree-size
 // accumulation, which yields the same guarantees (O(n/target) fragments,
 // each of height at most target — Lemma 3.4's requirements).
+//
+//kecss:deterministic
 package segments
 
 import (

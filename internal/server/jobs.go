@@ -33,24 +33,23 @@ type job struct {
 	admitted bool
 
 	mu        sync.Mutex
-	state     string
-	attempt   int // deliveries so far
-	finishing bool
-	resp      *wire.SolveResponse
-	err       *solveError
-	done      chan struct{} // closed on finish
+	state     string              // guarded by mu
+	attempt   int                 // guarded by mu; deliveries so far
+	finishing bool                // guarded by mu
+	resp      *wire.SolveResponse // guarded by mu
+	err       *solveError         // guarded by mu
+	done      chan struct{}       // closed on finish
 
-	// Trace state, guarded by mu (lock order: j.mu before trace.mu — the
-	// trace never calls back into the job). trace is nil for jobs that
-	// never entered the queue (cache-hit async jobs, replayed finished
-	// jobs).
-	trace        *telemetry.Trace
-	rootSpan     telemetry.SpanRef // the "job" span, open for the job's life
-	waitSpan     telemetry.SpanRef // the current "queue.wait" span
-	claimSpan    telemetry.SpanRef // the current attempt's "claim" span
-	waitStart    time.Time         // when the current queue.wait began
-	claimAt      time.Time         // when the current claim began
-	claimAttempt int               // the attempt claimSpan belongs to
+	// Trace state (lock order: j.mu before trace.mu — the trace never
+	// calls back into the job). trace is nil for jobs that never entered
+	// the queue (cache-hit async jobs, replayed finished jobs).
+	trace        *telemetry.Trace  // guarded by mu
+	rootSpan     telemetry.SpanRef // guarded by mu; the "job" span, open for the job's life
+	waitSpan     telemetry.SpanRef // guarded by mu; the current "queue.wait" span
+	claimSpan    telemetry.SpanRef // guarded by mu; the current attempt's "claim" span
+	waitStart    time.Time         // guarded by mu; when the current queue.wait began
+	claimAt      time.Time         // guarded by mu; when the current claim began
+	claimAttempt int               // guarded by mu; the attempt claimSpan belongs to
 }
 
 func newJob(id, digest string) *job {
@@ -118,10 +117,10 @@ func (j *job) finished() bool {
 // the history bound; unfinished jobs are never evicted.
 type jobStore struct {
 	mu      sync.Mutex
-	max     int
-	jobs    map[string]*job
-	order   []string // creation order, for eviction scans
-	counter int64
+	max     int             // immutable after newJobStore
+	jobs    map[string]*job // guarded by mu
+	order   []string        // guarded by mu; creation order, for eviction scans
+	counter int64           // guarded by mu
 }
 
 func newJobStore(max int) *jobStore {

@@ -82,7 +82,7 @@ func (h *histogram) write(w io.Writer, name, labels string) {
 // histograms for cold solves, whole requests and journal fsync batches.
 type metrics struct {
 	mu       sync.Mutex
-	requests map[string]*atomic.Int64 // key: path + "|" + code
+	requests map[string]*atomic.Int64 // guarded by mu; key: path + "|" + code
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64

@@ -159,7 +159,7 @@ type Server struct {
 	inflight sync.WaitGroup // every unfinished job
 
 	flightMu sync.Mutex
-	flight   map[string]*job // digest → active job (single-flight)
+	flight   map[string]*job // guarded by flightMu; digest → active job (single-flight)
 
 	closeOnce sync.Once
 }

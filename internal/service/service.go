@@ -83,7 +83,7 @@ type Pool struct {
 	// what turns the Run/Close race from a send-on-closed-channel panic
 	// into a clean ErrClosed.
 	mu     sync.RWMutex
-	closed bool
+	closed bool // guarded by mu (writes hold mu; reads may hold mu.RLock)
 }
 
 // NewPool returns a running pool of n workers; n <= 0 means GOMAXPROCS.

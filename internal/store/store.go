@@ -97,9 +97,9 @@ type Store struct {
 	inj *chaos.Injector
 
 	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	max   int                      // immutable after Open; read unlocked
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 
 	memHits  atomic.Uint64
 	diskHits atomic.Uint64

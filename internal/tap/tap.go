@@ -13,6 +13,8 @@
 // a constant number of segment-local pipelined scans of length ≤ the maximum
 // segment diameter plus skeleton/BFS-tree broadcasts of length ≤ D + number
 // of segments).
+//
+//kecss:deterministic
 package tap
 
 import (

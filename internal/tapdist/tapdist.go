@@ -11,10 +11,13 @@
 // decomposition parameters; this package *measures* it. The test suite
 // proves the distributed computation agrees with the direct tree-path count
 // on every edge, and experiment E11 compares charged vs measured rounds.
+//
+//kecss:deterministic
 package tapdist
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -182,6 +185,7 @@ type highwayProgram struct {
 	upSent       int
 	// Downcast state, per segment this vertex originates or forwards for.
 	down      map[int]*hwState // segment ID -> broadcast progress
+	downOrder []int            // sorted keys of down: sends iterate this, not the map
 	expect    map[int]int      // segment ID -> highway length
 	childEdge map[int][]int    // segment ID -> tree edges to children in it
 	out       *[]pathItem      // facts of the home segment's highway
@@ -201,7 +205,11 @@ func (p *highwayProgram) step(ctx *congest.Context) {
 			Kind: kindHighwayUp, A: int64(item.edge), B: boolToInt(item.covered),
 		})
 	}
-	for segID, st := range p.down {
+	// Iterate the sorted key list: inboxes preserve each sender's send
+	// order, so sending in map order would leak iteration order into the
+	// receivers' buffers.
+	for _, segID := range p.downOrder {
+		st := p.down[segID]
 		if st.sent >= len(st.buf) {
 			continue
 		}
@@ -316,6 +324,10 @@ func runHighwayScan(g *graph.Graph, dec *segments.Decomposition, covered map[int
 				p.expect[segID] = len(dec.Segments[segID].HighwayEdges)
 			}
 		}
+		for segID := range p.down {
+			p.downOrder = append(p.downOrder, segID)
+		}
+		sort.Ints(p.downOrder)
 		return p
 	}, opts...)
 	m, err := net.Run(4*dec.MaxSegmentDiameter() + 2*maxHwy + 10)
@@ -385,13 +397,14 @@ type summary struct {
 }
 
 type exchangeProgram struct {
-	mySummary  summary
-	streamFor  map[int][]pathItem // edge ID -> path items to stream (same-home edges)
-	streamSent map[int]int
-	gotSummary map[int]summary    // edge ID -> other endpoint's summary
-	gotPath    map[int][]pathItem // edge ID -> other endpoint's streamed path
-	nonTree    []int              // incident non-tree edge IDs
-	sentSum    bool
+	mySummary   summary
+	streamFor   map[int][]pathItem // edge ID -> path items to stream (same-home edges)
+	streamOrder []int              // streamFor keys in adjacency order: sends iterate this
+	streamSent  map[int]int
+	gotSummary  map[int]summary    // edge ID -> other endpoint's summary
+	gotPath     map[int][]pathItem // edge ID -> other endpoint's streamed path
+	nonTree     []int              // incident non-tree edge IDs
+	sentSum     bool
 }
 
 func (p *exchangeProgram) Init(ctx *congest.Context) {
@@ -416,7 +429,11 @@ func (p *exchangeProgram) Round(ctx *congest.Context, inbox []congest.Message) b
 		}
 	}
 	done := true
-	for e, items := range p.streamFor {
+	// Iterate the ordered key list: inboxes preserve each sender's send
+	// order, so sending in map order would leak iteration order into the
+	// receivers' gotPath buffers.
+	for _, e := range p.streamOrder {
+		items := p.streamFor[e]
 		i := p.streamSent[e]
 		if i < len(items) {
 			done = false
@@ -450,6 +467,7 @@ func runExchangeAndCompute(g *graph.Graph, dec *segments.Decomposition, views []
 			// (Case 1 needs it to locate the LCA).
 			if dec.SegOfVertex[v] == dec.SegOfVertex[a.To] {
 				p.streamFor[a.Edge] = views[v].up
+				p.streamOrder = append(p.streamOrder, a.Edge)
 			}
 		}
 		progs[v] = p

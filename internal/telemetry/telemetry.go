@@ -89,9 +89,9 @@ type Trace struct {
 	mu      sync.Mutex
 	id      string
 	process string
-	next    uint64
-	spans   []Span
-	open    map[uint64]int // span ID -> index in spans, while open
+	next    uint64         // guarded by mu
+	spans   []Span         // guarded by mu
+	open    map[uint64]int // guarded by mu; span ID -> index in spans, while open
 
 	// anchorWall + anchorMono turn monotonic readings into wall-clock
 	// nanoseconds that cannot go backwards within this trace.
@@ -359,12 +359,12 @@ type retained struct {
 // root duration.
 type Registry struct {
 	mu     sync.Mutex
-	active map[string]*Trace
-	byID   map[string]*retained
+	active map[string]*Trace    // guarded by mu
+	byID   map[string]*retained // guarded by mu
 
-	recent  []*retained // ring, len <= recentCap
-	recentI int
-	slow    []*retained // sorted slowest-first, len <= slowCap
+	recent  []*retained // guarded by mu; ring, len <= recentCap
+	recentI int         // guarded by mu
+	slow    []*retained // guarded by mu; sorted slowest-first, len <= slowCap
 
 	recentCap int
 	slowCap   int

@@ -1,6 +1,8 @@
 // Package tree provides rooted spanning-tree utilities shared by the MST,
 // segment-decomposition, TAP and cycle-space modules: parent/children
 // structure, depth, LCA, tree paths and traversal orders.
+//
+//kecss:deterministic
 package tree
 
 import (
@@ -252,6 +254,8 @@ func (t *Rooted) AppendPathEdges(buf []int, u, v int) []int {
 // path (first the u-side edges walking up to the LCA, then the v-side ones).
 // Allocation-free: the per-iteration hot paths of the incremental
 // cycle-space labeling use it instead of materializing path slices.
+//
+//kecss:alloc-free
 func (t *Rooted) ForEachPathEdge(u, v int, fn func(edgeID int)) {
 	l := t.LCA(u, v)
 	for x := u; x != l; x = t.Parent[x] {
@@ -288,7 +292,7 @@ func (t *Rooted) PostOrder() []int {
 	type frame struct {
 		v, idx int
 	}
-	stack := []frame{{t.Root, 0}}
+	stack := []frame{{t.Root, 0}} //kecss:noescape
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		if top.idx < len(t.children[top.v]) {

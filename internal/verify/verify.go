@@ -10,6 +10,8 @@
 // "is k-edge-connected" verdict is exact, while a "not k-edge-connected"
 // verdict is correct w.h.p. in b (a healthy edge labels 0, or two unrelated
 // edges collide, with probability 2^-b each — Lemma 5.4's one-sidedness).
+//
+//kecss:deterministic
 package verify
 
 import (
@@ -135,7 +137,11 @@ func ThreeEdgeConnectivity(g *graph.Graph, bits int, rng *rand.Rand, opts ...con
 	// the distinct labels measures the dominant pipelined cost and the
 	// verdict uses the exact counts.
 	items := make([][]int64, g.N())
-	for id, lab := range l.Phi {
+	for id := 0; id < g.M(); id++ {
+		lab, ok := l.Phi[id]
+		if !ok {
+			continue
+		}
 		e := g.Edge(id)
 		o := e.U
 		if e.V < o {

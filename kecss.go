@@ -220,7 +220,10 @@ func (c config) rng() *rand.Rand { return rand.New(rand.NewSource(c.seed)) }
 
 // solveEnv is the per-call execution state a solver run gets on top of its
 // config: its private random stream plus, for pool workers, the worker's
-// recycled arena and the marker that the graph was already validated.
+// recycled arena and the marker that the graph was already validated. It
+// lives for exactly one solve call on the worker that owns the arenas.
+//
+//kecss:arena-owner
 type solveEnv struct {
 	rng            *rand.Rand
 	arena          *congest.NetworkArena
